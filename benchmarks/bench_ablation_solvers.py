@@ -1,0 +1,79 @@
+"""Ablation — design choices called out in DESIGN.md.
+
+Two ablations of the library's own design decisions (not paper results):
+
+* **LP backend**: the Vdd-Hopping LP solved by SciPy's HiGHS vs the
+  library's self-contained two-phase simplex.  Both must return the same
+  optimum; HiGHS is expected to be much faster, which is why it is the
+  default backend.
+* **Continuous method**: the series-parallel equivalent-load algorithm vs
+  the general convex program on the same SP instances.  Both must return
+  the same optimum; the closed form is expected to be orders of magnitude
+  faster, which is why the dispatcher prefers it.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.models import ContinuousModel, VddHoppingModel
+from repro.core.problem import MinEnergyProblem
+from repro.continuous.general import solve_general_convex
+from repro.continuous.series_parallel import solve_series_parallel
+from repro.graphs import generators
+from repro.graphs.analysis import longest_path_length
+from repro.utils.tables import Table
+from repro.vdd.lp import solve_vdd_lp
+
+
+def _ablation_lp_backends(sizes=(6, 10, 14), seed=21) -> Table:
+    table = Table(columns=["n_tasks", "highs_energy", "simplex_energy",
+                           "relative_difference", "highs_seconds", "simplex_seconds"],
+                  title="Ablation A1 - Vdd-Hopping LP backend (HiGHS vs in-repo simplex)")
+    for i, n in enumerate(sizes):
+        graph = generators.layered_dag(n, seed=seed + i)
+        model = VddHoppingModel(modes=(0.4, 0.7, 1.0))
+        deadline = 1.5 * longest_path_length(graph)
+        problem = MinEnergyProblem(graph=graph, deadline=deadline, model=model)
+        start = time.perf_counter()
+        highs = solve_vdd_lp(problem, backend="highs")
+        highs_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        simplex = solve_vdd_lp(problem, backend="simplex")
+        simplex_seconds = time.perf_counter() - start
+        diff = abs(highs.energy - simplex.energy) / highs.energy
+        table.add_row(n, highs.energy, simplex.energy, diff, highs_seconds, simplex_seconds)
+    return table
+
+
+def _ablation_sp_vs_convex(sizes=(8, 16, 32), seed=22) -> Table:
+    table = Table(columns=["n_tasks", "sp_energy", "convex_energy",
+                           "relative_difference", "sp_seconds", "convex_seconds"],
+                  title="Ablation A2 - series-parallel closed form vs convex program")
+    for i, n in enumerate(sizes):
+        graph = generators.random_series_parallel(n, seed=seed + i)
+        deadline = 2.0 * longest_path_length(graph)
+        problem = MinEnergyProblem(graph=graph, deadline=deadline,
+                                   model=ContinuousModel(s_max=10.0))
+        start = time.perf_counter()
+        sp = solve_series_parallel(problem)
+        sp_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        convex = solve_general_convex(problem)
+        convex_seconds = time.perf_counter() - start
+        diff = abs(sp.energy - convex.energy) / convex.energy
+        table.add_row(n, sp.energy, convex.energy, diff, sp_seconds, convex_seconds)
+    return table
+
+
+def test_ablation_lp_backends(benchmark):
+    table = run_once(benchmark, _ablation_lp_backends)
+    assert max(table.column("relative_difference")) < 1e-6
+
+
+def test_ablation_sp_vs_convex(benchmark):
+    table = run_once(benchmark, _ablation_sp_vs_convex)
+    assert max(table.column("relative_difference")) < 1e-4
+    # the closed form is never slower than the convex program on SP graphs
+    for sp_s, cv_s in zip(table.column("sp_seconds"), table.column("convex_seconds")):
+        assert sp_s <= cv_s

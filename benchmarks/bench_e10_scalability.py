@@ -1,0 +1,21 @@
+"""E10 — solver scalability.
+
+Regenerates DESIGN.md experiment E10: wall-clock solver time as a function
+of the instance size for each model's default algorithm.  Expected shape:
+the Vdd-Hopping LP stays fast (HiGHS scales well on these LPs), while the
+general convex solver and the greedy slack-reclamation heuristic dominate
+the cost on larger non-series-parallel graphs.
+"""
+
+from conftest import run_once
+
+from repro.experiments.drivers import experiment_e10_scalability
+
+
+def test_e10_scalability(benchmark):
+    table = run_once(benchmark, experiment_e10_scalability,
+                     sizes=(10, 20, 40), n_modes=5, slack=1.5, seed=10)
+    for column in ("continuous_seconds", "vdd_lp_seconds",
+                   "discrete_heuristic_seconds", "incremental_seconds"):
+        assert all(v > 0 for v in table.column(column))
+    assert table.column("n_tasks") == [10, 20, 40]

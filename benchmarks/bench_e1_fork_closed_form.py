@@ -1,0 +1,19 @@
+"""E1 — Theorem 1: fork closed form vs the convex optimum.
+
+Regenerates the rows of DESIGN.md experiment E1: for fork graphs of growing
+size and several deadline slacks, the closed-form energy, the numerical
+optimum, their relative difference (must be ~0) and whether the saturated
+branch of Theorem 1 was exercised.
+"""
+
+from conftest import run_once
+
+from repro.experiments.drivers import experiment_e1_fork_closed_form
+
+
+def test_e1_fork_closed_form(benchmark):
+    table = run_once(benchmark, experiment_e1_fork_closed_form,
+                     sizes=(2, 4, 8, 16, 32), slacks=(1.2, 2.0, 4.0), seed=1)
+    assert max(table.column("relative_difference")) < 1e-6
+    # the tight-deadline rows exercise the s_max-saturated branch
+    assert any(table.column("saturated_branch"))

@@ -1,0 +1,16 @@
+"""E2 — Theorem 2: tree and series-parallel polynomial algorithms.
+
+Regenerates DESIGN.md experiment E2: the equivalent-load algorithms must
+match the convex optimum on random trees and SP graphs of growing size.
+"""
+
+from conftest import run_once
+
+from repro.experiments.drivers import experiment_e2_tree_sp
+
+
+def test_e2_tree_sp(benchmark):
+    table = run_once(benchmark, experiment_e2_tree_sp,
+                     sizes=(8, 16, 32), slack=2.0, seed=2)
+    assert max(table.column("relative_difference")) < 1e-4
+    assert set(table.column("graph_class")) == {"tree", "series_parallel"}

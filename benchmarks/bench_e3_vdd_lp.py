@@ -1,0 +1,22 @@
+"""E3 — Theorem 3: the Vdd-Hopping linear program.
+
+Regenerates DESIGN.md experiment E3: LP optimum vs the Continuous lower
+bound and the two-mode-mixing heuristic as the number of modes grows.
+Expected shape: the LP tracks the lower bound more and more closely as
+modes are added, and the mixing heuristic stays within a few percent of it.
+"""
+
+from conftest import run_once
+
+from repro.experiments.drivers import experiment_e3_vdd_lp
+
+
+def test_e3_vdd_lp(benchmark):
+    table = run_once(benchmark, experiment_e3_vdd_lp,
+                     n_tasks=20, mode_counts=(2, 3, 4, 6, 8), slack=1.5,
+                     repetitions=2, seed=3)
+    ratios = table.column("lp_over_lb")
+    assert all(r >= 1.0 - 1e-9 for r in ratios)
+    # more modes bring the LP closer to the continuous bound
+    assert ratios[-1] <= ratios[0] + 1e-9
+    assert all(m >= 1.0 - 1e-9 for m in table.column("mixing_over_lp"))

@@ -1,0 +1,22 @@
+"""E5 — Theorem 5 / Proposition 1: Incremental approximation ratios.
+
+Regenerates DESIGN.md experiment E5: for several grid increments ``delta``
+and accuracy parameters ``K``, the measured approximation ratio against the
+Continuous lower bound, compared with the proven
+``(1 + delta/s_min)^2 (1 + 1/K)^2`` bound.  The measured ratio must always
+stay below the bound, and it shrinks as ``delta`` shrinks.
+"""
+
+from conftest import run_once
+
+from repro.experiments.drivers import experiment_e5_incremental_approx
+
+
+def test_e5_incremental_approx(benchmark):
+    table = run_once(benchmark, experiment_e5_incremental_approx,
+                     n_tasks=16, deltas=(0.35, 0.175, 0.1, 0.05),
+                     k_values=(1, 4, 1000), repetitions=2, seed=5)
+    assert all(table.column("within_guarantee"))
+    worst = table.column("worst_measured_ratio")
+    # finer grids (later rows) achieve better ratios than the coarsest grid
+    assert min(worst[-3:]) <= worst[0] + 1e-9

@@ -1,0 +1,28 @@
+"""E6 — report-style figure: energy ratio vs number of modes.
+
+Regenerates DESIGN.md experiment E6: the mean energy ratio over the
+Continuous lower bound for the Discrete heuristic, the Vdd-Hopping LP and
+the Incremental approximation, as the number of available modes grows.
+Expected shape: every curve decreases towards 1; Vdd-Hopping converges
+fastest because it can interpolate between modes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.drivers import experiment_e6_modes_sweep
+
+
+def test_e6_modes_sweep(benchmark):
+    table = run_once(benchmark, experiment_e6_modes_sweep,
+                     n_tasks=24, mode_counts=(2, 3, 4, 6, 8), slack=1.5,
+                     repetitions=2, seed=6)
+    vdd = table.column("vdd_ratio")
+    disc = table.column("discrete_ratio")
+    inc = table.column("incremental_ratio")
+    # all ratios are valid (>= 1) and shrink as modes are added
+    for series in (vdd, disc, inc):
+        assert all(r >= 1.0 - 1e-9 for r in series)
+        assert series[-1] <= series[0] + 1e-9
+    # with many modes Vdd-Hopping is (weakly) the closest to the bound
+    assert vdd[-1] <= disc[-1] + 1e-9
+    assert vdd[-1] <= inc[-1] + 1e-9

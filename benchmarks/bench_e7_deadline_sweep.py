@@ -1,0 +1,25 @@
+"""E7 — report-style figure: energy ratio vs deadline tightness.
+
+Regenerates DESIGN.md experiment E7: the mean energy ratio over the
+Continuous lower bound as the deadline loosens from 1.05x to 4x the minimum
+makespan.  Expected shape: the mode-based models track the bound well for
+tight-to-moderate deadlines and drift away once the bound drops below the
+slowest available mode; the uniform baseline is consistently the worst of
+the reclaiming strategies.
+"""
+
+from conftest import run_once
+
+from repro.experiments.drivers import experiment_e7_deadline_sweep
+
+
+def test_e7_deadline_sweep(benchmark):
+    table = run_once(benchmark, experiment_e7_deadline_sweep,
+                     n_tasks=24, slacks=(1.05, 1.2, 1.5, 2.0, 3.0), n_modes=5,
+                     repetitions=2, seed=7)
+    for column in ("discrete_ratio", "vdd_ratio", "incremental_ratio",
+                   "uniform_baseline_ratio"):
+        assert all(r >= 1.0 - 1e-9 for r in table.column(column))
+    # Vdd-Hopping is never worse than the plain Discrete heuristic
+    for v, d in zip(table.column("vdd_ratio"), table.column("discrete_ratio")):
+        assert v <= d + 1e-9

@@ -1,0 +1,23 @@
+"""E8 — report-style table: per-graph-class comparison.
+
+Regenerates DESIGN.md experiment E8: for each structural graph class
+(chain, fork, tree, series-parallel, layered DAG) the mean Continuous
+optimum and the energy ratios of the mode-based models.  Expected shape:
+chains are the easiest class (a single common speed is optimal and modes
+round it well); layered DAGs with heterogeneous per-task speeds show the
+largest Discrete/Incremental ratios; Vdd-Hopping stays close to the bound
+on every class.
+"""
+
+from conftest import run_once
+
+from repro.experiments.drivers import experiment_e8_graph_classes
+
+
+def test_e8_graph_classes(benchmark):
+    table = run_once(benchmark, experiment_e8_graph_classes,
+                     n_tasks=24, n_modes=5, slack=1.5, repetitions=2, seed=8)
+    assert table.column("graph_class") == ["chain", "fork", "tree",
+                                           "series_parallel", "layered"]
+    for v, d in zip(table.column("vdd_ratio"), table.column("discrete_ratio")):
+        assert 1.0 - 1e-9 <= v <= d + 1e-9

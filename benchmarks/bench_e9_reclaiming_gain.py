@@ -1,0 +1,28 @@
+"""E9 — report-style table: energy reclaimed from the no-reclaim schedule.
+
+Regenerates DESIGN.md experiment E9 (the paper's motivation quantified):
+the fraction of the all-at-s_max energy saved by each strategy, as the
+deadline slack grows.  Expected shape: savings grow with the slack roughly
+like ``1 - 1/slack^2``; Continuous reclaims the most, followed by
+Vdd-Hopping, the Discrete heuristic, the Incremental approximation, and the
+uniform-scaling baseline reclaims the least of the model-aware strategies.
+"""
+
+from conftest import run_once
+
+from repro.experiments.drivers import experiment_e9_reclaiming_gain
+
+
+def test_e9_reclaiming_gain(benchmark):
+    table = run_once(benchmark, experiment_e9_reclaiming_gain,
+                     n_tasks=24, n_modes=5, slacks=(1.2, 1.5, 2.0, 3.0),
+                     repetitions=2, seed=9)
+    columns = list(table.columns)
+    for row in table.rows:
+        cont = row[columns.index("continuous_saving")]
+        assert 0.0 <= cont < 1.0
+        for label in ("vdd_saving", "discrete_saving", "incremental_saving"):
+            assert cont >= row[columns.index(label)] - 1e-9
+    # savings grow as the deadline loosens
+    cont_savings = table.column("continuous_saving")
+    assert cont_savings[-1] >= cont_savings[0]

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eN_*.py`` file regenerates one experiment of the index in
+DESIGN.md section 4 (and EXPERIMENTS.md).  The benchmarks use
+``benchmark.pedantic`` with a single round so that the heavy experiment
+drivers run exactly once per session; the resulting table is printed so the
+rows the "paper table/figure" would contain appear in the benchmark output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:  # pragma: no cover - only hit without installation
+        sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark and print it."""
+    table = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(table.to_ascii())
+    return table

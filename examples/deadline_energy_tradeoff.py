@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Scenario: trading deadline slack for energy on a mapped HPC workload.
+
+An operator running a mapped scientific workflow wants a table they can put
+in front of a user: "if you accept finishing X% later, the platform spends
+Y% less energy".  This example sweeps the deadline from the tightest
+feasible value to 3x that value and reports, for the Continuous optimum and
+for a realistic 5-mode DVFS ladder (Discrete heuristic and Vdd-Hopping LP),
+the energy relative to running everything at full speed.
+
+It also cross-checks every solution with the discrete-event simulator and
+reports the per-processor utilisation of the most relaxed schedule — slack
+shows up as idle time on the lightly loaded processors.
+
+Run with::
+
+    python examples/deadline_energy_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ContinuousModel,
+    DiscreteModel,
+    MinEnergyProblem,
+    VddHoppingModel,
+    check_solution,
+    generators,
+    list_schedule,
+    simulate_solution,
+    solve,
+    solve_no_reclaim,
+)
+from repro.graphs.analysis import longest_path_length
+from repro.simulation import processor_utilisation
+from repro.utils.tables import Table
+
+MODES = (0.3, 0.5, 0.7, 0.85, 1.0)
+SLACKS = (1.1, 1.25, 1.5, 2.0, 2.5, 3.0)
+
+
+def main() -> None:
+    # a fork-join-heavy workflow (typical of bulk-synchronous HPC codes)
+    graph = generators.random_series_parallel(28, seed=5, series_probability=0.45)
+    execution = list_schedule(graph, 5)
+    combined = execution.combined_graph()
+    min_makespan = longest_path_length(combined)
+    print(f"workflow: {combined.n_tasks} tasks on 5 processors, "
+          f"fastest completion {min_makespan:.1f}\n")
+
+    reference = solve_no_reclaim(MinEnergyProblem(
+        graph=combined, deadline=3.0 * min_makespan, model=DiscreteModel(modes=MODES)))
+
+    table = Table(
+        columns=["slowdown accepted", "continuous energy %", "vdd energy %",
+                 "discrete energy %"],
+        title="energy (as % of the full-speed energy) vs accepted slowdown",
+    )
+    last_solution = None
+    for slack in SLACKS:
+        deadline = slack * min_makespan
+        row = {"slowdown accepted": f"{(slack - 1) * 100:.0f}%"}
+        for label, model in (("continuous energy %", ContinuousModel(s_max=1.0)),
+                             ("vdd energy %", VddHoppingModel(modes=MODES)),
+                             ("discrete energy %", DiscreteModel(modes=MODES))):
+            solution = solve(MinEnergyProblem(graph=combined, deadline=deadline,
+                                              model=model))
+            check_solution(solution)
+            trace = simulate_solution(solution, execution=execution)
+            assert abs(trace.total_energy - solution.energy) < 1e-6 * solution.energy
+            row[label] = 100.0 * solution.energy / reference.energy
+            if label == "continuous energy %":
+                last_solution = solution
+        table.add_row(**row)
+    print(table.to_ascii())
+
+    assert last_solution is not None
+    trace = simulate_solution(last_solution, execution=execution)
+    util = processor_utilisation(trace)
+    print("per-processor utilisation of the most relaxed continuous schedule:")
+    for proc, value in sorted(util.items()):
+        print(f"  processor {proc}: {value:6.1%}")
+    print("\nreading: a 50% slowdown already cuts the energy to roughly a quarter of")
+    print("the full-speed cost (the cubic law makes slack extremely valuable), and the")
+    print("5-mode ladder captures most of that gain.")
+
+
+if __name__ == "__main__":
+    main()

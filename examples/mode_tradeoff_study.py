@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario: how many DVFS modes does a platform need?
+
+A hardware designer choosing a voltage/frequency ladder wants to know how
+many operating points are worth supporting: each extra mode costs silicon
+and validation effort, but too few modes waste energy because tasks must be
+rounded up to the next available speed.
+
+This study sweeps the number of modes and reports, for a fixed workload and
+deadline, the energy of the Discrete heuristic, the Vdd-Hopping LP and the
+Incremental (regular grid) approximation relative to the Continuous lower
+bound — i.e. the "price of discreteness" the paper's models quantify — plus
+the Theorem 5 a-priori guarantee for the Incremental grid.
+
+Run with::
+
+    python examples/mode_tradeoff_study.py
+"""
+
+from __future__ import annotations
+
+from repro import MinEnergyProblem, check_solution, generators, list_schedule
+from repro.continuous.bounds import continuous_lower_bound
+from repro.core.models import ContinuousModel, DiscreteModel, IncrementalModel, VddHoppingModel
+from repro.discrete import solve_discrete_best_heuristic
+from repro.graphs.analysis import longest_path_length
+from repro.incremental import build_incremental_model, solve_incremental_approx
+from repro.utils.tables import Table, ascii_series_plot
+from repro.vdd import solve_vdd_lp
+
+S_MAX = 1.0
+S_MIN = 0.2
+SLACK = 1.5
+MODE_COUNTS = (2, 3, 4, 6, 8, 12, 16)
+
+
+def main() -> None:
+    graph = generators.layered_dag(36, seed=11)
+    execution = list_schedule(graph, 6)
+    combined = execution.combined_graph()
+    deadline = SLACK * longest_path_length(combined)
+    base = MinEnergyProblem(graph=combined, deadline=deadline,
+                            model=ContinuousModel(s_max=S_MAX))
+    lower_bound = continuous_lower_bound(base)
+    print(f"workload: {combined.n_tasks} tasks on 6 processors, deadline {deadline:.1f}")
+    print(f"continuous lower bound: {lower_bound:.2f}\n")
+
+    table = Table(
+        columns=["n_modes", "discrete/LB", "vdd/LB", "incremental/LB",
+                 "theorem5 guarantee"],
+        title="price of discreteness vs number of modes",
+    )
+    series: dict[str, list[float]] = {"discrete": [], "vdd": [], "incremental": []}
+    for m in MODE_COUNTS:
+        grid = build_incremental_model(S_MIN, S_MAX, n_modes=m)
+        modes = grid.modes  # use the same (regular) ladder for every model
+        discrete = solve_discrete_best_heuristic(
+            base.with_model(DiscreteModel(modes=modes)))
+        vdd = solve_vdd_lp(base.with_model(VddHoppingModel(modes=modes)))
+        incremental = solve_incremental_approx(base.with_model(grid))
+        for s in (discrete, vdd, incremental):
+            check_solution(s)
+        table.add_row(m, discrete.energy / lower_bound, vdd.energy / lower_bound,
+                      incremental.energy / lower_bound,
+                      grid.approximation_ratio_vs_continuous())
+        series["discrete"].append(discrete.energy / lower_bound)
+        series["vdd"].append(vdd.energy / lower_bound)
+        series["incremental"].append(incremental.energy / lower_bound)
+
+    print(table.to_ascii())
+    print(ascii_series_plot(list(MODE_COUNTS), series,
+                            title="energy ratio over the continuous bound (lower is better)"))
+    print("reading: beyond roughly 6-8 modes the extra hardware buys almost nothing —")
+    print("Vdd-Hopping gets there with fewer modes because it can mix adjacent ones.")
+
+
+if __name__ == "__main__":
+    main()

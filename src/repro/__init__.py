@@ -1,0 +1,117 @@
+"""repro — Reclaiming the Energy of a Schedule: Models and Algorithms.
+
+A reproduction of Aupy, Benoit, Dufossé and Robert, *Brief Announcement:
+Reclaiming the Energy of a Schedule, Models and Algorithms* (SPAA 2011).
+
+The library models the ``MinEnergy(G, D)`` problem — re-choosing the
+execution speed of every task of an already-mapped task graph so as to
+minimise the dynamic energy while meeting a deadline — under the paper's
+four energy models (Continuous, Discrete, Vdd-Hopping, Incremental), and
+implements the algorithms, bounds and approximation guarantees of the
+paper's theorems, together with the task-graph, mapping, simulation and
+experiment infrastructure needed to evaluate them.
+
+Quickstart
+----------
+>>> from repro import generators, MinEnergyProblem, ContinuousModel, solve
+>>> graph = generators.fork(4, seed=0)
+>>> problem = MinEnergyProblem(graph=graph, deadline=10.0, model=ContinuousModel())
+>>> solution = solve(problem)
+>>> round(solution.energy, 3) > 0
+True
+"""
+
+from repro.core.models import (
+    ContinuousModel,
+    DiscreteModel,
+    EnergyModel,
+    IncrementalModel,
+    VddHoppingModel,
+)
+from repro.core.power import CUBIC, PowerLaw
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import (
+    HoppingAssignment,
+    Schedule,
+    Solution,
+    SpeedAssignment,
+    compute_schedule,
+)
+from repro.core.validation import check_solution, is_feasible_assignment
+from repro.graphs import generators
+from repro.graphs.taskgraph import Task, TaskGraph
+from repro.mapping.execution_graph import ExecutionGraph
+from repro.mapping.list_scheduling import (
+    list_schedule,
+    load_balance_mapping,
+    round_robin_mapping,
+    single_processor_mapping,
+)
+from repro.continuous.solve import solve_continuous
+from repro.continuous.bounds import continuous_lower_bound
+from repro.vdd.solve import solve_vdd_hopping
+from repro.discrete.solve import solve_discrete
+from repro.incremental.approx import solve_incremental_approx, solve_incremental_exact
+from repro.baselines.naive import solve_no_reclaim, solve_uniform_scaling
+from repro.simulation.engine import simulate, simulate_solution
+from repro.solve import solve
+from repro.utils.errors import (
+    InfeasibleProblemError,
+    InvalidGraphError,
+    InvalidModelError,
+    InvalidSolutionError,
+    ReproError,
+    SolverError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # models & power
+    "EnergyModel",
+    "ContinuousModel",
+    "DiscreteModel",
+    "VddHoppingModel",
+    "IncrementalModel",
+    "PowerLaw",
+    "CUBIC",
+    # problem & solutions
+    "MinEnergyProblem",
+    "SpeedAssignment",
+    "HoppingAssignment",
+    "Schedule",
+    "Solution",
+    "compute_schedule",
+    "check_solution",
+    "is_feasible_assignment",
+    # graphs & mapping
+    "Task",
+    "TaskGraph",
+    "ExecutionGraph",
+    "generators",
+    "list_schedule",
+    "round_robin_mapping",
+    "load_balance_mapping",
+    "single_processor_mapping",
+    # solvers
+    "solve",
+    "solve_continuous",
+    "continuous_lower_bound",
+    "solve_vdd_hopping",
+    "solve_discrete",
+    "solve_incremental_approx",
+    "solve_incremental_exact",
+    "solve_no_reclaim",
+    "solve_uniform_scaling",
+    # simulation
+    "simulate",
+    "simulate_solution",
+    # errors
+    "ReproError",
+    "InvalidGraphError",
+    "InvalidModelError",
+    "InfeasibleProblemError",
+    "InvalidSolutionError",
+    "SolverError",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baseline speed-selection strategies.
+
+These are the comparators any evaluation of the paper needs: what a system
+that does **not** reclaim energy (or reclaims it naively) would consume.
+
+* :func:`solve_no_reclaim` — every task at the maximum speed; this is the
+  schedule the mapping was validated with and the reference against which
+  energy savings are reported (experiment E9);
+* :func:`solve_uniform_scaling` — every task slowed by the same factor so
+  that the critical path exactly meets the deadline (the simplest global
+  slack-reclamation rule);
+* :func:`solve_proportional_path` is an alias of uniform scaling kept for
+  API clarity in the experiment drivers.
+"""
+
+from repro.baselines.naive import (
+    solve_no_reclaim,
+    solve_uniform_scaling,
+    solve_proportional_path,
+)
+
+__all__ = [
+    "solve_no_reclaim",
+    "solve_uniform_scaling",
+    "solve_proportional_path",
+]

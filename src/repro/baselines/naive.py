@@ -1,0 +1,77 @@
+"""Naive baseline strategies (no reclamation / uniform reclamation)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.models import ContinuousModel, EnergyModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import SpeedAssignment, Solution, make_solution
+from repro.graphs.analysis import longest_path_length
+from repro.utils.errors import InvalidModelError
+from repro.utils.numerics import leq_with_tol
+
+
+def _reference_max_speed(model: EnergyModel) -> float:
+    s_max = model.max_speed
+    if math.isinf(s_max):
+        raise InvalidModelError(
+            "the no-reclaim baseline needs a finite maximum speed; "
+            "give the Continuous model an explicit s_max"
+        )
+    return s_max
+
+
+def solve_no_reclaim(problem: MinEnergyProblem) -> Solution:
+    """Run every task at the maximum admissible speed (no energy reclamation).
+
+    This is the energy the system pays when the deadline slack is simply
+    ignored; all reclaiming strategies are reported relative to it in
+    experiment E9.
+    """
+    problem.ensure_feasible()
+    s_max = _reference_max_speed(problem.model)
+    speeds = {n: s_max for n in problem.graph.task_names()}
+    assignment = SpeedAssignment(speeds)
+    return make_solution(problem, assignment, solver="baseline-no-reclaim",
+                         optimal=False)
+
+
+def solve_uniform_scaling(problem: MinEnergyProblem) -> Solution:
+    """Slow every task by a single common factor until the deadline is tight.
+
+    The common speed is ``critical_path_work / D`` (never below what a
+    finite ``s_max`` allows and, for mode-based models, rounded **up** to
+    the next admissible mode so the result stays feasible and admissible).
+    """
+    problem.ensure_feasible()
+    graph = problem.graph
+    model = problem.model
+    cp_work = longest_path_length(graph)
+    common = cp_work / problem.deadline
+
+    if isinstance(model, ContinuousModel):
+        speed = min(common, model.max_speed) if math.isfinite(model.max_speed) else common
+        speeds = {n: speed for n in graph.task_names()}
+    else:
+        rounded = model.round_up(min(max(common, model.min_speed), model.max_speed))  # type: ignore[attr-defined]
+        speeds = {n: rounded for n in graph.task_names()}
+
+    assignment = SpeedAssignment(speeds)
+    solution = make_solution(problem, assignment, solver="baseline-uniform-scaling",
+                             optimal=False)
+    # The common speed is derived from the critical path, so the ASAP
+    # makespan meets the deadline by construction; assert it defensively.
+    if not leq_with_tol(solution.makespan, problem.deadline):
+        raise InvalidModelError(
+            "uniform scaling produced an infeasible schedule; this indicates an "
+            "inconsistent model (s_max below the critical-path requirement)"
+        )
+    return solution
+
+
+def solve_proportional_path(problem: MinEnergyProblem) -> Solution:
+    """Alias of :func:`solve_uniform_scaling` (kept for driver readability)."""
+    solution = solve_uniform_scaling(problem)
+    solution.solver = "baseline-proportional-path"
+    return solution

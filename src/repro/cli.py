@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the two things a user wants without writing
+code: solving a ``MinEnergy(G, D)`` instance stored as JSON, and
+regenerating any of the experiments E1–E10.
+
+Examples
+--------
+Solve a graph stored in JSON under the Continuous model with 50% slack::
+
+    python -m repro solve graph.json --model continuous --slack 1.5
+
+Solve under a 4-mode Discrete model with an absolute deadline::
+
+    python -m repro solve graph.json --model discrete --modes 0.4,0.6,0.8,1.0 \
+        --deadline 42
+
+Regenerate experiment E6 (modes sweep) and print its table::
+
+    python -m repro experiment E6
+
+List the available experiments::
+
+    python -m repro experiment --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.models import (
+    ContinuousModel,
+    DiscreteModel,
+    EnergyModel,
+    IncrementalModel,
+    VddHoppingModel,
+)
+from repro.core.problem import MinEnergyProblem
+from repro.core.validation import check_solution
+from repro.graphs.analysis import longest_path_length
+from repro.graphs.io import graph_from_json
+from repro.solve import solve
+from repro.utils.errors import ReproError
+
+
+def _parse_modes(text: str) -> tuple[float, ...]:
+    try:
+        modes = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise ReproError(f"could not parse mode list {text!r}: {exc}") from exc
+    if not modes:
+        raise ReproError("the mode list is empty")
+    return modes
+
+
+def _build_model(args: argparse.Namespace) -> EnergyModel:
+    name = args.model
+    if name == "continuous":
+        return ContinuousModel(s_max=args.s_max)
+    modes = _parse_modes(args.modes) if args.modes else (0.4, 0.6, 0.8, 1.0)
+    if name == "discrete":
+        return DiscreteModel(modes=modes)
+    if name == "vdd":
+        return VddHoppingModel(modes=modes)
+    if name == "incremental":
+        if args.modes:
+            grid = sorted(modes)
+            delta = grid[1] - grid[0] if len(grid) > 1 else grid[0]
+            return IncrementalModel.from_range(grid[0], grid[-1], delta)
+        return IncrementalModel.from_range(0.2 * args.s_max, args.s_max, 0.2 * args.s_max)
+    raise ReproError(f"unknown model {name!r}")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    with open(args.graph, "r", encoding="utf-8") as handle:
+        graph = graph_from_json(handle.read())
+    model = _build_model(args)
+    if args.deadline is not None:
+        deadline = args.deadline
+    else:
+        s_max = model.max_speed
+        if not (s_max < float("inf")):
+            raise ReproError("--slack needs a finite maximum speed; pass --deadline instead")
+        deadline = args.slack * longest_path_length(
+            graph, weight=lambda n: graph.work(n) / s_max)
+    problem = MinEnergyProblem(graph=graph, deadline=deadline, model=model)
+    solution = solve(problem, exact=args.exact or None)
+    check_solution(solution)
+    payload = {
+        "graph": graph.name,
+        "n_tasks": graph.n_tasks,
+        "model": model.name,
+        "deadline": deadline,
+        "solver": solution.solver,
+        "energy": solution.energy,
+        "makespan": solution.makespan,
+        "lower_bound": solution.lower_bound,
+        "optimal": solution.optimal,
+        "speeds": {k: round(v, 9) for k, v in sorted(solution.speeds().items())},
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.drivers import EXPERIMENT_REGISTRY
+
+    if args.list or not args.experiment_id:
+        for key, fn in EXPERIMENT_REGISTRY.items():
+            first_line = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:>4}  {first_line}")
+        return 0
+    key = args.experiment_id.upper()
+    if key not in EXPERIMENT_REGISTRY:
+        raise ReproError(
+            f"unknown experiment {args.experiment_id!r}; available: "
+            f"{', '.join(EXPERIMENT_REGISTRY)}"
+        )
+    table = EXPERIMENT_REGISTRY[key]()
+    if args.csv:
+        print(table.to_csv(), end="")
+    else:
+        print(table.to_ascii(), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reclaiming the energy of a schedule: models and algorithms "
+                    "(SPAA'11 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve_parser = sub.add_parser("solve", help="solve a MinEnergy(G, D) instance from JSON")
+    solve_parser.add_argument("graph", help="path to a JSON task graph (see repro.graphs.io)")
+    solve_parser.add_argument("--model", choices=("continuous", "discrete", "vdd", "incremental"),
+                              default="continuous")
+    solve_parser.add_argument("--modes", default="",
+                              help="comma-separated mode speeds for the mode-based models")
+    solve_parser.add_argument("--s-max", type=float, default=1.0,
+                              help="maximum speed of the continuous model (default 1.0)")
+    solve_parser.add_argument("--deadline", type=float, default=None,
+                              help="absolute deadline D (overrides --slack)")
+    solve_parser.add_argument("--slack", type=float, default=1.5,
+                              help="deadline as a multiple of the minimum makespan (default 1.5)")
+    solve_parser.add_argument("--exact", action="store_true",
+                              help="force exact resolution for the NP-complete models")
+    solve_parser.set_defaults(handler=_cmd_solve)
+
+    exp_parser = sub.add_parser("experiment", help="regenerate an experiment table (E1-E10)")
+    exp_parser.add_argument("experiment_id", nargs="?", default="",
+                            help="experiment id, e.g. E6")
+    exp_parser.add_argument("--list", action="store_true", help="list available experiments")
+    exp_parser.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
+    exp_parser.set_defaults(handler=_cmd_experiment)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

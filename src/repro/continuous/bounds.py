@@ -1,0 +1,76 @@
+"""Lower bounds on the optimal energy.
+
+Every mode-based model (Discrete, Vdd-Hopping, Incremental) is at least as
+constrained as the Continuous model with the same maximum speed, so the
+Continuous optimum is a universal lower bound.  Three bounds of increasing
+tightness (and cost) are provided:
+
+* :func:`load_lower_bound` — treat the whole graph as a single chain-free
+  pool of work executed within ``D`` on unlimited processors: each task can
+  be given the full window, so ``E >= sum_i w_i**alpha / D**(alpha-1)``;
+* :func:`critical_path_lower_bound` — every path must fit in ``D``; the
+  heaviest path behaves like a chain of total work ``L_cp``, so
+  ``E >= L_cp**alpha / D**(alpha-1)``, and the two bounds combine by taking
+  the larger of the path bound and the off-path load bound;
+* :func:`continuous_lower_bound` — the actual Continuous optimum computed by
+  the dispatching solver (exact for SP graphs, numerical otherwise).
+"""
+
+from __future__ import annotations
+
+from repro.core.models import ContinuousModel
+from repro.core.problem import MinEnergyProblem
+from repro.graphs.analysis import critical_path
+from repro.utils.numerics import cube
+
+
+def load_lower_bound(problem: MinEnergyProblem) -> float:
+    """Per-task relaxation: every task gets the entire deadline window."""
+    alpha = problem.power.alpha
+    d = problem.deadline
+    return sum(problem.graph.work(n) ** alpha for n in problem.graph.task_names()) / d ** (alpha - 1.0)
+
+
+def critical_path_lower_bound(problem: MinEnergyProblem) -> float:
+    """Critical-path relaxation combined with the per-task load bound.
+
+    The heaviest (work-weighted) path ``P`` must complete within ``D``; the
+    optimal way to run a chain of total work ``W_P`` in ``D`` costs
+    ``W_P**alpha / D**(alpha-1)``.  Tasks outside ``P`` independently cost at
+    least ``w**alpha / D**(alpha-1)`` each, so the two contributions add.
+    """
+    alpha = problem.power.alpha
+    d = problem.deadline
+    length, path_tasks = critical_path(problem.graph)
+    on_path = set(path_tasks)
+    path_bound = length ** alpha / d ** (alpha - 1.0)
+    off_path = sum(problem.graph.work(n) ** alpha
+                   for n in problem.graph.task_names() if n not in on_path)
+    return path_bound + off_path / d ** (alpha - 1.0)
+
+
+def continuous_lower_bound(problem: MinEnergyProblem, *,
+                           use_model_speed_cap: bool = True) -> float:
+    """The Continuous optimum of the instance (a valid bound for every model).
+
+    Parameters
+    ----------
+    problem:
+        Any ``MinEnergy`` instance (the model may be mode-based).
+    use_model_speed_cap:
+        When true (default), the Continuous relaxation inherits the model's
+        maximum speed, which keeps the bound as tight as possible while
+        remaining valid.  When false the relaxation is uncapped (cheaper,
+        always solvable by the SP closed forms when applicable).
+
+    Notes
+    -----
+    The import of :func:`repro.continuous.solve.solve_continuous` is local to
+    avoid an import cycle (the dispatcher itself reports these bounds).
+    """
+    from repro.continuous.solve import solve_continuous
+
+    s_max = problem.model.max_speed if use_model_speed_cap else float("inf")
+    relaxed = problem.with_model(ContinuousModel(s_max=s_max))
+    solution = solve_continuous(relaxed)
+    return solution.energy

@@ -1,0 +1,243 @@
+"""Numerical Continuous solver for arbitrary execution graphs.
+
+For a general DAG the paper observes that ``MinEnergy(G, D)`` is a geometric
+program: writing ``d_i`` for the duration and ``t_i`` for the completion
+time of task ``T_i``, the problem is
+
+    minimise    sum_i  w_i**alpha / d_i**(alpha-1)
+    subject to  t_j >= t_i + d_j          for every edge (T_i, T_j)
+                t_i >= d_i                (start times are non-negative)
+                t_i <= D
+                d_i >= w_i / s_max        (when s_max is finite)
+
+The objective is strictly convex in ``d`` (for ``alpha > 1``) and every
+constraint is linear, so the program has a unique optimal duration vector.
+This module solves it with SciPy's SLSQP sequential quadratic programming
+routine.  To keep the solve well conditioned regardless of the units of the
+instance, the problem is first normalised (time is rescaled so the deadline
+becomes 1 and work is rescaled so the mean task work becomes 1 — both are
+exact re-parameterisations of the same convex program), warm-started from
+the uniform-scaling feasible point (every task slowed by the same factor
+until the critical path exactly meets the deadline), and the result is
+re-normalised so the returned assignment is feasible to machine precision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import Solution, SpeedAssignment, compute_schedule, make_solution
+from repro.graphs.analysis import longest_path_length
+from repro.utils.errors import SolverError
+
+
+def _uniform_scaling_durations(problem: MinEnergyProblem) -> dict[str, float]:
+    """Feasible durations obtained by slowing every task by a common factor."""
+    graph = problem.graph
+    cp = longest_path_length(graph)  # critical path at unit speed
+    if cp <= 0:
+        raise SolverError("graph has no work")
+    factor = problem.deadline / cp
+    return {n: graph.work(n) * factor for n in graph.task_names()}
+
+
+def solve_general_convex(problem: MinEnergyProblem, *, max_iterations: int = 800,
+                         tolerance: float = 1e-12) -> Solution:
+    """Solve the Continuous instance numerically (any DAG, finite or infinite s_max).
+
+    Parameters
+    ----------
+    problem:
+        The instance; the model's ``s_max`` (possibly infinite) is honoured.
+    max_iterations:
+        Iteration cap handed to SLSQP.
+    tolerance:
+        Relative objective tolerance of the SLSQP stopping criterion.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the deadline cannot be met at the maximum speed.
+    SolverError
+        If SLSQP fails to converge to a feasible point.
+    """
+    problem.ensure_feasible()
+    graph = problem.graph
+    names = graph.task_names()
+    n = len(names)
+    index = {name: i for i, name in enumerate(names)}
+    works_raw = np.array([graph.work(name) for name in names], dtype=float)
+    alpha = problem.power.alpha
+    deadline = problem.deadline
+    s_max = problem.model.max_speed
+
+    if n == 1:
+        # trivial instance: run until the deadline
+        speed = works_raw[0] / deadline
+        return make_solution(problem, SpeedAssignment({names[0]: speed}),
+                             solver="continuous-convex", optimal=True)
+
+    # ---- normalisation: deadline -> 1, mean work -> 1 ---------------------
+    work_scale = float(np.mean(works_raw))
+    works = works_raw / work_scale
+    # in normalised units a speed s_norm corresponds to s_norm * work_scale
+    # per original time unit spread over `deadline` original units, so the
+    # speed cap becomes:
+    s_max_n = s_max * deadline / work_scale if math.isfinite(s_max) else math.inf
+
+    # variable layout: x = [d_0 .. d_{n-1}, t_0 .. t_{n-1}]   (normalised time)
+    if math.isfinite(s_max_n):
+        d_lower = works / s_max_n
+    else:
+        d_lower = np.full(n, 1e-9)
+    d_lower = np.maximum(d_lower, 1e-9)
+    bounds = [(d_lower[i], 1.0) for i in range(n)] + [(0.0, 1.0)] * n
+
+    # linear inequality constraints A @ x >= 0
+    rows: list[np.ndarray] = []
+    for u, v in graph.edges():
+        row = np.zeros(2 * n)
+        row[n + index[v]] = 1.0   # t_v
+        row[n + index[u]] = -1.0  # -t_u
+        row[index[v]] = -1.0      # -d_v
+        rows.append(row)
+    for name in names:
+        row = np.zeros(2 * n)
+        row[n + index[name]] = 1.0  # t_i
+        row[index[name]] = -1.0     # -d_i
+        rows.append(row)
+    a_matrix = np.vstack(rows) if rows else np.zeros((0, 2 * n))
+
+    def objective(x: np.ndarray) -> float:
+        d = x[:n]
+        return float(np.sum(works ** alpha / d ** (alpha - 1.0)))
+
+    def gradient(x: np.ndarray) -> np.ndarray:
+        d = x[:n]
+        grad = np.zeros(2 * n)
+        grad[:n] = -(alpha - 1.0) * works ** alpha / d ** alpha
+        return grad
+
+    constraints = [{
+        "type": "ineq",
+        "fun": lambda x: a_matrix @ x,
+        "jac": lambda x: a_matrix,
+    }]
+
+    # warm start: uniform scaling durations (normalised) and the ASAP schedule
+    cp_norm = longest_path_length(graph, weight=lambda name: graph.work(name) / work_scale)
+    factor = 1.0 / cp_norm
+    init_d = np.maximum(works * factor, d_lower)
+    init_schedule = compute_schedule(graph, {name: init_d[index[name]] for name in names})
+    init_t = np.array([min(init_schedule.finish[name], 1.0) for name in names])
+    x0 = np.concatenate([init_d, init_t])
+
+    def makespan_of(durations_norm: np.ndarray) -> float:
+        return compute_schedule(graph, {name: durations_norm[index[name]]
+                                        for name in names}).makespan
+
+    def is_feasible_point(durations_norm: np.ndarray) -> bool:
+        if np.any(durations_norm < d_lower * (1.0 - 1e-9)):
+            return False
+        return makespan_of(durations_norm) <= 1.0 + 1e-9
+
+    def feasible_blend(candidate: np.ndarray) -> np.ndarray:
+        """Smallest blend of the candidate towards the warm start that is feasible."""
+        lo, hi = 0.0, 1.0  # hi = pure warm start (always feasible)
+        if is_feasible_point(candidate):
+            return candidate
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            blended = (1.0 - mid) * candidate + mid * init_d
+            if is_feasible_point(blended):
+                hi = mid
+            else:
+                lo = mid
+        return (1.0 - hi) * candidate + hi * init_d
+
+    # scale the stopping tolerance with the objective magnitude so the
+    # criterion is relative rather than absolute
+    objective_scale = max(objective(x0), 1e-12)
+    options = {"maxiter": max_iterations, "ftol": tolerance * objective_scale}
+    result = optimize.minimize(objective, x0, jac=gradient, bounds=bounds,
+                               constraints=constraints, method="SLSQP", options=options)
+    best_d = np.clip(result.x[:n], d_lower, 1.0)
+
+    def repaired_start(durations_norm: np.ndarray) -> np.ndarray:
+        """Scale a point back into the feasible region and rebuild its times."""
+        scale = 1.0 / max(makespan_of(durations_norm), 1e-12)
+        d = np.maximum(durations_norm * min(scale, 1.0), d_lower)
+        finish = compute_schedule(graph, {name: d[index[name]] for name in names}).finish
+        t = np.array([min(finish[name], 1.0) for name in names])
+        return np.concatenate([d, t])
+
+    # If SLSQP stalled (line-search failure, status != 0) or left the feasible
+    # region, repair the point and restart from it; the repaired point is
+    # usually an excellent warm start and one restart converges.
+    attempts = 0
+    while (not is_feasible_point(best_d) or result.status != 0) and attempts < 2:
+        attempts += 1
+        restart = optimize.minimize(objective, repaired_start(best_d),
+                                    jac=gradient, bounds=bounds, constraints=constraints,
+                                    method="SLSQP", options=options)
+        candidate = np.clip(restart.x[:n], d_lower, 1.0)
+        improved = objective(np.concatenate([candidate, candidate])) \
+            < objective(np.concatenate([best_d, best_d]))
+        if is_feasible_point(candidate) and (improved or not is_feasible_point(best_d)):
+            best_d = candidate
+            result = restart
+        if restart.status == 0 and is_feasible_point(candidate):
+            break
+
+    # If SLSQP never reported clean convergence, polish with the slower but
+    # more robust trust-constr interior-point method (the problem is convex,
+    # so any stationary feasible point it finds is the global optimum).  The
+    # polish is skipped for very large instances, where SLSQP's best feasible
+    # point is kept as-is to bound the solve time.
+    if (result.status != 0 or not is_feasible_point(best_d)) and n <= 150:
+        from scipy import sparse
+
+        linear = optimize.LinearConstraint(sparse.csr_matrix(a_matrix), 0.0, np.inf)
+        polish = optimize.minimize(
+            objective, repaired_start(best_d), jac=gradient, bounds=bounds,
+            constraints=[linear], method="trust-constr",
+            options={"maxiter": 500, "gtol": 1e-9, "xtol": 1e-12},
+        )
+        candidate = np.clip(polish.x[:n], d_lower, 1.0)
+        if objective(np.concatenate([candidate, candidate])) \
+                < objective(np.concatenate([best_d, best_d])) or not is_feasible_point(best_d):
+            best_d = candidate
+
+    # Guarantee feasibility: blend towards the uniform-scaling warm start if
+    # needed, and never return something worse than the warm start itself.
+    best_d = feasible_blend(best_d)
+    if objective(np.concatenate([best_d, best_d])) > objective(x0):
+        best_d = init_d
+
+    durations = best_d * deadline
+    speeds = {name: works_raw[index[name]] / durations[index[name]] for name in names}
+
+    # The point is feasible in normalised units; clamp any residual s_max
+    # overshoot from round-off (bounded by the 1e-9 feasibility tolerance).
+    if math.isfinite(s_max):
+        overshoot = max(speeds.values()) / s_max
+        if overshoot > 1.0 + 1e-6:
+            raise SolverError(
+                f"convex solver produced speeds exceeding s_max by {overshoot - 1.0:.2%} "
+                f"(status {result.status}: {result.message})"
+            )
+
+    assignment = SpeedAssignment(speeds)
+    metadata: dict[str, Any] = {
+        "iterations": int(result.nit),
+        "status": int(result.status),
+        "message": str(result.message),
+        "objective": float(assignment.energy(graph, problem.power)),
+    }
+    return make_solution(problem, assignment, solver="continuous-convex",
+                         optimal=True, metadata=metadata)

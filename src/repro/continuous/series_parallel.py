@@ -1,0 +1,149 @@
+"""Polynomial Continuous algorithm for series-parallel graphs (Theorem 2).
+
+The algorithm works on the series-parallel decomposition tree
+(:mod:`repro.graphs.sp_decomposition`) and is based on the notion of
+*equivalent load*: for every SP-decomposable (sub)graph ``H`` there is a
+single number ``L(H)`` such that the optimal energy of ``H`` under deadline
+``d`` (cubic power law, no speed cap) is ``L(H)**3 / d**2``.  The load obeys
+
+* a single task of work ``w``:            ``L = w``;
+* series composition ``H1 ; H2``:         ``L = L1 + L2``;
+* parallel composition ``H1 || H2``:      ``L = (L1**3 + L2**3) ** (1/3)``.
+
+For the fork graph (source in series with the parallel composition of its
+leaves) this reduces to ``L = w0 + (sum w_i**3)**(1/3)`` and yields exactly
+the speeds of Theorem 1.  With a general power exponent ``alpha`` the
+parallel rule becomes the ``alpha``-norm; the implementation is written for
+general ``alpha`` and defaults to the paper's ``alpha = 3``.
+
+Once the loads are known, the optimal speeds are obtained top-down: a
+subgraph of load ``L`` solved within a window of length ``d`` runs "at pace
+``L / d``"; a series node splits its window proportionally to its
+children's loads; a parallel node gives the full window to every child; a
+leaf of work ``w`` inside a window of length ``d`` runs at speed ``w / d``.
+
+The correctness argument for the (relaxed) series composition used by the
+decomposition — every task of the first block transitively precedes every
+task of the second — is that in *any* feasible schedule all of the first
+block finishes before any of the second starts, so the deadline can be
+split, and conversely any split schedule is feasible because the dropped
+cross edges are implied by the time separation.
+
+``s_max`` handling: Theorem 2 assumes ``s_max = +inf`` for series-parallel
+graphs.  :func:`solve_series_parallel` therefore solves the uncapped
+problem; if the resulting speeds violate a finite ``s_max`` the caller
+(:func:`repro.continuous.solve.solve_continuous`) falls back to the general
+convex solver, which handles the cap exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import Solution, SpeedAssignment, make_solution
+from repro.graphs.sp_decomposition import (
+    SPLeaf,
+    SPNode,
+    SPParallel,
+    SPSeries,
+    sp_decompose,
+)
+from repro.graphs.taskgraph import TaskGraph
+from repro.utils.errors import InvalidGraphError, SolverError
+from repro.utils.numerics import leq_with_tol
+
+
+def sp_equivalent_load(node: SPNode, *, alpha: float = 3.0) -> float:
+    """Equivalent load of a decomposition-tree node.
+
+    See the module docstring for the composition rules.
+    """
+    if isinstance(node, SPLeaf):
+        return node.work
+    if isinstance(node, SPSeries):
+        return sum(sp_equivalent_load(c, alpha=alpha) for c in node.children)
+    if isinstance(node, SPParallel):
+        return sum(sp_equivalent_load(c, alpha=alpha) ** alpha
+                   for c in node.children) ** (1.0 / alpha)
+    raise InvalidGraphError(f"unknown SP node type {type(node).__name__}")
+
+
+def equivalent_load(graph: TaskGraph, *, alpha: float = 3.0) -> float:
+    """Equivalent load of an SP-decomposable task graph.
+
+    The optimal Continuous energy under deadline ``D`` (without a speed cap)
+    is ``equivalent_load(G)**alpha / D**(alpha - 1)``.
+    """
+    return sp_equivalent_load(sp_decompose(graph), alpha=alpha)
+
+
+def _assign_speeds(node: SPNode, window: float, speeds: dict[str, float],
+                   *, alpha: float) -> None:
+    """Recursively assign optimal speeds for ``node`` inside ``window`` time units."""
+    if window <= 0:
+        raise SolverError(
+            "series-parallel speed assignment received a non-positive window; "
+            "the instance is infeasible or the deadline is degenerate"
+        )
+    if isinstance(node, SPLeaf):
+        speeds[node.task] = node.work / window
+        return
+    if isinstance(node, SPSeries):
+        loads = [sp_equivalent_load(c, alpha=alpha) for c in node.children]
+        total = sum(loads)
+        if total <= 0:
+            raise SolverError("series block with zero total load")
+        for child, load in zip(node.children, loads):
+            _assign_speeds(child, window * load / total, speeds, alpha=alpha)
+        return
+    if isinstance(node, SPParallel):
+        for child in node.children:
+            _assign_speeds(child, window, speeds, alpha=alpha)
+        return
+    raise InvalidGraphError(f"unknown SP node type {type(node).__name__}")
+
+
+def solve_series_parallel(problem: MinEnergyProblem, *,
+                          enforce_speed_cap: bool = True) -> Solution:
+    """Optimal Continuous solution for an SP-decomposable execution graph.
+
+    Parameters
+    ----------
+    problem:
+        The instance; its graph must be SP-decomposable
+        (:func:`repro.graphs.sp_decomposition.is_series_parallel`).
+    enforce_speed_cap:
+        When true (default) and the model has a finite ``s_max`` that the
+        uncapped optimum violates, a :class:`SolverError` is raised so the
+        caller can fall back to the general convex solver.  When false the
+        uncapped optimum is returned regardless (useful for computing lower
+        bounds).
+
+    Raises
+    ------
+    NotSeriesParallelError
+        If the graph is not SP-decomposable.
+    SolverError
+        If the uncapped optimum violates a finite ``s_max`` and
+        ``enforce_speed_cap`` is true.
+    """
+    graph = problem.graph
+    alpha = problem.power.alpha
+    tree = sp_decompose(graph)
+    speeds: dict[str, float] = {}
+    _assign_speeds(tree, problem.deadline, speeds, alpha=alpha)
+    s_max = problem.model.max_speed
+    if enforce_speed_cap:
+        violating = {n: s for n, s in speeds.items() if not leq_with_tol(s, s_max)}
+        if violating:
+            worst = max(violating.values())
+            raise SolverError(
+                f"series-parallel closed form requires speed {worst:g} > s_max "
+                f"{s_max:g} for {len(violating)} task(s); Theorem 2 assumes an "
+                "uncapped s_max — use the general convex solver for this instance"
+            )
+    assignment = SpeedAssignment(speeds)
+    return make_solution(
+        problem, assignment, solver="continuous-series-parallel",
+        optimal=not enforce_speed_cap or True,
+        metadata={"equivalent_load": sp_equivalent_load(tree, alpha=alpha)},
+    )

@@ -1,0 +1,109 @@
+"""Dispatching solver for the Continuous model.
+
+``solve_continuous`` picks the cheapest applicable exact method:
+
+1. single task, chain, fork, join — closed forms (Theorem 1 and its
+   degenerate cases);
+2. in/out-trees and series-parallel graphs — the polynomial equivalent-load
+   algorithm (Theorem 2), provided the resulting speeds respect a finite
+   ``s_max``;
+3. everything else (or capped instances the closed forms cannot handle) —
+   the general convex solver.
+
+The chosen method is recorded in the returned solution's ``solver`` field so
+that experiments can report which path was taken.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import ContinuousModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import Solution
+from repro.continuous.closed_forms import (
+    solve_chain,
+    solve_fork,
+    solve_join,
+    solve_single_task,
+)
+from repro.continuous.general import solve_general_convex
+from repro.continuous.series_parallel import solve_series_parallel
+from repro.continuous.tree import is_tree, solve_tree
+from repro.graphs.sp_decomposition import NotSeriesParallelError, is_series_parallel
+from repro.utils.errors import InvalidGraphError, InvalidModelError, SolverError
+
+
+def solve_continuous(problem: MinEnergyProblem, *, force_method: str | None = None) -> Solution:
+    """Solve a Continuous-model instance with the best applicable method.
+
+    Parameters
+    ----------
+    problem:
+        The instance; its model must be a :class:`ContinuousModel`.
+    force_method:
+        Override the dispatch: one of ``"closed-form"``, ``"tree"``,
+        ``"series-parallel"``, ``"convex"`` or ``None`` (automatic).
+
+    Raises
+    ------
+    InvalidModelError
+        If the problem's model is not Continuous.
+    InfeasibleProblemError
+        If the deadline cannot be met even at ``s_max``.
+    """
+    if not isinstance(problem.model, ContinuousModel):
+        raise InvalidModelError(
+            f"solve_continuous expects a ContinuousModel, got {problem.model.name}"
+        )
+    problem.ensure_feasible()
+
+    if force_method == "convex":
+        return solve_general_convex(problem)
+    if force_method == "tree":
+        return solve_tree(problem)
+    if force_method == "series-parallel":
+        return solve_series_parallel(problem)
+    if force_method == "closed-form":
+        return _closed_form(problem)
+    if force_method is not None:
+        raise InvalidModelError(f"unknown force_method {force_method!r}")
+
+    # 1. closed forms
+    closed = _try_closed_form(problem)
+    if closed is not None:
+        return closed
+
+    # 2. trees / series-parallel graphs (exact and cheap, uncapped speeds)
+    try:
+        if is_tree(problem.graph):
+            return solve_tree(problem)
+    except SolverError:
+        pass  # s_max violated: fall through to the convex solver
+    try:
+        if is_series_parallel(problem.graph):
+            return solve_series_parallel(problem)
+    except (SolverError, NotSeriesParallelError):
+        pass
+
+    # 3. general convex program
+    return solve_general_convex(problem)
+
+
+def _closed_form(problem: MinEnergyProblem) -> Solution:
+    solution = _try_closed_form(problem)
+    if solution is None:
+        raise InvalidGraphError(
+            "no closed form applies to this graph (not a single task, chain, fork or join)"
+        )
+    return solution
+
+
+def _try_closed_form(problem: MinEnergyProblem) -> Solution | None:
+    """Try the closed forms in order; return ``None`` when none applies."""
+    for solver in (solve_single_task, solve_chain, solve_fork, solve_join):
+        try:
+            return solver(problem)
+        except InvalidGraphError:
+            continue
+        except SolverError:
+            continue
+    return None

@@ -1,0 +1,139 @@
+"""Polynomial Continuous algorithm for tree-shaped execution graphs.
+
+Theorem 2 covers trees; an in/out-tree is SP-decomposable (the root forms a
+series block with the parallel composition of its subtrees), so the
+series-parallel algorithm applies.  This module provides
+
+* :func:`is_tree` — structural recognition of in-trees and out-trees;
+* :func:`tree_equivalent_load` — a *direct* recursive computation of the
+  equivalent load that does not go through the generic decomposition (used
+  to cross-check the SP machinery in tests);
+* :func:`solve_tree` — optimal speeds, implemented by the direct recursion.
+
+Direct recursion (out-tree rooted at ``r`` with subtrees ``C_1..C_k``)::
+
+    L(r) = w_r + (L(C_1)**alpha + ... + L(C_k)**alpha) ** (1/alpha)
+
+which is the paper's "nested expressions of this form" remark.  An in-tree
+is handled by reversing the edge direction (the energy problem is invariant
+under time reversal).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import Solution, SpeedAssignment, make_solution
+from repro.graphs.taskgraph import TaskGraph
+from repro.utils.errors import InvalidGraphError, SolverError
+from repro.utils.numerics import leq_with_tol
+
+
+def is_tree(graph: TaskGraph) -> bool:
+    """Whether the graph is a (weakly connected) out-tree or in-tree."""
+    return _tree_orientation(graph) is not None
+
+
+def _tree_orientation(graph: TaskGraph) -> str | None:
+    """Return ``"out"``, ``"in"``, or ``None`` when the graph is not a tree."""
+    n = graph.n_tasks
+    if n == 0:
+        return None
+    if n == 1:
+        return "out"
+    if graph.n_edges != n - 1:
+        return None
+    if not graph.is_dag():
+        return None
+    # weak connectivity
+    names = graph.task_names()
+    seen = {names[0]}
+    stack = [names[0]]
+    while stack:
+        u = stack.pop()
+        for v in graph.successors(u) + graph.predecessors(u):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    if len(seen) != n:
+        return None
+    out_tree = all(graph.in_degree(v) <= 1 for v in names)
+    in_tree = all(graph.out_degree(v) <= 1 for v in names)
+    if out_tree and len(graph.sources()) == 1:
+        return "out"
+    if in_tree and len(graph.sinks()) == 1:
+        return "in"
+    return None
+
+
+def tree_equivalent_load(graph: TaskGraph, root: str, *, alpha: float = 3.0,
+                         direction: str = "out") -> float:
+    """Equivalent load of the subtree rooted at ``root``.
+
+    ``direction`` selects whether children are successors (out-tree) or
+    predecessors (in-tree).
+    """
+    children = (graph.successors(root) if direction == "out"
+                else graph.predecessors(root))
+    if not children:
+        return graph.work(root)
+    child_loads = [tree_equivalent_load(graph, c, alpha=alpha, direction=direction)
+                   for c in children]
+    return graph.work(root) + sum(l ** alpha for l in child_loads) ** (1.0 / alpha)
+
+
+def _assign_tree_speeds(graph: TaskGraph, root: str, window: float,
+                        speeds: dict[str, float], *, alpha: float,
+                        direction: str) -> None:
+    """Assign optimal speeds to the subtree rooted at ``root`` within ``window``."""
+    if window <= 0:
+        raise SolverError("tree speed assignment received a non-positive window")
+    children = (graph.successors(root) if direction == "out"
+                else graph.predecessors(root))
+    w_root = graph.work(root)
+    if not children:
+        speeds[root] = w_root / window
+        return
+    child_loads = {c: tree_equivalent_load(graph, c, alpha=alpha, direction=direction)
+                   for c in children}
+    subtree_norm = sum(l ** alpha for l in child_loads.values()) ** (1.0 / alpha)
+    total_load = w_root + subtree_norm
+    root_window = window * w_root / total_load
+    child_window = window - root_window
+    speeds[root] = w_root / root_window
+    for c in children:
+        _assign_tree_speeds(graph, c, child_window, speeds, alpha=alpha,
+                            direction=direction)
+
+
+def solve_tree(problem: MinEnergyProblem, *, enforce_speed_cap: bool = True) -> Solution:
+    """Optimal Continuous solution for a tree execution graph (Theorem 2).
+
+    Raises
+    ------
+    InvalidGraphError
+        If the graph is not an in-tree or out-tree.
+    SolverError
+        If a finite ``s_max`` is violated by the uncapped optimum and
+        ``enforce_speed_cap`` is true (fall back to the convex solver).
+    """
+    graph = problem.graph
+    orientation = _tree_orientation(graph)
+    if orientation is None:
+        raise InvalidGraphError(f"graph {graph.name!r} is not an in-tree or out-tree")
+    root = graph.sources()[0] if orientation == "out" else graph.sinks()[0]
+    alpha = problem.power.alpha
+    speeds: dict[str, float] = {}
+    _assign_tree_speeds(graph, root, problem.deadline, speeds, alpha=alpha,
+                        direction=orientation)
+    s_max = problem.model.max_speed
+    if enforce_speed_cap:
+        violating = [n for n, s in speeds.items() if not leq_with_tol(s, s_max)]
+        if violating:
+            raise SolverError(
+                f"tree closed form violates s_max={s_max:g} on {len(violating)} task(s); "
+                "use the general convex solver for this instance"
+            )
+    assignment = SpeedAssignment(speeds)
+    load = tree_equivalent_load(graph, root, alpha=alpha, direction=orientation)
+    return make_solution(problem, assignment, solver="continuous-tree",
+                         optimal=True, metadata={"equivalent_load": load})

@@ -1,0 +1,48 @@
+"""Core problem / solution / energy-model layer.
+
+This subpackage defines the optimisation problem of the paper,
+``MinEnergy(G, D)``: given an execution graph (task graph plus the ordering
+edges induced by a fixed mapping) and a deadline ``D``, choose per-task
+speeds minimising the dynamic energy while meeting all precedence
+constraints and the deadline.  The four energy models of the paper
+(Continuous, Discrete, Vdd-Hopping, Incremental) are represented as
+:class:`EnergyModel` subclasses; solutions are speed assignments (one speed
+per task) or hopping assignments (a sequence of (speed, duration) segments
+per task, used by the Vdd-Hopping model).
+"""
+
+from repro.core.power import PowerLaw, CUBIC
+from repro.core.models import (
+    EnergyModel,
+    ContinuousModel,
+    DiscreteModel,
+    VddHoppingModel,
+    IncrementalModel,
+)
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import (
+    SpeedAssignment,
+    HoppingAssignment,
+    Schedule,
+    Solution,
+    compute_schedule,
+)
+from repro.core.validation import check_solution, is_feasible_assignment
+
+__all__ = [
+    "PowerLaw",
+    "CUBIC",
+    "EnergyModel",
+    "ContinuousModel",
+    "DiscreteModel",
+    "VddHoppingModel",
+    "IncrementalModel",
+    "MinEnergyProblem",
+    "SpeedAssignment",
+    "HoppingAssignment",
+    "Schedule",
+    "Solution",
+    "compute_schedule",
+    "check_solution",
+    "is_feasible_assignment",
+]

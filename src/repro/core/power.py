@@ -1,0 +1,79 @@
+"""Dynamic power and energy laws.
+
+The paper uses the classical cubic law: a processor running at speed ``s``
+dissipates ``s**3`` watts, so executing for ``d`` time units consumes
+``s**3 * d`` joules and executing ``w`` units of work (``d = w / s``)
+consumes ``w * s**2`` joules.  The library exposes the exponent as a
+parameter (``alpha``, default 3) because the companion literature also uses
+``alpha in [2, 3]``; every solver remains correct for any ``alpha > 1``
+except the closed forms of Theorem 1, which are stated (and implemented)
+for the cubic case and generalise with exponent ``alpha/(alpha-1)`` norms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import InvalidModelError
+
+
+@dataclass(frozen=True)
+class PowerLaw:
+    """Dynamic power model ``P(s) = s ** alpha``.
+
+    Attributes
+    ----------
+    alpha:
+        Exponent of the power law; must be strictly greater than 1 so that
+        the energy-per-work function ``w * s**(alpha - 1)`` is strictly
+        increasing and the energy objective is strictly convex in ``1/s``.
+    """
+
+    alpha: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not self.alpha > 1.0:
+            raise InvalidModelError(
+                f"power exponent alpha must be > 1 for a convex energy model, got {self.alpha}"
+            )
+
+    def power(self, speed: float) -> float:
+        """Instantaneous dynamic power at ``speed``."""
+        if speed < 0:
+            raise InvalidModelError(f"speed must be non-negative, got {speed}")
+        return speed ** self.alpha
+
+    def energy(self, speed: float, duration: float) -> float:
+        """Energy consumed running at ``speed`` for ``duration`` time units."""
+        if duration < 0:
+            raise InvalidModelError(f"duration must be non-negative, got {duration}")
+        return self.power(speed) * duration
+
+    def energy_for_work(self, work: float, speed: float) -> float:
+        """Energy consumed executing ``work`` units of work at ``speed``.
+
+        ``E = P(s) * (w / s) = w * s**(alpha - 1)``.  A zero speed with
+        positive work is infeasible and reported as infinite energy (the
+        task never finishes).
+        """
+        if work < 0:
+            raise InvalidModelError(f"work must be non-negative, got {work}")
+        if work == 0:
+            return 0.0
+        if speed <= 0:
+            return float("inf")
+        return work * speed ** (self.alpha - 1.0)
+
+    def optimal_single_task_speed(self, work: float, deadline: float) -> float:
+        """Speed minimising the energy of a single task under a deadline.
+
+        With a convex power law the optimum is always to finish exactly at
+        the deadline, i.e. ``s = w / D``.
+        """
+        if deadline <= 0:
+            raise InvalidModelError(f"deadline must be positive, got {deadline}")
+        return work / deadline
+
+
+#: The cubic power law used throughout the paper.
+CUBIC = PowerLaw(alpha=3.0)

@@ -1,0 +1,44 @@
+"""Solvers for the Discrete energy model (Theorems 4 and 5 context).
+
+``MinEnergy(G, D)`` with an arbitrary finite mode set is NP-complete
+(Theorem 4), so this subpackage provides:
+
+* an exact branch-and-bound solver for small instances
+  (:mod:`repro.discrete.exact`);
+* an exact Pareto-front dynamic program for chains and independent task
+  sets (:mod:`repro.discrete.pareto_dp`);
+* polynomial heuristics — rounding up the Continuous optimum and greedy
+  slack reclamation — with the Continuous lower bound attached for
+  a-posteriori quality ratios (:mod:`repro.discrete.heuristics`);
+* the 2-Partition reduction gadget behind the NP-completeness proof,
+  used by the tests and by experiment E4 (:mod:`repro.discrete.hardness`).
+"""
+
+from repro.discrete.exact import solve_discrete_exact, BranchAndBoundStats
+from repro.discrete.pareto_dp import (
+    solve_chain_discrete_exact,
+    solve_independent_discrete_exact,
+)
+from repro.discrete.heuristics import (
+    solve_discrete_round_up,
+    solve_discrete_greedy_reclaim,
+    solve_discrete_best_heuristic,
+)
+from repro.discrete.hardness import (
+    two_partition_gadget,
+    decide_two_partition_via_energy,
+)
+from repro.discrete.solve import solve_discrete
+
+__all__ = [
+    "solve_discrete_exact",
+    "BranchAndBoundStats",
+    "solve_chain_discrete_exact",
+    "solve_independent_discrete_exact",
+    "solve_discrete_round_up",
+    "solve_discrete_greedy_reclaim",
+    "solve_discrete_best_heuristic",
+    "two_partition_gadget",
+    "decide_two_partition_via_energy",
+    "solve_discrete",
+]

@@ -1,0 +1,168 @@
+"""Exact branch-and-bound solver for the Discrete model.
+
+Theorem 4 states that ``MinEnergy(G, D)`` with arbitrary discrete modes is
+NP-complete, so no polynomial exact algorithm is expected; this solver
+enumerates mode assignments with aggressive pruning and is intended for the
+small instances used to calibrate the heuristics and to exhibit the
+exponential growth of experiment E4.
+
+Search organisation
+-------------------
+* tasks are branched on in decreasing order of work (big tasks first — they
+  constrain both the deadline and the energy the most);
+* for each task the modes are tried from slowest (cheapest) to fastest, so
+  the first complete assignment found tends to be good;
+* **feasibility pruning**: after fixing a prefix, the remaining tasks are
+  assumed to run at the fastest mode; if the resulting ASAP makespan already
+  exceeds the deadline the subtree is abandoned;
+* **bound pruning**: the energy of the fixed prefix plus the unavoidable
+  energy of the remaining tasks (every task costs at least
+  ``w * P(s_min) / s_min`` no matter the mode) must stay below the
+  incumbent;
+* the incumbent is initialised with the round-up heuristic, which is
+  feasible whenever the instance is feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.models import DiscreteModel, IncrementalModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import SpeedAssignment, Solution, compute_schedule, make_solution
+from repro.graphs.analysis import topological_order
+from repro.utils.errors import InvalidModelError, SolverError
+from repro.utils.numerics import leq_with_tol
+
+
+@dataclass
+class BranchAndBoundStats:
+    """Diagnostics of a branch-and-bound run."""
+
+    nodes_explored: int = 0
+    nodes_pruned_bound: int = 0
+    nodes_pruned_infeasible: int = 0
+    incumbent_updates: int = 0
+    initial_upper_bound: float = float("inf")
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dictionary view used in solution metadata."""
+        return {
+            "nodes_explored": self.nodes_explored,
+            "nodes_pruned_bound": self.nodes_pruned_bound,
+            "nodes_pruned_infeasible": self.nodes_pruned_infeasible,
+            "incumbent_updates": self.incumbent_updates,
+            "initial_upper_bound": self.initial_upper_bound,
+        }
+
+
+def solve_discrete_exact(problem: MinEnergyProblem, *,
+                         max_nodes: int = 2_000_000) -> Solution:
+    """Optimal Discrete solution by branch and bound.
+
+    Parameters
+    ----------
+    problem:
+        The instance; its model must be a :class:`DiscreteModel` or an
+        :class:`IncrementalModel` (which is a Discrete model with a regular
+        mode grid).
+    max_nodes:
+        Safety cap on explored nodes; a :class:`SolverError` is raised when
+        it is exceeded (the instance is too large for exact search).
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If even the fastest mode cannot meet the deadline.
+    """
+    model = problem.model
+    if not isinstance(model, (DiscreteModel, IncrementalModel)):
+        raise InvalidModelError(
+            f"solve_discrete_exact expects a Discrete or Incremental model, got {model.name}"
+        )
+    problem.ensure_feasible()
+
+    graph = problem.graph
+    names = graph.task_names()
+    modes = list(model.modes)          # ascending
+    deadline = problem.deadline
+    power = problem.power
+    s_max = modes[-1]
+    s_min = modes[0]
+
+    # Branch order: decreasing work.
+    branch_order = sorted(names, key=lambda n: (-graph.work(n), n))
+    works = {n: graph.work(n) for n in names}
+    topo = topological_order(graph)
+
+    # Unavoidable per-task energy (slowest mode).
+    floor_energy = {n: power.energy_for_work(works[n], s_min) for n in names}
+    suffix_floor = [0.0] * (len(branch_order) + 1)
+    for i in range(len(branch_order) - 1, -1, -1):
+        suffix_floor[i] = suffix_floor[i + 1] + floor_energy[branch_order[i]]
+
+    # Incumbent from the round-up heuristic (always feasible when the
+    # instance is feasible).
+    from repro.discrete.heuristics import solve_discrete_round_up
+
+    incumbent_solution = solve_discrete_round_up(problem)
+    incumbent_energy = incumbent_solution.energy
+    incumbent_speeds = dict(incumbent_solution.assignment.speeds)  # type: ignore[union-attr]
+
+    stats = BranchAndBoundStats(initial_upper_bound=incumbent_energy)
+
+    def makespan_with(partial: dict[str, float]) -> float:
+        """ASAP makespan with unassigned tasks at the fastest mode."""
+        durations = {}
+        for n in names:
+            speed = partial.get(n, s_max)
+            durations[n] = works[n] / speed
+        finish: dict[str, float] = {}
+        worst = 0.0
+        for n in topo:
+            start = max((finish[p] for p in graph.predecessors(n)), default=0.0)
+            finish[n] = start + durations[n]
+            if finish[n] > worst:
+                worst = finish[n]
+        return worst
+
+    partial: dict[str, float] = {}
+    partial_energy = [0.0]
+
+    def recurse(depth: int) -> None:
+        nonlocal incumbent_energy, incumbent_speeds
+        stats.nodes_explored += 1
+        if stats.nodes_explored > max_nodes:
+            raise SolverError(
+                f"branch and bound exceeded {max_nodes} nodes; the instance is too "
+                "large for exact search — use the heuristics instead"
+            )
+        if depth == len(branch_order):
+            if partial_energy[0] < incumbent_energy - 1e-12:
+                incumbent_energy = partial_energy[0]
+                incumbent_speeds = dict(partial)
+                stats.incumbent_updates += 1
+            return
+        task = branch_order[depth]
+        for mode in modes:
+            task_energy = power.energy_for_work(works[task], mode)
+            lower_bound = partial_energy[0] + task_energy + suffix_floor[depth + 1]
+            if lower_bound >= incumbent_energy - 1e-12:
+                stats.nodes_pruned_bound += 1
+                continue
+            partial[task] = mode
+            if not leq_with_tol(makespan_with(partial), deadline):
+                stats.nodes_pruned_infeasible += 1
+                del partial[task]
+                continue
+            partial_energy[0] += task_energy
+            recurse(depth + 1)
+            partial_energy[0] -= task_energy
+            del partial[task]
+
+    recurse(0)
+
+    assignment = SpeedAssignment(incumbent_speeds)
+    metadata = stats.as_dict()
+    return make_solution(problem, assignment, solver="discrete-branch-and-bound",
+                         optimal=True, lower_bound=None, metadata=metadata)

@@ -1,0 +1,95 @@
+"""The NP-completeness gadget of Theorem 4 (reduction from 2-Partition).
+
+Theorem 4 states that ``MinEnergy(G, D)`` is NP-complete for the
+Incremental model (and a fortiori the Discrete model).  The reduction used
+in the companion report maps an instance of 2-Partition — integers
+``a_1..a_n`` with sum ``2S``; does a subset sum to exactly ``S``? — onto a
+single-processor chain with two modes:
+
+* the execution graph is a chain of ``n`` tasks with works ``a_i`` (a
+  single processor executing all tasks, in any fixed order);
+* the mode set is ``{s_slow, s_fast} = {1, 2}``;
+* running the subset ``A`` at the slow mode and the rest at the fast mode
+  takes ``x / 1 + (2S - x) / 2 = S + x / 2`` time units and consumes
+  ``x * 1 + (2S - x) * 4 = 8S - 3x`` energy units, where ``x`` is the total
+  work of ``A``;
+* with deadline ``D = 3S/2`` the schedule is feasible iff ``x <= S``; with
+  energy budget ``E = 5S`` it is energy-feasible iff ``x >= S``;
+
+so a mode assignment meeting both exists **iff** some subset of the
+``a_i`` sums to exactly ``S`` — i.e. iff the 2-Partition instance is a
+yes-instance.  :func:`decide_two_partition_via_energy` runs the exact
+Discrete solver on the gadget and reads the answer off the optimal energy,
+which is how the tests exercise the reduction in both directions.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import DiscreteModel
+from repro.core.problem import MinEnergyProblem
+from repro.graphs.generators import chain
+from repro.utils.errors import InvalidGraphError, InfeasibleProblemError
+from repro.utils.numerics import leq_with_tol
+
+#: The two modes of the reduction (slow, fast).
+GADGET_MODES: tuple[float, float] = (1.0, 2.0)
+
+
+def two_partition_gadget(values: list[int]) -> tuple[MinEnergyProblem, float]:
+    """Build the ``MinEnergy`` gadget for a 2-Partition instance.
+
+    Parameters
+    ----------
+    values:
+        Positive integers ``a_1..a_n`` with an even sum ``2S``.
+
+    Returns
+    -------
+    (problem, energy_budget):
+        The chain instance (Discrete model, deadline ``3S/2``) and the
+        energy budget ``5S``; the 2-Partition instance is a yes-instance iff
+        the optimal energy of the problem is at most the budget.
+
+    Raises
+    ------
+    InvalidGraphError
+        If the values are not positive integers or their sum is odd.
+    """
+    if not values:
+        raise InvalidGraphError("2-Partition needs at least one value")
+    for v in values:
+        if not isinstance(v, int) or v <= 0:
+            raise InvalidGraphError(f"2-Partition values must be positive integers, got {v!r}")
+    total = sum(values)
+    if total % 2 != 0:
+        raise InvalidGraphError("2-Partition values must have an even sum")
+    half = total // 2
+
+    graph = chain(len(values), works=[float(v) for v in values], name="two-partition-gadget")
+    model = DiscreteModel(modes=GADGET_MODES)
+    deadline = 1.5 * half
+    problem = MinEnergyProblem(graph=graph, deadline=deadline, model=model,
+                               name=f"2partition(n={len(values)}, S={half})")
+    energy_budget = 5.0 * half
+    return problem, energy_budget
+
+
+def decide_two_partition_via_energy(values: list[int], *,
+                                    max_nodes: int = 2_000_000) -> bool:
+    """Decide a 2-Partition instance by solving its ``MinEnergy`` gadget exactly.
+
+    Returns ``True`` iff a subset of ``values`` sums to exactly half of the
+    total.  Uses the exact chain dynamic program, falling back to branch and
+    bound if the chain structure check ever fails.
+    """
+    from repro.discrete.exact import solve_discrete_exact
+    from repro.discrete.pareto_dp import solve_chain_discrete_exact
+
+    problem, budget = two_partition_gadget(values)
+    try:
+        solution = solve_chain_discrete_exact(problem)
+    except InvalidGraphError:
+        solution = solve_discrete_exact(problem, max_nodes=max_nodes)
+    except InfeasibleProblemError:
+        return False
+    return leq_with_tol(solution.energy, budget, rel_tol=1e-12, abs_tol=1e-6)

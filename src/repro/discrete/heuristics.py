@@ -1,0 +1,149 @@
+"""Polynomial heuristics for the Discrete (and Incremental) models.
+
+Because the exact problem is NP-complete (Theorem 4), practical instances
+are solved by heuristics with a-posteriori quality certificates:
+
+* :func:`solve_discrete_round_up` — solve the Continuous relaxation (with
+  ``s_max`` equal to the fastest mode) and round every ideal speed **up** to
+  the next available mode.  Rounding up only shrinks durations, so the
+  assignment stays feasible; this is the construction behind Theorem 5 and
+  Proposition 1, and its energy is within ``(1 + gap / s)**(alpha-1)`` of
+  the Continuous lower bound, where ``gap`` is the mode gap used for each
+  task;
+* :func:`solve_discrete_greedy_reclaim` — start from the fastest mode
+  everywhere and greedily lower the mode of whichever task yields the
+  largest energy saving while the ASAP schedule still meets the deadline
+  (the classical slack-reclamation loop);
+* :func:`solve_discrete_best_heuristic` — run both and keep the better one.
+
+Every returned solution carries the Continuous optimum as ``lower_bound``,
+so callers can report optimality gaps without solving the NP-hard problem.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import ContinuousModel, DiscreteModel, IncrementalModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import SpeedAssignment, Solution, compute_schedule, make_solution
+from repro.utils.errors import InvalidModelError
+from repro.utils.numerics import leq_with_tol
+
+
+def _require_mode_model(problem: MinEnergyProblem) -> DiscreteModel | IncrementalModel:
+    model = problem.model
+    if not isinstance(model, (DiscreteModel, IncrementalModel)):
+        raise InvalidModelError(
+            f"expected a Discrete or Incremental model, got {model.name}"
+        )
+    return model
+
+
+def solve_discrete_round_up(problem: MinEnergyProblem) -> Solution:
+    """Round the Continuous optimum up to the next available mode.
+
+    Feasibility: each task's duration can only decrease when its speed is
+    rounded up, and the Continuous solution met every constraint, so the
+    rounded assignment does too.
+    """
+    from repro.continuous.solve import solve_continuous
+
+    model = _require_mode_model(problem)
+    problem.ensure_feasible()
+    relaxed = problem.with_model(ContinuousModel(s_max=model.max_speed))
+    continuous = solve_continuous(relaxed)
+    ideal = continuous.speeds()
+
+    speeds: dict[str, float] = {}
+    for name in problem.graph.task_names():
+        target = max(ideal[name], model.min_speed)
+        speeds[name] = model.round_up(min(target, model.max_speed))
+    assignment = SpeedAssignment(speeds)
+    return make_solution(
+        problem, assignment, solver="discrete-round-up", optimal=False,
+        lower_bound=continuous.energy,
+        metadata={"continuous_solver": continuous.solver},
+    )
+
+
+def solve_discrete_greedy_reclaim(problem: MinEnergyProblem, *,
+                                  max_passes: int | None = None) -> Solution:
+    """Greedy slack reclamation: lower one task's mode at a time.
+
+    Starting from every task at the fastest mode, each step evaluates, for
+    every task not already at the slowest mode, the energy saved by dropping
+    it to the next slower mode; the feasible move with the largest saving is
+    applied.  The loop stops when no single-task move is feasible.
+
+    Parameters
+    ----------
+    max_passes:
+        Optional cap on the number of applied moves (defaults to
+        ``n_tasks * n_modes``, which is an upper bound on the number of
+        possible downgrades).
+
+    Notes
+    -----
+    The attached ``lower_bound`` is the cheap critical-path/load bound, not
+    the full Continuous optimum (which the round-up heuristic already
+    computes); callers that want the tight bound should use
+    :func:`repro.continuous.bounds.continuous_lower_bound` directly.
+    """
+    from repro.continuous.bounds import critical_path_lower_bound
+
+    model = _require_mode_model(problem)
+    problem.ensure_feasible()
+    graph = problem.graph
+    modes = list(model.modes)
+    mode_index = {m: i for i, m in enumerate(modes)}
+    power = problem.power
+    deadline = problem.deadline
+
+    current = {n: modes[-1] for n in graph.task_names()}
+    if max_passes is None:
+        max_passes = graph.n_tasks * len(modes)
+
+    def is_feasible(speeds: dict[str, float]) -> bool:
+        durations = {n: graph.work(n) / speeds[n] for n in graph.task_names()}
+        return leq_with_tol(compute_schedule(graph, durations).makespan, deadline)
+
+    applied = 0
+    while applied < max_passes:
+        best_task: str | None = None
+        best_saving = 0.0
+        best_new_mode = 0.0
+        for name in graph.task_names():
+            idx = mode_index[current[name]]
+            if idx == 0:
+                continue
+            new_mode = modes[idx - 1]
+            saving = (power.energy_for_work(graph.work(name), current[name])
+                      - power.energy_for_work(graph.work(name), new_mode))
+            if saving <= best_saving:
+                continue
+            trial = dict(current)
+            trial[name] = new_mode
+            if is_feasible(trial):
+                best_task = name
+                best_saving = saving
+                best_new_mode = new_mode
+        if best_task is None:
+            break
+        current[best_task] = best_new_mode
+        applied += 1
+
+    assignment = SpeedAssignment(current)
+    lower = critical_path_lower_bound(problem)
+    return make_solution(
+        problem, assignment, solver="discrete-greedy-reclaim", optimal=False,
+        lower_bound=lower, metadata={"moves_applied": applied},
+    )
+
+
+def solve_discrete_best_heuristic(problem: MinEnergyProblem) -> Solution:
+    """Run both heuristics and return the one with the lower energy."""
+    round_up = solve_discrete_round_up(problem)
+    greedy = solve_discrete_greedy_reclaim(problem)
+    best = round_up if round_up.energy <= greedy.energy else greedy
+    best.metadata["round_up_energy"] = round_up.energy
+    best.metadata["greedy_energy"] = greedy.energy
+    return best

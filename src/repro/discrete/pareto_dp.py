@@ -1,0 +1,164 @@
+"""Exact dynamic programs for special Discrete-model structures.
+
+Two structures admit exact algorithms that are much faster than general
+branch and bound in practice:
+
+* **independent tasks** (no edges): each task only has to finish by the
+  deadline on its own, so the optimal mode is simply the slowest mode fast
+  enough, chosen independently per task;
+* **chains** (a single processor executing a sequence): the instance is a
+  multiple-choice knapsack.  We solve it exactly by sweeping the chain and
+  maintaining the Pareto front of ``(total time, total energy)`` states —
+  a state is kept only if no other state is both faster and cheaper.  The
+  front's size is bounded by the number of distinct achievable times, which
+  stays small for the mode counts used in the experiments (the worst case
+  remains exponential, as it must be for an NP-complete problem).
+"""
+
+from __future__ import annotations
+
+from repro.core.models import DiscreteModel, IncrementalModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import SpeedAssignment, Solution, make_solution
+from repro.graphs.analysis import topological_order
+from repro.utils.errors import InfeasibleProblemError, InvalidGraphError, InvalidModelError
+from repro.utils.numerics import leq_with_tol
+
+
+def _require_mode_model(problem: MinEnergyProblem) -> tuple[float, ...]:
+    model = problem.model
+    if not isinstance(model, (DiscreteModel, IncrementalModel)):
+        raise InvalidModelError(
+            f"expected a Discrete or Incremental model, got {model.name}"
+        )
+    return model.modes
+
+
+def solve_independent_discrete_exact(problem: MinEnergyProblem) -> Solution:
+    """Optimal Discrete solution when the execution graph has no edges.
+
+    Every task independently picks the slowest mode that meets the deadline.
+
+    Raises
+    ------
+    InvalidGraphError
+        If the graph has at least one edge.
+    InfeasibleProblemError
+        If some task cannot meet the deadline even at the fastest mode.
+    """
+    graph = problem.graph
+    if graph.n_edges != 0:
+        raise InvalidGraphError(
+            "solve_independent_discrete_exact requires a graph without edges"
+        )
+    modes = _require_mode_model(problem)
+    deadline = problem.deadline
+    speeds: dict[str, float] = {}
+    for name in graph.task_names():
+        work = graph.work(name)
+        chosen = None
+        for mode in modes:  # ascending: first feasible is the cheapest
+            if leq_with_tol(work / mode, deadline):
+                chosen = mode
+                break
+        if chosen is None:
+            raise InfeasibleProblemError(
+                f"task {name!r} cannot meet the deadline even at the fastest mode"
+            )
+        speeds[name] = chosen
+    assignment = SpeedAssignment(speeds)
+    return make_solution(problem, assignment, solver="discrete-independent-exact",
+                         optimal=True)
+
+
+def _chain_order(graph) -> list[str]:
+    """Topological order of a chain graph; raises if the graph is not a chain."""
+    if graph.n_tasks == 0:
+        raise InvalidGraphError("empty graph")
+    if graph.n_edges != graph.n_tasks - 1:
+        raise InvalidGraphError("graph is not a chain (wrong edge count)")
+    for n in graph.task_names():
+        if graph.in_degree(n) > 1 or graph.out_degree(n) > 1:
+            raise InvalidGraphError(f"task {n!r} breaks the chain structure")
+    order = topological_order(graph)
+    for a, b in zip(order, order[1:]):
+        if not graph.has_edge(a, b):
+            raise InvalidGraphError("graph is not a single connected chain")
+    return order
+
+
+def solve_chain_discrete_exact(problem: MinEnergyProblem, *,
+                               max_states: int = 2_000_000) -> Solution:
+    """Optimal Discrete solution for a chain via Pareto-front dynamic programming.
+
+    Parameters
+    ----------
+    problem:
+        The instance; its graph must be a chain.
+    max_states:
+        Safety cap on the total number of Pareto states kept across the
+        sweep; exceeding it raises :class:`InvalidModelError` (the instance
+        has too many modes/tasks for the exact DP).
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the chain cannot meet the deadline at the fastest mode.
+    """
+    graph = problem.graph
+    order = _chain_order(graph)
+    modes = _require_mode_model(problem)
+    problem.ensure_feasible()
+    deadline = problem.deadline
+    power = problem.power
+
+    # state: (time, energy, parent_state_index, mode_chosen)
+    # front holds non-dominated states for the processed prefix
+    front: list[tuple[float, float, int, float]] = [(0.0, 0.0, -1, 0.0)]
+    history: list[list[tuple[float, float, int, float]]] = []
+    total_states = 0
+
+    for task in order:
+        work = graph.work(task)
+        candidates: list[tuple[float, float, int, float]] = []
+        for idx, (time, energy, _parent, _mode) in enumerate(front):
+            for mode in modes:
+                new_time = time + work / mode
+                if not leq_with_tol(new_time, deadline):
+                    continue
+                new_energy = energy + power.energy_for_work(work, mode)
+                candidates.append((new_time, new_energy, idx, mode))
+        if not candidates:
+            raise InfeasibleProblemError(
+                f"no feasible mode sequence up to task {task!r} within the deadline"
+            )
+        # Pareto pruning: sort by time, keep strictly decreasing energy.
+        candidates.sort(key=lambda s: (s[0], s[1]))
+        pruned: list[tuple[float, float, int, float]] = []
+        best_energy = float("inf")
+        for state in candidates:
+            if state[1] < best_energy - 1e-15:
+                pruned.append(state)
+                best_energy = state[1]
+        history.append(front)
+        front = pruned
+        total_states += len(front)
+        if total_states > max_states:
+            raise InvalidModelError(
+                f"chain DP exceeded {max_states} Pareto states; reduce the number of "
+                "modes or use the heuristics"
+            )
+
+    # best final state = minimum energy among feasible states
+    best = min(front, key=lambda s: s[1])
+    # reconstruct the mode choices
+    speeds: dict[str, float] = {}
+    state = best
+    for level in range(len(order) - 1, -1, -1):
+        speeds[order[level]] = state[3]
+        parent_front = history[level]
+        state = parent_front[state[2]]
+    assignment = SpeedAssignment(speeds)
+    return make_solution(problem, assignment, solver="discrete-chain-pareto-dp",
+                         optimal=True,
+                         metadata={"pareto_states": total_states})

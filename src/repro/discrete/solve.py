@@ -1,0 +1,72 @@
+"""Dispatching solver for the Discrete model.
+
+``solve_discrete`` picks a method appropriate for the instance size:
+
+* edge-free graphs — the per-task exact rule;
+* chains — the exact Pareto-front dynamic program;
+* small general graphs (``n <= exact_threshold``) — exact branch and bound;
+* everything else — the better of the two polynomial heuristics, with the
+  Continuous optimum attached as a lower bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import DiscreteModel, IncrementalModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import Solution
+from repro.discrete.exact import solve_discrete_exact
+from repro.discrete.heuristics import solve_discrete_best_heuristic
+from repro.discrete.pareto_dp import (
+    solve_chain_discrete_exact,
+    solve_independent_discrete_exact,
+)
+from repro.utils.errors import InvalidGraphError, InvalidModelError, SolverError
+
+
+def solve_discrete(problem: MinEnergyProblem, *, exact: bool | None = None,
+                   exact_threshold: int = 14,
+                   max_nodes: int = 2_000_000) -> Solution:
+    """Solve a Discrete-model instance.
+
+    Parameters
+    ----------
+    problem:
+        The instance; its model must be Discrete or Incremental.
+    exact:
+        Force exact (``True``) or heuristic (``False``) resolution;
+        ``None`` (default) chooses automatically based on structure and
+        size.
+    exact_threshold:
+        Maximum task count for which the automatic mode attempts exact
+        branch and bound on general graphs.
+    max_nodes:
+        Node cap for branch and bound.
+    """
+    model = problem.model
+    if not isinstance(model, (DiscreteModel, IncrementalModel)):
+        raise InvalidModelError(
+            f"solve_discrete expects a Discrete or Incremental model, got {model.name}"
+        )
+    problem.ensure_feasible()
+    graph = problem.graph
+
+    if exact is False:
+        return solve_discrete_best_heuristic(problem)
+
+    # structure-specific exact algorithms (cheap, always worth trying)
+    if graph.n_edges == 0:
+        return solve_independent_discrete_exact(problem)
+    try:
+        return solve_chain_discrete_exact(problem)
+    except InvalidGraphError:
+        pass
+
+    if exact is True:
+        return solve_discrete_exact(problem, max_nodes=max_nodes)
+
+    if graph.n_tasks <= exact_threshold:
+        try:
+            return solve_discrete_exact(problem, max_nodes=max_nodes)
+        except SolverError:
+            pass
+    return solve_discrete_best_heuristic(problem)

@@ -1,0 +1,55 @@
+"""Experiment harness.
+
+The brief announcement contains no tables or figures, so the harness does
+two things (see DESIGN.md, section 4):
+
+1. it validates every theorem of the paper numerically (experiments E1-E5);
+2. it regenerates the *shape* of the companion-report-style simulation
+   study comparing the energy models (experiments E6-E10): energy ratios
+   against the Continuous lower bound as functions of the number of modes,
+   the deadline tightness, the graph class, and the gain over the
+   no-reclamation baseline.
+
+Each experiment has a driver function returning a
+:class:`repro.utils.tables.Table`; the ``benchmarks/`` directory wraps each
+driver in a pytest-benchmark target and prints the table, and
+``EXPERIMENTS.md`` records the measured outcomes.
+"""
+
+from repro.experiments.workloads import (
+    WorkloadSpec,
+    make_workload,
+    workload_ensemble,
+    standard_mode_sets,
+)
+from repro.experiments.drivers import (
+    experiment_e1_fork_closed_form,
+    experiment_e2_tree_sp,
+    experiment_e3_vdd_lp,
+    experiment_e4_discrete_exact,
+    experiment_e5_incremental_approx,
+    experiment_e6_modes_sweep,
+    experiment_e7_deadline_sweep,
+    experiment_e8_graph_classes,
+    experiment_e9_reclaiming_gain,
+    experiment_e10_scalability,
+    EXPERIMENT_REGISTRY,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "make_workload",
+    "workload_ensemble",
+    "standard_mode_sets",
+    "experiment_e1_fork_closed_form",
+    "experiment_e2_tree_sp",
+    "experiment_e3_vdd_lp",
+    "experiment_e4_discrete_exact",
+    "experiment_e5_incremental_approx",
+    "experiment_e6_modes_sweep",
+    "experiment_e7_deadline_sweep",
+    "experiment_e8_graph_classes",
+    "experiment_e9_reclaiming_gain",
+    "experiment_e10_scalability",
+    "EXPERIMENT_REGISTRY",
+]

@@ -1,0 +1,357 @@
+"""Synthetic task-graph generators.
+
+The paper motivates the problem with pre-allocated legacy applications; no
+public traces ship with it, so the evaluation harness (like the companion
+research report) relies on synthetic graph families.  Each generator below
+produces one of the structural classes the algorithms are sensitive to:
+
+* ``chain``            — a single sequential dependence chain,
+* ``fork`` / ``join``  — the graphs of Theorem 1 (one source fanning out /
+                          one sink fanning in),
+* ``fork_join``        — a source, ``n`` parallel tasks, a sink,
+* ``random_tree``      — out-trees (and in-trees via ``reverse``) covered by
+                          Theorem 2,
+* ``random_series_parallel`` — nested series/parallel compositions covered
+                          by Theorem 2,
+* ``layered_dag``      — random layered DAGs (the classic workload of
+                          scheduling simulation studies),
+* ``erdos_dag``        — a DAG obtained by orienting an Erdős–Rényi graph
+                          along a random permutation,
+* ``diamond``          — a 2-D pipeline / wavefront dependency structure.
+
+Task works are drawn from a configurable distribution (uniform by default)
+so the weight heterogeneity the closed forms depend on is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.graphs.taskgraph import Task, TaskGraph
+from repro.utils.errors import InvalidGraphError
+from repro.utils.rng import RngLike, make_rng
+
+WorkSampler = Callable[[np.random.Generator], float]
+
+
+def uniform_works(low: float = 1.0, high: float = 10.0) -> WorkSampler:
+    """Return a sampler drawing works uniformly from ``[low, high]``."""
+    if not (0 < low <= high):
+        raise InvalidGraphError("uniform work bounds must satisfy 0 < low <= high")
+    return lambda rng: float(rng.uniform(low, high))
+
+
+def lognormal_works(mean: float = 1.0, sigma: float = 0.5) -> WorkSampler:
+    """Return a sampler drawing works from a log-normal distribution."""
+    if sigma < 0:
+        raise InvalidGraphError("sigma must be non-negative")
+    return lambda rng: float(np.exp(rng.normal(np.log(mean), sigma)))
+
+
+def constant_works(value: float = 1.0) -> WorkSampler:
+    """Return a sampler producing the constant work ``value``."""
+    if value <= 0:
+        raise InvalidGraphError("constant work must be strictly positive")
+    return lambda rng: value
+
+
+def _sample_works(rng: np.random.Generator, count: int,
+                  sampler: WorkSampler | None) -> list[float]:
+    sampler = sampler or uniform_works()
+    return [sampler(rng) for _ in range(count)]
+
+
+# --------------------------------------------------------------------------- #
+# deterministic structures
+# --------------------------------------------------------------------------- #
+def chain(n: int, *, works: list[float] | None = None, seed: RngLike = None,
+          work_sampler: WorkSampler | None = None, name: str = "chain") -> TaskGraph:
+    """A chain ``T1 -> T2 -> ... -> Tn``."""
+    if n < 1:
+        raise InvalidGraphError("a chain needs at least one task")
+    rng = make_rng(seed)
+    w = works if works is not None else _sample_works(rng, n, work_sampler)
+    if len(w) != n:
+        raise InvalidGraphError(f"expected {n} works, got {len(w)}")
+    g = TaskGraph(name=name)
+    for i in range(n):
+        g.add_task(Task(f"T{i + 1}", float(w[i])))
+    for i in range(1, n):
+        g.add_edge(f"T{i}", f"T{i + 1}")
+    return g
+
+
+def fork(n: int, *, source_work: float | None = None,
+         works: list[float] | None = None, seed: RngLike = None,
+         work_sampler: WorkSampler | None = None, name: str = "fork") -> TaskGraph:
+    """A fork graph: source ``T0`` preceding ``n`` independent tasks.
+
+    This is the graph of Theorem 1 of the paper; the closed-form optimal
+    speeds under the Continuous model live in
+    :func:`repro.continuous.fork.solve_fork`.
+    """
+    if n < 1:
+        raise InvalidGraphError("a fork needs at least one leaf task")
+    rng = make_rng(seed)
+    leaf_works = works if works is not None else _sample_works(rng, n, work_sampler)
+    if len(leaf_works) != n:
+        raise InvalidGraphError(f"expected {n} leaf works, got {len(leaf_works)}")
+    if source_work is None:
+        source_work = _sample_works(rng, 1, work_sampler)[0]
+    g = TaskGraph(name=name)
+    g.add_task(Task("T0", float(source_work)))
+    for i in range(n):
+        g.add_task(Task(f"T{i + 1}", float(leaf_works[i])))
+        g.add_edge("T0", f"T{i + 1}")
+    return g
+
+
+def join(n: int, *, sink_work: float | None = None,
+         works: list[float] | None = None, seed: RngLike = None,
+         work_sampler: WorkSampler | None = None, name: str = "join") -> TaskGraph:
+    """A join graph: ``n`` independent tasks all preceding a sink ``T0``.
+
+    By symmetry (time reversal) the optimal Continuous speeds are the same
+    as for the fork with identical weights.
+    """
+    g = fork(n, source_work=sink_work, works=works, seed=seed,
+             work_sampler=work_sampler, name=name)
+    reversed_g = TaskGraph(name=name)
+    for t in g.tasks():
+        reversed_g.add_task(t)
+    for u, v in g.edges():
+        reversed_g.add_edge(v, u)
+    return reversed_g
+
+
+def fork_join(n: int, *, source_work: float | None = None,
+              sink_work: float | None = None, works: list[float] | None = None,
+              seed: RngLike = None, work_sampler: WorkSampler | None = None,
+              name: str = "fork-join") -> TaskGraph:
+    """Source, ``n`` parallel tasks, sink — the basic bulk-synchronous kernel."""
+    if n < 1:
+        raise InvalidGraphError("a fork-join needs at least one middle task")
+    rng = make_rng(seed)
+    mid = works if works is not None else _sample_works(rng, n, work_sampler)
+    if len(mid) != n:
+        raise InvalidGraphError(f"expected {n} middle works, got {len(mid)}")
+    if source_work is None:
+        source_work = _sample_works(rng, 1, work_sampler)[0]
+    if sink_work is None:
+        sink_work = _sample_works(rng, 1, work_sampler)[0]
+    g = TaskGraph(name=name)
+    g.add_task(Task("src", float(source_work)))
+    g.add_task(Task("snk", float(sink_work)))
+    for i in range(n):
+        tname = f"T{i + 1}"
+        g.add_task(Task(tname, float(mid[i])))
+        g.add_edge("src", tname)
+        g.add_edge(tname, "snk")
+    return g
+
+
+def diamond(rows: int, cols: int, *, seed: RngLike = None,
+            work_sampler: WorkSampler | None = None,
+            name: str = "diamond") -> TaskGraph:
+    """A 2-D wavefront: task ``(i, j)`` depends on ``(i-1, j)`` and ``(i, j-1)``.
+
+    This is the dependence structure of dynamic-programming sweeps and
+    stencil pipelines; it is neither a tree nor series-parallel, so it
+    exercises the general convex solver.
+    """
+    if rows < 1 or cols < 1:
+        raise InvalidGraphError("diamond dimensions must be positive")
+    rng = make_rng(seed)
+    g = TaskGraph(name=name)
+    sampler = work_sampler or uniform_works()
+    for i in range(rows):
+        for j in range(cols):
+            g.add_task(Task(f"T{i}_{j}", sampler(rng)))
+    for i in range(rows):
+        for j in range(cols):
+            if i + 1 < rows:
+                g.add_edge(f"T{i}_{j}", f"T{i + 1}_{j}")
+            if j + 1 < cols:
+                g.add_edge(f"T{i}_{j}", f"T{i}_{j + 1}")
+    return g
+
+
+# --------------------------------------------------------------------------- #
+# random structures
+# --------------------------------------------------------------------------- #
+def random_tree(n: int, *, seed: RngLike = None, max_children: int = 4,
+                work_sampler: WorkSampler | None = None,
+                direction: str = "out", name: str = "tree") -> TaskGraph:
+    """A random rooted tree with ``n`` tasks.
+
+    Parameters
+    ----------
+    direction:
+        ``"out"`` for an out-tree (edges point away from the root, the
+        structure Theorem 2 covers), ``"in"`` for an in-tree (edges point
+        towards the root).
+    max_children:
+        Upper bound on the number of children attached to any node.
+    """
+    if n < 1:
+        raise InvalidGraphError("a tree needs at least one task")
+    if direction not in ("out", "in"):
+        raise InvalidGraphError(f"direction must be 'out' or 'in', got {direction!r}")
+    if max_children < 1:
+        raise InvalidGraphError("max_children must be at least 1")
+    rng = make_rng(seed)
+    sampler = work_sampler or uniform_works()
+    g = TaskGraph(name=name)
+    g.add_task(Task("T1", sampler(rng)))
+    child_count = {0: 0}
+    for i in range(1, n):
+        # attach to a uniformly random node that still has capacity
+        candidates = [j for j in range(i) if child_count[j] < max_children]
+        parent = int(rng.choice(candidates))
+        child_count[parent] += 1
+        child_count[i] = 0
+        g.add_task(Task(f"T{i + 1}", sampler(rng)))
+        if direction == "out":
+            g.add_edge(f"T{parent + 1}", f"T{i + 1}")
+        else:
+            g.add_edge(f"T{i + 1}", f"T{parent + 1}")
+    return g
+
+
+def random_series_parallel(n: int, *, seed: RngLike = None,
+                           series_probability: float = 0.5,
+                           work_sampler: WorkSampler | None = None,
+                           name: str = "series-parallel") -> TaskGraph:
+    """A random (vertex) series-parallel task graph with ``n`` tasks.
+
+    The graph is built by recursively splitting the task budget: a budget of
+    one task yields a leaf; otherwise the budget is split in two and the
+    sub-graphs are composed either in series (every sink of the first
+    precedes every source of the second) or in parallel (disjoint union).
+    The result is series-parallel by construction and is recognised by
+    :func:`repro.graphs.sp_decomposition.is_series_parallel`.
+    """
+    if n < 1:
+        raise InvalidGraphError("need at least one task")
+    if not (0.0 <= series_probability <= 1.0):
+        raise InvalidGraphError("series_probability must be in [0, 1]")
+    rng = make_rng(seed)
+    sampler = work_sampler or uniform_works()
+    g = TaskGraph(name=name)
+    counter = {"next": 1}
+
+    def build(budget: int) -> tuple[list[str], list[str]]:
+        """Build a sub-graph with ``budget`` tasks; return (sources, sinks)."""
+        if budget == 1:
+            tname = f"T{counter['next']}"
+            counter["next"] += 1
+            g.add_task(Task(tname, sampler(rng)))
+            return [tname], [tname]
+        left_budget = int(rng.integers(1, budget))
+        right_budget = budget - left_budget
+        left_src, left_snk = build(left_budget)
+        right_src, right_snk = build(right_budget)
+        if rng.random() < series_probability:
+            for u in left_snk:
+                for v in right_src:
+                    g.add_edge(u, v)
+            return left_src, right_snk
+        return left_src + right_src, left_snk + right_snk
+
+    build(n)
+    return g
+
+
+def layered_dag(n: int, *, seed: RngLike = None, layers: int | None = None,
+                edge_probability: float = 0.3,
+                work_sampler: WorkSampler | None = None,
+                name: str = "layered-dag") -> TaskGraph:
+    """A random layered DAG with ``n`` tasks.
+
+    Tasks are spread over ``layers`` consecutive layers; each task in layer
+    ``k > 1`` receives at least one predecessor from layer ``k - 1`` and,
+    independently with probability ``edge_probability``, additional edges
+    from every task of layer ``k - 1``.  This is the standard synthetic
+    workload of DAG-scheduling simulation studies and is in general neither
+    a tree nor series-parallel.
+    """
+    if n < 1:
+        raise InvalidGraphError("need at least one task")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise InvalidGraphError("edge_probability must be in [0, 1]")
+    rng = make_rng(seed)
+    sampler = work_sampler or uniform_works()
+    if layers is None:
+        layers = max(1, int(round(np.sqrt(n))))
+    layers = min(layers, n)
+    # distribute n tasks over the layers, at least one per layer
+    sizes = [1] * layers
+    for _ in range(n - layers):
+        sizes[int(rng.integers(0, layers))] += 1
+    g = TaskGraph(name=name)
+    layer_tasks: list[list[str]] = []
+    tid = 1
+    for size in sizes:
+        current: list[str] = []
+        for _ in range(size):
+            tname = f"T{tid}"
+            tid += 1
+            g.add_task(Task(tname, sampler(rng)))
+            current.append(tname)
+        layer_tasks.append(current)
+    for k in range(1, layers):
+        prev = layer_tasks[k - 1]
+        for v in layer_tasks[k]:
+            # ensure connectivity to the previous layer
+            forced = prev[int(rng.integers(0, len(prev)))]
+            g.add_edge(forced, v)
+            for u in prev:
+                if u != forced and rng.random() < edge_probability:
+                    g.add_edge(u, v)
+    return g
+
+
+def erdos_dag(n: int, *, seed: RngLike = None, edge_probability: float = 0.15,
+              work_sampler: WorkSampler | None = None,
+              name: str = "erdos-dag") -> TaskGraph:
+    """A random DAG obtained by orienting an Erdős–Rényi graph.
+
+    Every pair ``(i, j)`` with ``i < j`` in a random permutation receives an
+    edge independently with probability ``edge_probability``; edges always
+    point from the earlier to the later task in the permutation, so the
+    result is acyclic.
+    """
+    if n < 1:
+        raise InvalidGraphError("need at least one task")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise InvalidGraphError("edge_probability must be in [0, 1]")
+    rng = make_rng(seed)
+    sampler = work_sampler or uniform_works()
+    g = TaskGraph(name=name)
+    names = [f"T{i + 1}" for i in range(n)]
+    for tname in names:
+        g.add_task(Task(tname, sampler(rng)))
+    perm = list(rng.permutation(n))
+    for a in range(n):
+        for b in range(a + 1, n):
+            if rng.random() < edge_probability:
+                g.add_edge(names[perm[a]], names[perm[b]])
+    return g
+
+
+#: Registry of graph-class constructors used by the experiment harness.
+GRAPH_CLASSES: dict[str, Callable[..., TaskGraph]] = {
+    "chain": chain,
+    "fork": fork,
+    "join": join,
+    "fork_join": fork_join,
+    "tree": random_tree,
+    "series_parallel": random_series_parallel,
+    "layered": layered_dag,
+    "erdos": erdos_dag,
+    "diamond": lambda n, **kw: diamond(max(1, int(np.sqrt(n))),
+                                       max(1, int(np.ceil(n / max(1, int(np.sqrt(n)))))),
+                                       **kw),
+}

@@ -1,0 +1,77 @@
+"""Serialisation of task graphs (JSON dictionaries and Graphviz DOT).
+
+The experiment harness stores generated workloads as JSON so that runs are
+reproducible and shareable; the DOT export is a debugging convenience for
+inspecting small graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.graphs.taskgraph import Task, TaskGraph
+from repro.utils.errors import InvalidGraphError
+
+
+def graph_to_dict(graph: TaskGraph) -> dict[str, Any]:
+    """Serialise a graph to a plain dictionary.
+
+    The format is ``{"name": ..., "tasks": {name: work, ...},
+    "edges": [[u, v], ...]}``.
+    """
+    return {
+        "name": graph.name,
+        "tasks": {t.name: t.work for t in graph.tasks()},
+        "edges": [list(e) for e in graph.edges()],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> TaskGraph:
+    """Deserialise a graph previously produced by :func:`graph_to_dict`."""
+    if "tasks" not in data:
+        raise InvalidGraphError("graph dictionary is missing the 'tasks' key")
+    graph = TaskGraph(name=str(data.get("name", "taskgraph")))
+    for name, work in data["tasks"].items():
+        graph.add_task(Task(str(name), float(work)))
+    for edge in data.get("edges", []):
+        if len(edge) != 2:
+            raise InvalidGraphError(f"malformed edge entry: {edge!r}")
+        graph.add_edge(str(edge[0]), str(edge[1]))
+    graph.validate()
+    return graph
+
+
+def graph_to_json(graph: TaskGraph, *, indent: int | None = 2) -> str:
+    """Serialise a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def graph_from_json(text: str) -> TaskGraph:
+    """Deserialise a graph from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidGraphError(f"invalid JSON: {exc}") from exc
+    return graph_from_dict(data)
+
+
+def graph_to_dot(graph: TaskGraph, *, label_work: bool = True) -> str:
+    """Render the graph as Graphviz DOT text.
+
+    Parameters
+    ----------
+    label_work:
+        When true (default), node labels include the task work.
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=LR;"]
+    for t in graph.tasks():
+        if label_work:
+            label = f"{t.name}\\nw={t.work:g}"
+        else:
+            label = t.name
+        lines.append(f'  "{t.name}" [label="{label}"];')
+    for u, v in graph.edges():
+        lines.append(f'  "{u}" -> "{v}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

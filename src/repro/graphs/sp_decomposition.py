@@ -1,0 +1,221 @@
+"""Series-parallel recognition and decomposition of task graphs.
+
+Theorem 2 of the paper states that ``MinEnergy(G, D)`` is polynomial for
+trees and series-parallel graphs under the Continuous model.  The algorithm
+(see :mod:`repro.continuous.series_parallel`) works on a *decomposition
+tree* whose leaves are tasks and whose internal nodes are series or parallel
+compositions.  This module builds that tree.
+
+Definition used here (task/vertex series-parallel, "SP-decomposable"):
+
+* a single task is SP-decomposable;
+* the *parallel composition* of SP-decomposable graphs (disjoint union,
+  no cross edges) is SP-decomposable;
+* the *series composition* ``A ; B`` of SP-decomposable graphs is
+  SP-decomposable, where every task of ``A`` transitively precedes every
+  task of ``B``.
+
+The series criterion is slightly more permissive than "all sinks of ``A``
+have a direct edge to all sources of ``B``": it only requires the pair to be
+*time-separable* (``A x B`` contained in the transitive closure), which is
+exactly the property the energy argument needs — in any feasible schedule
+all of ``A`` finishes before any of ``B`` starts, so the deadline can be
+split between the two blocks.  Every graph produced by
+:func:`repro.graphs.generators.random_series_parallel`, every chain, every
+fork/join, and every in/out-tree is SP-decomposable in this sense; wavefront
+(diamond) graphs and general layered DAGs typically are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.graphs.analysis import descendants
+from repro.graphs.taskgraph import TaskGraph
+from repro.utils.errors import InvalidGraphError
+
+
+class NotSeriesParallelError(InvalidGraphError):
+    """Raised when a graph cannot be decomposed into series/parallel blocks."""
+
+
+@dataclass
+class SPNode:
+    """Base class of decomposition-tree nodes."""
+
+    def leaves(self) -> list[str]:
+        """Names of the tasks below this node (in deterministic order)."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of task leaves below this node."""
+        return len(self.leaves())
+
+
+@dataclass
+class SPLeaf(SPNode):
+    """A single task."""
+
+    task: str
+    work: float
+
+    def leaves(self) -> list[str]:
+        return [self.task]
+
+
+@dataclass
+class SPSeries(SPNode):
+    """A series composition: children execute strictly one after another."""
+
+    children: list[SPNode] = field(default_factory=list)
+
+    def leaves(self) -> list[str]:
+        out: list[str] = []
+        for c in self.children:
+            out.extend(c.leaves())
+        return out
+
+
+@dataclass
+class SPParallel(SPNode):
+    """A parallel composition: children execute independently within the same window."""
+
+    children: list[SPNode] = field(default_factory=list)
+
+    def leaves(self) -> list[str]:
+        out: list[str] = []
+        for c in self.children:
+            out.extend(c.leaves())
+        return out
+
+
+def _weak_components(graph: TaskGraph, nodes: list[str]) -> list[list[str]]:
+    """Weakly connected components of the sub-poset induced by ``nodes``."""
+    node_set = set(nodes)
+    seen: set[str] = set()
+    components: list[list[str]] = []
+    for start in nodes:
+        if start in seen:
+            continue
+        comp: list[str] = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            u = stack.pop()
+            comp.append(u)
+            for v in graph.successors(u) + graph.predecessors(u):
+                if v in node_set and v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        components.append(sorted(comp))
+    return components
+
+
+def _series_blocks(
+    nodes: list[str], closure: dict[str, set[str]]
+) -> list[list[str]] | None:
+    """Split ``nodes`` into the finest chain of series blocks, or ``None``.
+
+    A valid boundary after position ``k`` (in an order sorted by descendant
+    count within the block) requires every task of the prefix to transitively
+    precede every task of the suffix.  All valid boundaries are found, which
+    yields the finest ordinal-sum decomposition; ``None`` is returned when no
+    boundary exists (the block is series-irreducible).
+    """
+    node_set = set(nodes)
+    n = len(nodes)
+    if n < 2:
+        return None
+    # descendant counts restricted to this block
+    desc_in = {u: len(closure[u] & node_set) for u in nodes}
+    # Sort so that potential "earlier" tasks (more in-block descendants) come
+    # first; ties broken by name for determinism.
+    ordered = sorted(nodes, key=lambda u: (-desc_in[u], u))
+    blocks: list[list[str]] = []
+    current: list[str] = []
+    remaining = set(nodes)
+    for idx, u in enumerate(ordered):
+        current.append(u)
+        remaining.discard(u)
+        if not remaining:
+            blocks.append(current)
+            current = []
+            break
+        # valid boundary iff every task of the prefix precedes every
+        # remaining task
+        if all(remaining <= (closure[v] & node_set) for v in current):
+            blocks.append(current)
+            current = []
+    if current:
+        # ordered exhausted without closing the final block -- cannot happen
+        # because the last boundary (remaining empty) always closes it
+        blocks.append(current)
+    if len(blocks) < 2:
+        return None
+    return blocks
+
+
+def sp_decompose(graph: TaskGraph) -> SPNode:
+    """Decompose ``graph`` into a series-parallel tree.
+
+    Returns
+    -------
+    SPNode
+        The root of the decomposition tree.
+
+    Raises
+    ------
+    NotSeriesParallelError
+        If the graph is not SP-decomposable.
+    InvalidGraphError
+        If the graph is not a DAG.
+    """
+    graph.validate()
+    if graph.n_tasks == 0:
+        raise InvalidGraphError("cannot decompose an empty graph")
+    closure = {u: descendants(graph, u) for u in graph.task_names()}
+
+    def recurse(nodes: list[str]) -> SPNode:
+        if len(nodes) == 1:
+            name = nodes[0]
+            return SPLeaf(task=name, work=graph.work(name))
+        components = _weak_components(graph, nodes)
+        if len(components) > 1:
+            return SPParallel(children=[recurse(c) for c in components])
+        blocks = _series_blocks(nodes, closure)
+        if blocks is None:
+            raise NotSeriesParallelError(
+                f"graph {graph.name!r} is not series-parallel: block "
+                f"{sorted(nodes)[:6]}{'...' if len(nodes) > 6 else ''} is "
+                "connected but admits no series cut"
+            )
+        return SPSeries(children=[recurse(b) for b in blocks])
+
+    return recurse(graph.task_names())
+
+
+def is_series_parallel(graph: TaskGraph) -> bool:
+    """Whether the graph is SP-decomposable (see module docstring)."""
+    try:
+        sp_decompose(graph)
+    except NotSeriesParallelError:
+        return False
+    return True
+
+
+def sp_tree_depth(node: SPNode) -> int:
+    """Depth of a decomposition tree (a leaf has depth 1)."""
+    if isinstance(node, SPLeaf):
+        return 1
+    children = node.children  # type: ignore[union-attr]
+    return 1 + max(sp_tree_depth(c) for c in children)
+
+
+def iter_leaves(node: SPNode) -> Iterable[SPLeaf]:
+    """Iterate over the task leaves of a decomposition tree."""
+    if isinstance(node, SPLeaf):
+        yield node
+        return
+    for child in node.children:  # type: ignore[union-attr]
+        yield from iter_leaves(child)

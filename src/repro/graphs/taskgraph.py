@@ -1,0 +1,324 @@
+"""Core task-graph data structures.
+
+The paper's application model is a directed acyclic graph ``G = (V, E)``
+whose vertices are tasks ``T_1 .. T_n`` with strictly positive costs
+``w_i`` (the amount of work; at speed ``s`` the task runs for ``w_i / s``
+time units).  :class:`TaskGraph` is the single container used throughout the
+library for both the application graph ``G`` and the execution graph 𝒢
+obtained after mapping (the latter simply carries extra "processor" edges
+and is represented by :class:`repro.mapping.execution_graph.ExecutionGraph`,
+which wraps a ``TaskGraph``).
+
+The implementation deliberately avoids depending on :mod:`networkx` for the
+core container (adjacency is kept in plain dictionaries) so that the hot
+paths of the solvers work on simple, predictable structures; conversion
+helpers to/from networkx are provided for interoperability and for reusing
+its generators in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.utils.errors import InvalidGraphError
+
+
+@dataclass(frozen=True)
+class Task:
+    """A single task of the application graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within its graph.
+    work:
+        Cost ``w_i`` of the task, in work units (strictly positive).  At
+        speed ``s`` the execution time is ``work / s`` and the consumed
+        dynamic energy is ``s**3 * (work / s) = work * s**2`` under the cubic
+        power law.
+    """
+
+    name: str
+    work: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise InvalidGraphError(f"task name must be a non-empty string, got {self.name!r}")
+        if not (self.work > 0) or not (self.work < float("inf")):
+            raise InvalidGraphError(
+                f"task {self.name!r} must have a finite, strictly positive work, got {self.work}"
+            )
+
+
+class TaskGraph:
+    """A directed acyclic graph of :class:`Task` objects.
+
+    The class maintains predecessor and successor adjacency maps and checks
+    acyclicity lazily (on :meth:`validate` and on the analysis functions that
+    need a topological order).
+
+    Parameters
+    ----------
+    tasks:
+        Iterable of :class:`Task` (or ``(name, work)`` pairs).
+    edges:
+        Iterable of ``(source_name, target_name)`` precedence pairs meaning
+        *source must complete before target starts*.
+    name:
+        Optional display name of the graph.
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[Task | tuple[str, float]] = (),
+        edges: Iterable[tuple[str, str]] = (),
+        *,
+        name: str = "taskgraph",
+    ) -> None:
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        self._succ: dict[str, set[str]] = {}
+        self._pred: dict[str, set[str]] = {}
+        for t in tasks:
+            if isinstance(t, tuple):
+                t = Task(t[0], float(t[1]))
+            self.add_task(t)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_task(self, task: Task | str, work: float | None = None) -> Task:
+        """Add a task; returns the stored :class:`Task`.
+
+        Accepts either a :class:`Task` instance or a ``name`` plus ``work``.
+        """
+        if isinstance(task, str):
+            if work is None:
+                raise InvalidGraphError("work must be provided when adding a task by name")
+            task = Task(task, float(work))
+        if task.name in self._tasks:
+            raise InvalidGraphError(f"duplicate task name {task.name!r}")
+        self._tasks[task.name] = task
+        self._succ[task.name] = set()
+        self._pred[task.name] = set()
+        return task
+
+    def add_edge(self, source: str, target: str) -> None:
+        """Add the precedence edge ``source -> target``."""
+        if source not in self._tasks:
+            raise InvalidGraphError(f"unknown source task {source!r}")
+        if target not in self._tasks:
+            raise InvalidGraphError(f"unknown target task {target!r}")
+        if source == target:
+            raise InvalidGraphError(f"self-loop on task {source!r}")
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+
+    def remove_edge(self, source: str, target: str) -> None:
+        """Remove the precedence edge ``source -> target`` (must exist)."""
+        try:
+            self._succ[source].remove(target)
+            self._pred[target].remove(source)
+        except KeyError as exc:
+            raise InvalidGraphError(f"edge {source!r} -> {target!r} does not exist") from exc
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks."""
+        return len(self._tasks)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of precedence edges."""
+        return sum(len(s) for s in self._succ.values())
+
+    def tasks(self) -> list[Task]:
+        """All tasks, in insertion order."""
+        return list(self._tasks.values())
+
+    def task_names(self) -> list[str]:
+        """All task names, in insertion order."""
+        return list(self._tasks.keys())
+
+    def task(self, name: str) -> Task:
+        """Return the task with the given name."""
+        try:
+            return self._tasks[name]
+        except KeyError as exc:
+            raise InvalidGraphError(f"unknown task {name!r}") from exc
+
+    def work(self, name: str) -> float:
+        """Return the work ``w_i`` of a task."""
+        return self.task(name).work
+
+    def works(self) -> dict[str, float]:
+        """Mapping of task name to work."""
+        return {name: t.work for name, t in self._tasks.items()}
+
+    def total_work(self) -> float:
+        """Sum of all task works."""
+        return sum(t.work for t in self._tasks.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """Whether the precedence edge ``source -> target`` exists."""
+        return target in self._succ.get(source, set())
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All edges as ``(source, target)`` pairs (deterministic order)."""
+        out: list[tuple[str, str]] = []
+        for u in self._tasks:
+            for v in sorted(self._succ[u]):
+                out.append((u, v))
+        return out
+
+    def successors(self, name: str) -> list[str]:
+        """Immediate successors of a task (sorted for determinism)."""
+        if name not in self._tasks:
+            raise InvalidGraphError(f"unknown task {name!r}")
+        return sorted(self._succ[name])
+
+    def predecessors(self, name: str) -> list[str]:
+        """Immediate predecessors of a task (sorted for determinism)."""
+        if name not in self._tasks:
+            raise InvalidGraphError(f"unknown task {name!r}")
+        return sorted(self._pred[name])
+
+    def sources(self) -> list[str]:
+        """Tasks with no predecessor, in insertion order."""
+        return [n for n in self._tasks if not self._pred[n]]
+
+    def sinks(self) -> list[str]:
+        """Tasks with no successor, in insertion order."""
+        return [n for n in self._tasks if not self._succ[n]]
+
+    def in_degree(self, name: str) -> int:
+        """Number of immediate predecessors."""
+        return len(self._pred[name])
+
+    def out_degree(self, name: str) -> int:
+        """Number of immediate successors."""
+        return len(self._succ[name])
+
+    # ------------------------------------------------------------------ #
+    # validation / transformation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`InvalidGraphError` if the graph is not a DAG."""
+        order = self._kahn_order()
+        if len(order) != len(self._tasks):
+            raise InvalidGraphError(
+                f"graph {self.name!r} contains a cycle "
+                f"({len(self._tasks) - len(order)} tasks unreachable in topological sort)"
+            )
+
+    def is_dag(self) -> bool:
+        """Whether the graph is acyclic."""
+        return len(self._kahn_order()) == len(self._tasks)
+
+    def _kahn_order(self) -> list[str]:
+        """Kahn's algorithm; returns a topological order of the acyclic part."""
+        indeg = {n: len(self._pred[n]) for n in self._tasks}
+        ready = [n for n in self._tasks if indeg[n] == 0]
+        order: list[str] = []
+        while ready:
+            # Pop from the end (stack order) -- deterministic given insertion
+            # order, and avoids O(n) pops from the front.
+            n = ready.pop()
+            order.append(n)
+            for m in sorted(self._succ[n]):
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    ready.append(m)
+        return order
+
+    def copy(self, *, name: str | None = None) -> "TaskGraph":
+        """Deep copy of the graph (tasks are immutable, so shared)."""
+        g = TaskGraph(name=name or self.name)
+        for t in self._tasks.values():
+            g.add_task(t)
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        return g
+
+    def with_scaled_work(self, factor: float) -> "TaskGraph":
+        """Return a copy whose task works are multiplied by ``factor``."""
+        if factor <= 0:
+            raise InvalidGraphError("scaling factor must be strictly positive")
+        g = TaskGraph(name=self.name)
+        for t in self._tasks.values():
+            g.add_task(Task(t.name, t.work * factor))
+        for u, v in self.edges():
+            g.add_edge(u, v)
+        return g
+
+    def subgraph(self, names: Iterable[str], *, name: str | None = None) -> "TaskGraph":
+        """Induced subgraph on the given task names."""
+        keep = set(names)
+        unknown = keep - set(self._tasks)
+        if unknown:
+            raise InvalidGraphError(f"unknown tasks in subgraph request: {sorted(unknown)}")
+        g = TaskGraph(name=name or f"{self.name}-sub")
+        for n in self._tasks:
+            if n in keep:
+                g.add_task(self._tasks[n])
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # interoperability
+    # ------------------------------------------------------------------ #
+    def to_networkx(self) -> nx.DiGraph:
+        """Convert to a :class:`networkx.DiGraph` with ``work`` node attributes."""
+        g = nx.DiGraph(name=self.name)
+        for t in self._tasks.values():
+            g.add_node(t.name, work=t.work)
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g: nx.DiGraph, *, name: str | None = None,
+                      default_work: float = 1.0) -> "TaskGraph":
+        """Build a :class:`TaskGraph` from a networkx DiGraph.
+
+        Node attribute ``work`` is used when present, otherwise
+        ``default_work``.  Node identifiers are converted to strings.
+        """
+        tg = cls(name=name or (g.name or "taskgraph"))
+        for node, data in g.nodes(data=True):
+            tg.add_task(Task(str(node), float(data.get("work", default_work))))
+        for u, v in g.edges():
+            tg.add_edge(str(u), str(v))
+        return tg
+
+    @classmethod
+    def from_works(cls, works: Mapping[str, float],
+                   edges: Iterable[tuple[str, str]] = (),
+                   *, name: str = "taskgraph") -> "TaskGraph":
+        """Build a graph from a ``{name: work}`` mapping and an edge list."""
+        return cls(tasks=[Task(n, float(w)) for n, w in works.items()],
+                   edges=edges, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"TaskGraph(name={self.name!r}, n_tasks={self.n_tasks}, "
+            f"n_edges={self.n_edges})"
+        )

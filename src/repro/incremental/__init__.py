@@ -1,0 +1,36 @@
+"""Solvers and certificates for the Incremental energy model.
+
+The Incremental model restricts speeds to the regular grid
+``s_min + i * delta`` (the paper's "potentiometer knob").  ``MinEnergy`` is
+still NP-complete (Theorem 4), but Theorem 5 shows it can be approximated
+within ``(1 + delta / s_min)**2 * (1 + 1/K)**2`` in time polynomial in the
+instance size and ``K``; Proposition 1 gives the companion a-priori ratios
+with respect to the Continuous and Discrete models.
+
+This subpackage provides:
+
+* :func:`solve_incremental_approx` — the Theorem 5 algorithm: solve the
+  Continuous relaxation (to the accuracy controlled by ``K``) and round
+  every speed up to the next grid point;
+* :func:`incremental_certificate` — the a-priori and a-posteriori ratio
+  certificates of Theorem 5 / Proposition 1;
+* re-exports of the exact Discrete machinery, which applies verbatim since
+  an Incremental model is a Discrete model with a regular mode set.
+"""
+
+from repro.incremental.approx import (
+    solve_incremental_approx,
+    solve_incremental_exact,
+    incremental_certificate,
+    ApproximationCertificate,
+)
+from repro.incremental.grid import build_incremental_model, grid_from_discrete
+
+__all__ = [
+    "solve_incremental_approx",
+    "solve_incremental_exact",
+    "incremental_certificate",
+    "ApproximationCertificate",
+    "build_incremental_model",
+    "grid_from_discrete",
+]

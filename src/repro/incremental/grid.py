@@ -1,0 +1,50 @@
+"""Construction helpers for Incremental speed grids.
+
+The Incremental model is parameterised by ``(s_min, s_max, delta)``; these
+helpers build grids matching a target mode count or matching an existing
+Discrete mode set (used by Proposition 1's second bullet, which compares a
+Discrete instance against an Incremental grid whose increment equals the
+largest mode gap).
+"""
+
+from __future__ import annotations
+
+from repro.core.models import DiscreteModel, IncrementalModel
+from repro.utils.errors import InvalidModelError
+
+
+def build_incremental_model(s_min: float, s_max: float, *,
+                            delta: float | None = None,
+                            n_modes: int | None = None) -> IncrementalModel:
+    """Build an Incremental model from a speed range.
+
+    Exactly one of ``delta`` and ``n_modes`` must be given; ``n_modes``
+    chooses the increment so that the grid has that many points between
+    ``s_min`` and ``s_max`` inclusive.
+    """
+    if (delta is None) == (n_modes is None):
+        raise InvalidModelError("specify exactly one of delta and n_modes")
+    if n_modes is not None:
+        if n_modes < 1:
+            raise InvalidModelError("n_modes must be at least 1")
+        if n_modes == 1:
+            return IncrementalModel.from_range(s_min, s_min, s_min)
+        delta = (s_max - s_min) / (n_modes - 1)
+        if delta <= 0:
+            raise InvalidModelError("s_max must exceed s_min when n_modes > 1")
+    assert delta is not None
+    return IncrementalModel.from_range(s_min, s_max, delta)
+
+
+def grid_from_discrete(model: DiscreteModel) -> IncrementalModel:
+    """Incremental grid covering a Discrete mode set (Proposition 1, bullet 2).
+
+    The grid spans ``[s_1, s_m]`` with increment equal to the largest gap
+    between consecutive modes, so every Discrete mode has a grid point at or
+    below it within one increment.
+    """
+    modes = model.modes
+    if len(modes) == 1:
+        return IncrementalModel.from_range(modes[0], modes[0], modes[0])
+    gap = model.max_mode_gap()
+    return IncrementalModel.from_range(modes[0], modes[-1], gap)

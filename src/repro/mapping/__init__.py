@@ -1,0 +1,33 @@
+"""Mapping / allocation substrate.
+
+The paper assumes the mapping of the task graph onto the processors is
+*given* ("say by an ordered list of tasks to execute on each processor").
+This subpackage produces such mappings — list scheduling with critical-path
+(bottom-level) priorities, round-robin and load-balancing partitioners —
+and turns a mapping into the *execution graph* 𝒢 of the paper: the original
+precedence edges augmented with an edge between consecutive tasks of the
+same processor.
+"""
+
+from repro.mapping.execution_graph import ExecutionGraph, Mapping
+from repro.mapping.list_scheduling import (
+    list_schedule,
+    bottom_levels,
+    top_levels,
+    round_robin_mapping,
+    load_balance_mapping,
+    single_processor_mapping,
+    one_task_per_processor,
+)
+
+__all__ = [
+    "ExecutionGraph",
+    "Mapping",
+    "list_schedule",
+    "bottom_levels",
+    "top_levels",
+    "round_robin_mapping",
+    "load_balance_mapping",
+    "single_processor_mapping",
+    "one_task_per_processor",
+]

@@ -1,0 +1,148 @@
+"""Execution graphs: a task graph plus a fixed processor mapping.
+
+Given a mapping (an ordered list of tasks per processor), the *execution
+graph* 𝒢 = (V, ℰ) of the paper augments the application edges ``E`` with an
+edge between every pair of tasks executed consecutively on the same
+processor.  All solvers operate on this combined graph: the mapping itself
+is never revisited (that is the paper's central assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.graphs.analysis import topological_order
+from repro.graphs.taskgraph import TaskGraph
+from repro.utils.errors import InvalidGraphError
+
+#: A mapping is an ordered list of task names per processor index.
+Mapping = dict[int, list[str]]
+
+
+@dataclass
+class ExecutionGraph:
+    """A task graph together with an ordered per-processor task list.
+
+    Parameters
+    ----------
+    task_graph:
+        The application DAG ``G``.
+    processor_lists:
+        For each processor (keyed by an integer id), the ordered list of
+        tasks it executes.  Every task must appear on exactly one processor.
+
+    Raises
+    ------
+    InvalidGraphError
+        If the lists do not partition the task set, or if the induced
+        execution graph contains a cycle (i.e. the per-processor orders are
+        incompatible with the precedence constraints).
+    """
+
+    task_graph: TaskGraph
+    processor_lists: Mapping
+    _combined: TaskGraph | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.task_graph.validate()
+        seen: dict[str, int] = {}
+        for proc, tasks in self.processor_lists.items():
+            for t in tasks:
+                if t not in self.task_graph:
+                    raise InvalidGraphError(
+                        f"processor {proc} lists unknown task {t!r}"
+                    )
+                if t in seen:
+                    raise InvalidGraphError(
+                        f"task {t!r} appears on processors {seen[t]} and {proc}"
+                    )
+                seen[t] = proc
+        missing = set(self.task_graph.task_names()) - set(seen)
+        if missing:
+            raise InvalidGraphError(
+                f"tasks not mapped to any processor: {sorted(missing)}"
+            )
+        combined = self._build_combined()
+        if not combined.is_dag():
+            raise InvalidGraphError(
+                "the per-processor orders are incompatible with the precedence "
+                "constraints (the execution graph contains a cycle)"
+            )
+        self._combined = combined
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_processors(self) -> int:
+        """Number of processors used by the mapping."""
+        return len(self.processor_lists)
+
+    def processor_of(self, task: str) -> int:
+        """Processor executing ``task``."""
+        for proc, tasks in self.processor_lists.items():
+            if task in tasks:
+                return proc
+        raise InvalidGraphError(f"task {task!r} is not mapped")
+
+    def processor_work(self) -> dict[int, float]:
+        """Total work assigned to each processor."""
+        return {
+            proc: sum(self.task_graph.work(t) for t in tasks)
+            for proc, tasks in self.processor_lists.items()
+        }
+
+    def _build_combined(self) -> TaskGraph:
+        combined = self.task_graph.copy(name=f"{self.task_graph.name}-exec")
+        for tasks in self.processor_lists.values():
+            for a, b in zip(tasks, tasks[1:]):
+                if not combined.has_edge(a, b):
+                    combined.add_edge(a, b)
+        return combined
+
+    def combined_graph(self) -> TaskGraph:
+        """The execution graph 𝒢 (application edges plus processor edges)."""
+        assert self._combined is not None
+        return self._combined
+
+    def processor_edges(self) -> list[tuple[str, str]]:
+        """The edges added by the mapping (consecutive same-processor tasks)."""
+        out: list[tuple[str, str]] = []
+        for tasks in self.processor_lists.values():
+            for a, b in zip(tasks, tasks[1:]):
+                if not self.task_graph.has_edge(a, b):
+                    out.append((a, b))
+        return out
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_processor_assignment(cls, task_graph: TaskGraph,
+                                  assignment: dict[str, int],
+                                  *, order: Sequence[str] | None = None) -> "ExecutionGraph":
+        """Build an execution graph from a ``task -> processor`` assignment.
+
+        Tasks of each processor are ordered by the given global ``order``
+        (a topological order of the task graph by default), which guarantees
+        the execution graph is acyclic.
+        """
+        missing = set(task_graph.task_names()) - set(assignment)
+        if missing:
+            raise InvalidGraphError(f"assignment is missing tasks: {sorted(missing)}")
+        if order is None:
+            order = topological_order(task_graph)
+        position = {t: i for i, t in enumerate(order)}
+        lists: Mapping = {}
+        for t in sorted(assignment, key=lambda t: position[t]):
+            lists.setdefault(assignment[t], []).append(t)
+        return cls(task_graph=task_graph, processor_lists=lists)
+
+    @classmethod
+    def trivial(cls, task_graph: TaskGraph) -> "ExecutionGraph":
+        """One task per processor: the execution graph equals the task graph."""
+        lists: Mapping = {i: [t] for i, t in enumerate(task_graph.task_names())}
+        return cls(task_graph=task_graph, processor_lists=lists)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"ExecutionGraph(graph={self.task_graph.name!r}, "
+            f"processors={self.n_processors}, tasks={self.task_graph.n_tasks})"
+        )

@@ -1,0 +1,149 @@
+"""Producers of the "given" mapping the paper assumes.
+
+The paper studies speed selection *after* the allocation has been fixed; to
+evaluate the algorithms we therefore need realistic allocations.  This
+module implements the classical producers:
+
+* :func:`list_schedule` — priority-list scheduling onto ``p`` identical
+  processors using bottom-level (critical-path) priorities, the standard
+  makespan-oriented heuristic (a HEFT specialisation for identical
+  processors and zero communication costs);
+* :func:`round_robin_mapping` — tasks dealt to processors in topological
+  order (a deliberately mediocre allocation, useful as a stress case);
+* :func:`load_balance_mapping` — greedy work balancing ignoring precedence
+  (models "pre-allocated for affinity/security reasons");
+* :func:`single_processor_mapping` / :func:`one_task_per_processor` —
+  degenerate extremes (a chain execution graph / the unchanged task graph).
+
+All return an :class:`repro.mapping.execution_graph.ExecutionGraph`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.graphs.analysis import topological_order
+from repro.graphs.taskgraph import TaskGraph
+from repro.mapping.execution_graph import ExecutionGraph, Mapping
+from repro.utils.errors import InvalidGraphError
+
+
+def bottom_levels(graph: TaskGraph) -> dict[str, float]:
+    """Bottom level of every task: longest work-weighted path starting at it."""
+    order = topological_order(graph)
+    bl: dict[str, float] = {}
+    for n in reversed(order):
+        succ = graph.successors(n)
+        bl[n] = graph.work(n) + max((bl[s] for s in succ), default=0.0)
+    return bl
+
+
+def top_levels(graph: TaskGraph) -> dict[str, float]:
+    """Top level of every task: longest work-weighted path ending just before it."""
+    order = topological_order(graph)
+    tl: dict[str, float] = {}
+    for n in order:
+        preds = graph.predecessors(n)
+        tl[n] = max((tl[p] + graph.work(p) for p in preds), default=0.0)
+    return tl
+
+
+def list_schedule(graph: TaskGraph, n_processors: int, *,
+                  reference_speed: float = 1.0) -> ExecutionGraph:
+    """Bottom-level priority list scheduling onto identical processors.
+
+    Tasks become ready when all predecessors have been scheduled; among the
+    ready tasks the one with the largest bottom level is placed on the
+    processor that becomes idle first.  Execution times use
+    ``work / reference_speed`` (the mapping, not the speeds, is what we
+    keep — the speed scaling is exactly what the paper's algorithms decide
+    afterwards).
+
+    Returns the resulting :class:`ExecutionGraph`.
+    """
+    if n_processors < 1:
+        raise InvalidGraphError("need at least one processor")
+    if reference_speed <= 0:
+        raise InvalidGraphError("reference_speed must be strictly positive")
+    graph.validate()
+    bl = bottom_levels(graph)
+    indeg = {n: graph.in_degree(n) for n in graph.task_names()}
+    # ready heap: (-bottom_level, name) for deterministic largest-first order
+    ready = [(-bl[n], n) for n in graph.task_names() if indeg[n] == 0]
+    heapq.heapify(ready)
+    # processor heap: (available_time, processor_index)
+    processors = [(0.0, p) for p in range(n_processors)]
+    heapq.heapify(processors)
+    finish_time: dict[str, float] = {}
+    lists: Mapping = {p: [] for p in range(n_processors)}
+    scheduled = 0
+    pending_successor_release: dict[str, float] = {}
+
+    while ready:
+        _prio, task = heapq.heappop(ready)
+        # earliest start: predecessors' finish times
+        pred_ready = max((finish_time[p] for p in graph.predecessors(task)), default=0.0)
+        avail, proc = heapq.heappop(processors)
+        start = max(avail, pred_ready)
+        end = start + graph.work(task) / reference_speed
+        finish_time[task] = end
+        lists[proc].append(task)
+        heapq.heappush(processors, (end, proc))
+        scheduled += 1
+        for succ in graph.successors(task):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                heapq.heappush(ready, (-bl[succ], succ))
+        pending_successor_release[task] = end
+
+    if scheduled != graph.n_tasks:
+        raise InvalidGraphError("list scheduling did not schedule every task (cycle?)")
+    lists = {p: tasks for p, tasks in lists.items() if tasks}
+    if not lists:
+        lists = {0: []}
+    return ExecutionGraph(task_graph=graph, processor_lists=lists)
+
+
+def round_robin_mapping(graph: TaskGraph, n_processors: int) -> ExecutionGraph:
+    """Deal tasks to processors in topological order, round-robin."""
+    if n_processors < 1:
+        raise InvalidGraphError("need at least one processor")
+    order = topological_order(graph)
+    lists: Mapping = {p: [] for p in range(n_processors)}
+    for i, task in enumerate(order):
+        lists[i % n_processors].append(task)
+    lists = {p: tasks for p, tasks in lists.items() if tasks}
+    return ExecutionGraph(task_graph=graph, processor_lists=lists)
+
+
+def load_balance_mapping(graph: TaskGraph, n_processors: int) -> ExecutionGraph:
+    """Greedy work balancing: each task goes to the least-loaded processor.
+
+    Tasks are visited in topological order (so the per-processor order stays
+    compatible with the precedences); the processor with the smallest total
+    assigned work receives the next task.  This models allocations chosen
+    for load or affinity reasons rather than makespan.
+    """
+    if n_processors < 1:
+        raise InvalidGraphError("need at least one processor")
+    order = topological_order(graph)
+    loads = [(0.0, p) for p in range(n_processors)]
+    heapq.heapify(loads)
+    lists: Mapping = {p: [] for p in range(n_processors)}
+    for task in order:
+        load, proc = heapq.heappop(loads)
+        lists[proc].append(task)
+        heapq.heappush(loads, (load + graph.work(task), proc))
+    lists = {p: tasks for p, tasks in lists.items() if tasks}
+    return ExecutionGraph(task_graph=graph, processor_lists=lists)
+
+
+def single_processor_mapping(graph: TaskGraph) -> ExecutionGraph:
+    """Everything on one processor, in topological order (a chain)."""
+    order = topological_order(graph)
+    return ExecutionGraph(task_graph=graph, processor_lists={0: order})
+
+
+def one_task_per_processor(graph: TaskGraph) -> ExecutionGraph:
+    """One task per processor: the execution graph equals the task graph."""
+    return ExecutionGraph.trivial(graph)

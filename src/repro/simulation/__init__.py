@@ -1,0 +1,30 @@
+"""Discrete-event simulation of speed-annotated schedules.
+
+The optimisers reason about the execution analytically (ASAP completion
+times); the simulator executes the schedule event by event, independently of
+the optimisers' arithmetic, and reports per-task timings, per-processor busy
+intervals, a piecewise-constant power profile and the total energy.  Tests
+cross-check the simulated energy and makespan against the analytical values,
+which guards against bookkeeping bugs in either layer.
+"""
+
+from repro.simulation.trace import TaskRecord, SegmentRecord, ExecutionTrace
+from repro.simulation.engine import simulate, simulate_solution
+from repro.simulation.metrics import (
+    processor_utilisation,
+    power_profile,
+    energy_from_profile,
+    trace_summary,
+)
+
+__all__ = [
+    "TaskRecord",
+    "SegmentRecord",
+    "ExecutionTrace",
+    "simulate",
+    "simulate_solution",
+    "processor_utilisation",
+    "power_profile",
+    "energy_from_profile",
+    "trace_summary",
+]

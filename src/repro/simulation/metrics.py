@@ -1,0 +1,78 @@
+"""Metrics derived from execution traces.
+
+These are the quantities an evaluation section reports: per-processor
+utilisation, the platform power profile over time, the energy recomputed by
+integrating that profile (a cross-check of the per-task energies), and a
+compact textual summary.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.trace import ExecutionTrace
+from repro.utils.errors import InvalidSolutionError
+
+
+def processor_utilisation(trace: ExecutionTrace, *, horizon: float | None = None
+                          ) -> dict[int, float]:
+    """Fraction of the horizon each processor spends executing tasks.
+
+    Parameters
+    ----------
+    trace:
+        The execution trace.
+    horizon:
+        Time horizon for the utilisation (defaults to the trace makespan).
+    """
+    horizon = horizon if horizon is not None else trace.makespan
+    if horizon <= 0:
+        return {p: 0.0 for p in trace.processors()}
+    return {p: trace.busy_time(p) / horizon for p in trace.processors()}
+
+
+def power_profile(trace: ExecutionTrace) -> list[tuple[float, float, float]]:
+    """Piecewise-constant total power over time.
+
+    Returns a list of ``(start, end, power)`` intervals covering
+    ``[0, makespan]``; within each interval the set of running segments (and
+    hence the platform power, the sum of ``speed**alpha`` over the running
+    segments) is constant.
+    """
+    events: set[float] = {0.0, trace.makespan}
+    for seg in trace.segments():
+        events.add(seg.start)
+        events.add(seg.end)
+    times = sorted(events)
+    profile: list[tuple[float, float, float]] = []
+    segments = list(trace.segments())
+    for a, b in zip(times, times[1:]):
+        if b - a <= 0:
+            continue
+        mid = 0.5 * (a + b)
+        power = sum(seg.speed ** trace.alpha for seg in segments
+                    if seg.start <= mid < seg.end)
+        profile.append((a, b, power))
+    return profile
+
+
+def energy_from_profile(trace: ExecutionTrace) -> float:
+    """Energy obtained by integrating the power profile over time.
+
+    Must agree with ``trace.total_energy`` (which sums per-segment
+    energies); the test suite checks the two against each other.
+    """
+    return sum((b - a) * p for a, b, p in power_profile(trace))
+
+
+def trace_summary(trace: ExecutionTrace) -> dict[str, float]:
+    """Compact numeric summary of a trace."""
+    if not trace.records:
+        raise InvalidSolutionError("cannot summarise an empty trace")
+    utilisation = processor_utilisation(trace)
+    return {
+        "n_tasks": float(len(trace.records)),
+        "n_processors": float(len(trace.processors())),
+        "makespan": trace.makespan,
+        "total_energy": trace.total_energy,
+        "mean_utilisation": sum(utilisation.values()) / len(utilisation),
+        "max_task_finish": max(r.finish for r in trace.records.values()),
+    }

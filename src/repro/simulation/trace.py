@@ -1,0 +1,95 @@
+"""Execution-trace data structures produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.utils.errors import InvalidSolutionError
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One constant-speed interval of a task's execution."""
+
+    task: str
+    processor: int
+    speed: float
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval."""
+        return self.end - self.start
+
+    def energy(self, alpha: float = 3.0) -> float:
+        """Dynamic energy of the segment under the ``s**alpha`` power law."""
+        return self.speed ** alpha * self.duration
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Complete execution record of one task."""
+
+    task: str
+    processor: int
+    work: float
+    start: float
+    finish: float
+    segments: tuple[SegmentRecord, ...]
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock execution time of the task."""
+        return self.finish - self.start
+
+    def executed_work(self) -> float:
+        """Work accounted for by the segments (should equal ``work``)."""
+        return sum(s.speed * s.duration for s in self.segments)
+
+    def energy(self, alpha: float = 3.0) -> float:
+        """Dynamic energy of the task."""
+        return sum(s.energy(alpha) for s in self.segments)
+
+
+@dataclass
+class ExecutionTrace:
+    """The full result of simulating a schedule."""
+
+    records: dict[str, TaskRecord] = field(default_factory=dict)
+    alpha: float = 3.0
+
+    def add(self, record: TaskRecord) -> None:
+        """Register a task record (task names must be unique)."""
+        if record.task in self.records:
+            raise InvalidSolutionError(f"duplicate trace record for task {record.task!r}")
+        self.records[record.task] = record
+
+    @property
+    def makespan(self) -> float:
+        """Latest finish time across all tasks."""
+        return max((r.finish for r in self.records.values()), default=0.0)
+
+    @property
+    def total_energy(self) -> float:
+        """Total dynamic energy of the trace."""
+        return sum(r.energy(self.alpha) for r in self.records.values())
+
+    def processors(self) -> list[int]:
+        """Sorted list of processor ids appearing in the trace."""
+        return sorted({r.processor for r in self.records.values()})
+
+    def records_on(self, processor: int) -> list[TaskRecord]:
+        """Task records executed on ``processor``, ordered by start time."""
+        return sorted((r for r in self.records.values() if r.processor == processor),
+                      key=lambda r: (r.start, r.task))
+
+    def segments(self) -> Iterable[SegmentRecord]:
+        """All constant-speed segments across all tasks."""
+        for record in self.records.values():
+            yield from record.segments
+
+    def busy_time(self, processor: int) -> float:
+        """Total time ``processor`` spends executing tasks."""
+        return sum(r.duration for r in self.records_on(processor))

@@ -1,0 +1,68 @@
+"""Top-level solver dispatch.
+
+``solve(problem)`` inspects the problem's energy model and calls the
+appropriate solver:
+
+* :class:`ContinuousModel`   → :func:`repro.continuous.solve_continuous`
+  (closed forms, Theorem 2 algorithms, or the convex program);
+* :class:`VddHoppingModel`   → :func:`repro.vdd.solve_vdd_hopping`
+  (the Theorem 3 linear program);
+* :class:`IncrementalModel`  → :func:`repro.incremental.solve_incremental_approx`
+  by default (Theorem 5), or the exact Discrete machinery with
+  ``exact=True``;
+* :class:`DiscreteModel`     → :func:`repro.discrete.solve_discrete`
+  (exact for small/structured instances, heuristics otherwise).
+"""
+
+from __future__ import annotations
+
+from repro.core.models import (
+    ContinuousModel,
+    DiscreteModel,
+    IncrementalModel,
+    VddHoppingModel,
+)
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import Solution
+from repro.utils.errors import InvalidModelError
+
+
+def solve(problem: MinEnergyProblem, *, exact: bool | None = None, **kwargs) -> Solution:
+    """Solve a ``MinEnergy(G, D)`` instance with the model-appropriate algorithm.
+
+    Parameters
+    ----------
+    problem:
+        The instance to solve.
+    exact:
+        For the NP-complete models (Discrete, Incremental): force exact
+        resolution (``True``), force the polynomial approximation/heuristics
+        (``False``), or let the dispatcher decide (``None``, default).
+        Ignored for the polynomial models.
+    **kwargs:
+        Extra options forwarded to the model-specific solver (for example
+        ``backend="simplex"`` for Vdd-Hopping or ``k=10`` for the
+        Incremental approximation).
+
+    Returns
+    -------
+    Solution
+        A validated, feasible solution for the requested model.
+    """
+    from repro.continuous.solve import solve_continuous
+    from repro.discrete.solve import solve_discrete
+    from repro.incremental.approx import solve_incremental_approx, solve_incremental_exact
+    from repro.vdd.solve import solve_vdd_hopping
+
+    model = problem.model
+    if isinstance(model, ContinuousModel):
+        return solve_continuous(problem, **kwargs)
+    if isinstance(model, VddHoppingModel):
+        return solve_vdd_hopping(problem, **kwargs)
+    if isinstance(model, IncrementalModel):
+        if exact:
+            return solve_incremental_exact(problem, **kwargs)
+        return solve_incremental_approx(problem, **kwargs)
+    if isinstance(model, DiscreteModel):
+        return solve_discrete(problem, exact=exact, **kwargs)
+    raise InvalidModelError(f"no solver registered for energy model {model.name!r}")

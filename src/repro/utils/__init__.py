@@ -1,0 +1,50 @@
+"""Shared utilities for the energy-reclaiming scheduling library.
+
+This subpackage contains infrastructure that every other subpackage relies
+on: error types, numeric tolerances and comparisons, seeded random-number
+helpers, and lightweight table formatting used by the experiment harness.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    InfeasibleProblemError,
+    InvalidGraphError,
+    InvalidModelError,
+    InvalidSolutionError,
+    SolverError,
+)
+from repro.utils.numerics import (
+    DEFAULT_ABS_TOL,
+    DEFAULT_REL_TOL,
+    is_close,
+    leq_with_tol,
+    geq_with_tol,
+    clamp,
+    cube,
+    cube_root,
+    safe_div,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import Table, format_float
+
+__all__ = [
+    "ReproError",
+    "InfeasibleProblemError",
+    "InvalidGraphError",
+    "InvalidModelError",
+    "InvalidSolutionError",
+    "SolverError",
+    "DEFAULT_ABS_TOL",
+    "DEFAULT_REL_TOL",
+    "is_close",
+    "leq_with_tol",
+    "geq_with_tol",
+    "clamp",
+    "cube",
+    "cube_root",
+    "safe_div",
+    "make_rng",
+    "spawn_rngs",
+    "Table",
+    "format_float",
+]

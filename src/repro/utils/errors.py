@@ -1,0 +1,56 @@
+"""Exception hierarchy for the library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch every library-specific failure with a single ``except``
+clause while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class InvalidGraphError(ReproError):
+    """The task graph or execution graph is malformed.
+
+    Raised for cycles, dangling edges, non-positive task costs, duplicated
+    task identifiers, or an execution graph whose processor lists do not
+    partition the task set.
+    """
+
+
+class InvalidModelError(ReproError):
+    """An energy model was constructed with inconsistent parameters.
+
+    Examples: an empty mode set in the Discrete model, ``s_min > s_max`` in
+    the Incremental model, a non-positive speed increment, or a negative
+    power exponent.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """The ``MinEnergy(G, D)`` instance admits no feasible speed assignment.
+
+    This happens when even running every task at the maximum admissible
+    speed cannot meet the deadline ``D`` (i.e. the critical path of the
+    execution graph at maximum speed exceeds ``D``).
+    """
+
+
+class InvalidSolutionError(ReproError):
+    """A speed assignment violates the constraints of its problem.
+
+    Raised by the validation layer when a solution misses the deadline,
+    breaks a precedence constraint, uses an inadmissible speed for its
+    energy model, or executes a task at a non-positive speed.
+    """
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to converge or returned garbage.
+
+    The message carries the backend name and the diagnostic returned by the
+    underlying routine so that experiment logs remain actionable.
+    """

@@ -1,0 +1,101 @@
+"""Numeric helpers: tolerant comparisons, cubes, clamping.
+
+The optimisation problems solved by this library involve cube roots and sums
+of cubes whose optimal values are irrational (see Theorem 1 of the paper),
+so every feasibility or optimality check must be performed with explicit
+tolerances.  Centralising the tolerance policy here keeps the solvers and
+the validators consistent.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default absolute tolerance used by feasibility and optimality checks.
+DEFAULT_ABS_TOL: float = 1e-9
+
+#: Default relative tolerance used by feasibility and optimality checks.
+DEFAULT_REL_TOL: float = 1e-7
+
+
+def is_close(
+    a: float,
+    b: float,
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """Return ``True`` when ``a`` and ``b`` are equal up to the tolerances."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def leq_with_tol(
+    a: float,
+    b: float,
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """Return ``True`` when ``a <= b`` up to the tolerances.
+
+    This is the comparison used for deadline and precedence feasibility:
+    ``a`` may exceed ``b`` by at most ``abs_tol + rel_tol * |b|``.
+    """
+    return a <= b + abs_tol + rel_tol * abs(b)
+
+
+def geq_with_tol(
+    a: float,
+    b: float,
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    abs_tol: float = DEFAULT_ABS_TOL,
+) -> bool:
+    """Return ``True`` when ``a >= b`` up to the tolerances."""
+    return leq_with_tol(b, a, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def clamp(value: float, lower: float, upper: float) -> float:
+    """Clamp ``value`` to the closed interval ``[lower, upper]``.
+
+    Raises
+    ------
+    ValueError
+        If ``lower > upper``.
+    """
+    if lower > upper:
+        raise ValueError(f"clamp interval is empty: [{lower}, {upper}]")
+    return max(lower, min(upper, value))
+
+
+def cube(x: float) -> float:
+    """Return ``x ** 3`` (kept as a named helper for readability)."""
+    return x * x * x
+
+
+def cube_root(x: float) -> float:
+    """Return the real cube root of a non-negative number.
+
+    ``x ** (1/3)`` loses accuracy for very large or very small values;
+    :func:`math.pow` with a guard is sufficient for the magnitudes used in
+    the library (task weights and speeds are O(1)..O(1e6)).
+
+    Raises
+    ------
+    ValueError
+        If ``x`` is negative.  The quantities we take cube roots of (sums of
+        cubes of non-negative weights) are always non-negative; a negative
+        argument indicates a programming error upstream.
+    """
+    if x < 0:
+        raise ValueError(f"cube_root expects a non-negative argument, got {x}")
+    if x == 0.0:
+        return 0.0
+    return math.exp(math.log(x) / 3.0)
+
+
+def safe_div(numerator: float, denominator: float, *, default: float = math.inf) -> float:
+    """Return ``numerator / denominator`` or ``default`` when dividing by zero."""
+    if denominator == 0.0:
+        return default
+    return numerator / denominator

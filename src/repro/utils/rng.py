@@ -1,0 +1,76 @@
+"""Seeded random-number helpers.
+
+Every stochastic component of the library (graph generators, workload
+ensembles, randomised heuristics) takes either an integer seed or an already
+constructed :class:`numpy.random.Generator`.  These helpers normalise the two
+forms and let an experiment driver deterministically derive independent
+sub-streams for its repetitions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+RngLike = int | np.random.Generator | None
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (non-deterministic), an integer seed, or an existing
+        generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from a single seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so that the streams are
+    statistically independent and reproducible from the parent seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's bit-generator seed sequence.
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def choice_without_replacement(
+    rng: np.random.Generator, items: Sequence, size: int
+) -> list:
+    """Sample ``size`` distinct items from ``items`` (order preserved in result)."""
+    if size > len(items):
+        raise ValueError("cannot sample more items than available")
+    idx = rng.choice(len(items), size=size, replace=False)
+    return [items[i] for i in sorted(int(i) for i in idx)]
+
+
+def random_partition(
+    rng: np.random.Generator, total: int, parts: int
+) -> list[int]:
+    """Split ``total`` items into ``parts`` non-negative integer bucket sizes."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    cuts = np.sort(rng.integers(0, total + 1, size=parts - 1))
+    sizes = np.diff(np.concatenate(([0], cuts, [total])))
+    return [int(s) for s in sizes]
+
+
+def shuffled(rng: np.random.Generator, items: Iterable) -> list:
+    """Return a new shuffled list of ``items``."""
+    out = list(items)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,135 @@
+"""Lightweight ASCII/CSV table formatting for the experiment harness.
+
+The benchmark drivers print the rows a paper table or figure series would
+contain; this module renders them without requiring any plotting dependency
+(the environment is offline).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def format_float(value: Any, *, digits: int = 4) -> str:
+    """Format a value for table output.
+
+    Floats are rendered with ``digits`` significant digits; other values use
+    ``str``.  ``None`` renders as ``"-"`` so that missing cells stay aligned.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table.
+
+    Parameters
+    ----------
+    columns:
+        Column headers, in display order.
+    title:
+        Optional title printed above the table.
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row.
+
+        Either positional values (one per column, in order) or keyword values
+        (keyed by column name) may be given, not both.
+        """
+        if values and named:
+            raise ValueError("pass either positional or named cell values, not both")
+        if named:
+            missing = [c for c in self.columns if c not in named]
+            if missing:
+                raise ValueError(f"missing cells for columns: {missing}")
+            row = [named[c] for c in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    f"expected {len(self.columns)} cells, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def to_ascii(self, *, digits: int = 4) -> str:
+        """Render the table as aligned ASCII text."""
+        rendered = [[format_float(v, digits=digits) for v in row] for row in self.rows]
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        sep = "  "
+        out.write(sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)) + "\n")
+        out.write(sep.join("-" * w for w in widths) + "\n")
+        for row in rendered:
+            out.write(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Render the table as CSV text (no quoting of commas in cells)."""
+        lines = [",".join(str(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(format_float(v, digits=10) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def column(self, name: str) -> list[Any]:
+        """Return the values of column ``name`` across all rows."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column named {name!r}") from exc
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_ascii()
+
+
+def ascii_series_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) series as a crude ASCII chart.
+
+    Used by the experiment drivers to show the *shape* of a figure (who wins,
+    where curves cross) without a plotting library.  Each series is drawn as
+    its own row of normalised bars.
+    """
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    all_values: list[float] = [v for ys in series.values() for v in ys]
+    if not all_values:
+        return out.getvalue()
+    vmax = max(all_values)
+    vmin = min(all_values)
+    span = vmax - vmin if vmax > vmin else 1.0
+    out.write("x: " + " ".join(f"{x:g}" for x in xs) + "\n")
+    for name, ys in series.items():
+        out.write(f"{name}\n")
+        for x, y in zip(xs, ys):
+            bar = int(round((y - vmin) / span * width))
+            out.write(f"  {x:>8g} | {'#' * bar} {y:.4g}\n")
+    return out.getvalue()

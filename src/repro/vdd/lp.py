@@ -1,0 +1,215 @@
+"""Linear-programming solver for the Vdd-Hopping model (Theorem 3).
+
+Decision variables
+    ``time[i, k]`` — time task ``T_i`` spends running at mode ``s_k``;
+    ``t[i]``       — completion time of ``T_i``.
+
+Linear program
+    minimise    sum_{i,k} P(s_k) * time[i, k]
+    subject to  sum_k s_k * time[i, k] == w_i                (work completion)
+                t[v] >= t[u] + sum_k time[v, k]              for every edge (u, v)
+                t[i] >= sum_k time[i, k]                     (start times >= 0)
+                0 <= t[i] <= D,   time[i, k] >= 0
+
+The LP has ``n * m + n`` variables and ``n + |E| + n`` constraints, so it is
+solved in polynomial time — this is exactly the argument of Theorem 3.
+
+Two backends are available: SciPy's HiGHS (default) and the library's own
+dense simplex (:mod:`repro.vdd.simplex`), which exists so the reproduction's
+central polynomial-time result does not rest on an external black box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.models import VddHoppingModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import HoppingAssignment, Solution, make_solution
+from repro.utils.errors import InvalidModelError, SolverError
+from repro.vdd.simplex import solve_lp_simplex
+
+
+@dataclass
+class VddLP:
+    """The assembled LP in matrix form, plus the variable index maps."""
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: list[tuple[float, float | None]]
+    task_names: list[str]
+    modes: tuple[float, ...]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.task_names)
+
+    @property
+    def n_modes(self) -> int:
+        return len(self.modes)
+
+    def time_index(self, task_idx: int, mode_idx: int) -> int:
+        """Column of the ``time[task, mode]`` variable."""
+        return task_idx * self.n_modes + mode_idx
+
+    def completion_index(self, task_idx: int) -> int:
+        """Column of the ``t[task]`` variable."""
+        return self.n_tasks * self.n_modes + task_idx
+
+
+def build_vdd_lp(problem: MinEnergyProblem) -> VddLP:
+    """Assemble the Vdd-Hopping LP for a problem instance."""
+    model = problem.model
+    if not isinstance(model, VddHoppingModel):
+        raise InvalidModelError(
+            f"build_vdd_lp expects a VddHoppingModel, got {model.name}"
+        )
+    graph = problem.graph
+    names = graph.task_names()
+    n = len(names)
+    modes = model.modes
+    m = len(modes)
+    index = {name: i for i, name in enumerate(names)}
+    deadline = problem.deadline
+    n_vars = n * m + n
+
+    c = np.zeros(n_vars)
+    for i in range(n):
+        for k, s in enumerate(modes):
+            c[i * m + k] = problem.power.power(s)
+
+    # equality: work completion
+    a_eq = np.zeros((n, n_vars))
+    b_eq = np.zeros(n)
+    for i, name in enumerate(names):
+        for k, s in enumerate(modes):
+            a_eq[i, i * m + k] = s
+        b_eq[i] = graph.work(name)
+
+    # inequalities (<= 0 form): precedence and start-time constraints
+    ub_rows: list[np.ndarray] = []
+    ub_rhs: list[float] = []
+    for u, v in graph.edges():
+        row = np.zeros(n_vars)
+        row[n * m + index[u]] = 1.0      # t_u
+        row[n * m + index[v]] = -1.0     # -t_v
+        for k in range(m):
+            row[index[v] * m + k] = 1.0  # + duration of v
+        ub_rows.append(row)
+        ub_rhs.append(0.0)
+    for i in range(n):
+        row = np.zeros(n_vars)
+        row[n * m + i] = -1.0            # -t_i
+        for k in range(m):
+            row[i * m + k] = 1.0         # + duration of i
+        ub_rows.append(row)
+        ub_rhs.append(0.0)
+
+    a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n_vars))
+    b_ub = np.asarray(ub_rhs)
+
+    bounds: list[tuple[float, float | None]] = []
+    for i in range(n):
+        for _k in range(m):
+            bounds.append((0.0, None))
+    for _i in range(n):
+        bounds.append((0.0, deadline))
+
+    return VddLP(c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds,
+                 task_names=names, modes=modes)
+
+
+def _solve_backend(lp: VddLP, backend: str) -> tuple[np.ndarray, float, dict[str, Any]]:
+    """Solve the LP with the requested backend; return (x, objective, metadata)."""
+    if backend == "highs":
+        result = optimize.linprog(
+            lp.c, A_ub=lp.a_ub, b_ub=lp.b_ub, A_eq=lp.a_eq, b_eq=lp.b_eq,
+            bounds=lp.bounds, method="highs",
+        )
+        if not result.success:
+            raise SolverError(
+                f"HiGHS failed on the Vdd-Hopping LP: {result.message} (status {result.status})"
+            )
+        return result.x, float(result.fun), {"backend": "highs",
+                                             "iterations": int(result.nit)}
+    if backend == "simplex":
+        # encode the upper bounds on t as extra <= rows for the simplex backend
+        n_vars = lp.c.size
+        extra_rows = []
+        extra_rhs = []
+        for j, (lo, hi) in enumerate(lp.bounds):
+            if lo != 0.0:
+                raise SolverError("simplex backend expects zero lower bounds")
+            if hi is not None:
+                row = np.zeros(n_vars)
+                row[j] = 1.0
+                extra_rows.append(row)
+                extra_rhs.append(hi)
+        a_ub = np.vstack([lp.a_ub] + extra_rows) if extra_rows else lp.a_ub
+        b_ub = np.concatenate([lp.b_ub, np.asarray(extra_rhs)]) if extra_rhs else lp.b_ub
+        result = solve_lp_simplex(lp.c, a_ub=a_ub, b_ub=b_ub, a_eq=lp.a_eq, b_eq=lp.b_eq)
+        if result.status != "optimal":
+            raise SolverError(f"simplex backend reports the LP is {result.status}")
+        return result.x, result.objective, {"backend": "simplex",
+                                            "iterations": result.iterations}
+    raise SolverError(f"unknown LP backend {backend!r} (use 'highs' or 'simplex')")
+
+
+def solve_vdd_lp(problem: MinEnergyProblem, *, backend: str = "highs") -> Solution:
+    """Optimal Vdd-Hopping solution via linear programming (Theorem 3).
+
+    Parameters
+    ----------
+    problem:
+        The instance; its model must be a :class:`VddHoppingModel`.
+    backend:
+        ``"highs"`` (SciPy, default) or ``"simplex"`` (the library's own
+        solver, intended for small instances and cross-checks).
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the deadline cannot be met at the fastest mode.
+    SolverError
+        If the LP backend fails.
+    """
+    problem.ensure_feasible()
+    lp = build_vdd_lp(problem)
+    x, objective, metadata = _solve_backend(lp, backend)
+
+    graph = problem.graph
+    segments: dict[str, list[tuple[float, float]]] = {}
+    m = lp.n_modes
+    for i, name in enumerate(lp.task_names):
+        segs = []
+        for k, s in enumerate(lp.modes):
+            t = float(x[i * m + k])
+            if t > 1e-12:
+                segs.append((s, t))
+        if not segs:
+            # degenerate numerical case: give the task an infinitesimal slot
+            # at the fastest mode (its work is positive so this cannot
+            # normally happen with a correct LP solution)
+            segs = [(lp.modes[-1], graph.work(name) / lp.modes[-1])]
+        # rescale so the executed work matches exactly (the LP meets the
+        # equality only up to solver tolerance)
+        executed = sum(s * t for s, t in segs)
+        target = graph.work(name)
+        if executed > 0 and abs(executed - target) > 0:
+            factor = target / executed
+            segs = [(s, t * factor) for s, t in segs]
+        segments[name] = segs
+
+    assignment = HoppingAssignment(segments=segments)
+    metadata["lp_objective"] = objective
+    metadata["n_variables"] = int(lp.c.size)
+    metadata["n_constraints"] = int(lp.a_ub.shape[0] + lp.a_eq.shape[0])
+    return make_solution(problem, assignment, solver=f"vdd-lp-{backend}",
+                         optimal=True, metadata=metadata)

@@ -1,0 +1,104 @@
+"""Two-adjacent-mode mixing construction for Vdd-Hopping.
+
+The paper's discussion ("the Vdd-Hopping approach mixes two consecutive
+modes optimally") suggests the classical construction of Ishihara and
+Yasuura: to emulate an ideal speed ``s`` lying between two available modes
+``s_low <= s <= s_high`` over a window of length ``d`` with ``w = s * d``
+units of work, run
+
+    ``time_high = (w - s_low * d) / (s_high - s_low)``   at ``s_high`` and
+    ``time_low  = d - time_high``                         at ``s_low``.
+
+Both times are non-negative and the work and the duration are preserved, so
+substituting the mix for the ideal speed keeps the whole schedule feasible.
+
+:func:`solve_vdd_mixing` applies this per task to the Continuous-optimal
+solution (with ``s_max`` set to the largest mode).  The result is a feasible
+Vdd-Hopping solution and hence an **upper bound** on the LP optimum of
+Theorem 3; it is exact whenever the continuous-optimal durations are also
+optimal for the piecewise-linear mode-mixing cost (in particular when every
+continuous speed coincides with a mode).  The experiment harness reports the
+gap between this heuristic and the LP.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import ContinuousModel, VddHoppingModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import HoppingAssignment, Solution, make_solution
+from repro.utils.errors import InvalidModelError
+from repro.utils.numerics import is_close
+
+
+def two_mode_mix(work: float, duration: float, s_low: float, s_high: float
+                 ) -> list[tuple[float, float]]:
+    """Split ``work`` over ``duration`` time units between two modes.
+
+    Returns the list of ``(speed, time)`` segments.  Requires
+    ``s_low * duration <= work <= s_high * duration`` (the ideal speed
+    ``work / duration`` must lie between the two modes).
+    """
+    if duration <= 0:
+        raise InvalidModelError("duration must be positive")
+    ideal = work / duration
+    if is_close(s_low, s_high):
+        # single admissible mode: run at it for exactly work / s time units
+        return [(s_high, work / s_high)]
+    if ideal < s_low * (1 - 1e-12) or ideal > s_high * (1 + 1e-12):
+        raise InvalidModelError(
+            f"ideal speed {ideal:g} is not bracketed by modes [{s_low:g}, {s_high:g}]"
+        )
+    time_high = (work - s_low * duration) / (s_high - s_low)
+    time_high = min(max(time_high, 0.0), duration)
+    time_low = duration - time_high
+    segments: list[tuple[float, float]] = []
+    if time_low > 1e-15:
+        segments.append((s_low, time_low))
+    if time_high > 1e-15:
+        segments.append((s_high, time_high))
+    if not segments:
+        segments = [(s_high, work / s_high)]
+    return segments
+
+
+def solve_vdd_mixing(problem: MinEnergyProblem) -> Solution:
+    """Vdd-Hopping solution built by mixing modes around the Continuous optimum.
+
+    The Continuous relaxation is solved with ``s_max`` equal to the largest
+    mode; each task's ideal speed is then emulated by the two bracketing
+    modes within the same time window, so precedence and deadline
+    feasibility carry over unchanged.
+    """
+    from repro.continuous.solve import solve_continuous
+
+    model = problem.model
+    if not isinstance(model, VddHoppingModel):
+        raise InvalidModelError(
+            f"solve_vdd_mixing expects a VddHoppingModel, got {model.name}"
+        )
+    problem.ensure_feasible()
+    relaxed = problem.with_model(ContinuousModel(s_max=model.max_speed))
+    continuous = solve_continuous(relaxed)
+
+    graph = problem.graph
+    segments: dict[str, list[tuple[float, float]]] = {}
+    speeds = continuous.speeds()
+    for name in graph.task_names():
+        work = graph.work(name)
+        ideal = speeds[name]
+        duration = work / ideal
+        if ideal < model.min_speed:
+            # the slowest mode is already faster than needed: run at the
+            # slowest mode (shorter duration, still feasible) — this is the
+            # only regime where mixing cannot emulate the ideal speed.
+            segments[name] = [(model.min_speed, work / model.min_speed)]
+            continue
+        s_low, s_high = model.bracketing_modes(ideal)
+        segments[name] = two_mode_mix(work, duration, s_low, s_high)
+
+    assignment = HoppingAssignment(segments=segments)
+    return make_solution(
+        problem, assignment, solver="vdd-two-mode-mixing", optimal=False,
+        lower_bound=continuous.energy,
+        metadata={"continuous_solver": continuous.solver},
+    )

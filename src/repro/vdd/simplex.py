@@ -1,0 +1,192 @@
+"""A self-contained dense simplex solver for small linear programs.
+
+The Vdd-Hopping LP (Theorem 3) is solved by SciPy's HiGHS backend in
+production runs, but the library also ships its own solver so that the
+reproduction does not depend on a black box for its central polynomial-time
+result: the two backends are cross-checked in the test suite.
+
+The implementation is a standard two-phase primal simplex on the tableau in
+standard equality form::
+
+    minimise    c @ x
+    subject to  A_eq @ x == b_eq,   x >= 0
+
+Inequalities ``A_ub @ x <= b_ub`` are converted by adding slack variables.
+Phase one minimises the sum of artificial variables to find a basic feasible
+solution; phase two optimises the real objective.  Bland's rule is used for
+pivot selection, which guarantees termination (no cycling) at the cost of
+speed — acceptable for the instance sizes the cross-checks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import SolverError
+
+_EPS = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    """Result of a simplex run.
+
+    Attributes
+    ----------
+    x:
+        Optimal primal point (in the caller's original variable order).
+    objective:
+        Optimal objective value.
+    iterations:
+        Total pivot count over both phases.
+    status:
+        ``"optimal"``, ``"infeasible"`` or ``"unbounded"``.
+    """
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+    status: str
+
+
+def solve_lp_simplex(
+    c: np.ndarray,
+    a_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    a_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    *,
+    max_iterations: int = 20000,
+) -> SimplexResult:
+    """Minimise ``c @ x`` subject to ``A_ub x <= b_ub``, ``A_eq x == b_eq``, ``x >= 0``.
+
+    Raises
+    ------
+    SolverError
+        If the LP is infeasible, unbounded, or the iteration cap is hit.
+    """
+    c = np.asarray(c, dtype=float)
+    n = c.size
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    n_slack = 0
+    if a_ub is not None:
+        a_ub = np.asarray(a_ub, dtype=float)
+        b_ub = np.asarray(b_ub, dtype=float)
+        if a_ub.shape[1] != n:
+            raise SolverError("A_ub column count does not match c")
+        n_slack = a_ub.shape[0]
+    if a_eq is not None:
+        a_eq = np.asarray(a_eq, dtype=float)
+        b_eq = np.asarray(b_eq, dtype=float)
+        if a_eq.shape[1] != n:
+            raise SolverError("A_eq column count does not match c")
+
+    # Build the standard-form matrix [A | slack] x = b with b >= 0.
+    blocks: list[np.ndarray] = []
+    if a_ub is not None:
+        ub_block = np.hstack([a_ub, np.eye(n_slack)])
+        blocks.append(ub_block)
+        rhs.extend(b_ub.tolist())
+    if a_eq is not None:
+        eq_block = np.hstack([a_eq, np.zeros((a_eq.shape[0], n_slack))])
+        blocks.append(eq_block)
+        rhs.extend(b_eq.tolist())
+    if not blocks:
+        # unconstrained besides x >= 0: optimum is x = 0 unless c has negative entries
+        if np.any(c < -_EPS):
+            raise SolverError("LP is unbounded (no constraints, negative cost)")
+        return SimplexResult(x=np.zeros(n), objective=0.0, iterations=0, status="optimal")
+
+    a_full = np.vstack(blocks)
+    b_full = np.asarray(rhs, dtype=float)
+    # normalise rows so b >= 0
+    neg = b_full < 0
+    a_full[neg] *= -1.0
+    b_full[neg] *= -1.0
+
+    m, total_vars = a_full.shape
+    cost_full = np.concatenate([c, np.zeros(total_vars - n)])
+
+    # --- phase one: add artificial variables and minimise their sum -------
+    tableau = np.hstack([a_full, np.eye(m), b_full.reshape(-1, 1)])
+    basis = list(range(total_vars, total_vars + m))
+    phase1_cost = np.concatenate([np.zeros(total_vars), np.ones(m), [0.0]])
+
+    iterations = 0
+    iterations += _run_simplex(tableau, basis, phase1_cost, max_iterations)
+    infeasibility = sum(tableau[i, -1] for i, b in enumerate(basis) if b >= total_vars)
+    if infeasibility > 1e-7:
+        return SimplexResult(x=np.zeros(n), objective=float("inf"),
+                             iterations=iterations, status="infeasible")
+
+    # drive any remaining artificial variables out of the basis
+    for i, b in enumerate(basis):
+        if b >= total_vars:
+            pivot_col = next(
+                (j for j in range(total_vars) if abs(tableau[i, j]) > _EPS), None
+            )
+            if pivot_col is not None:
+                _pivot(tableau, i, pivot_col)
+                basis[i] = pivot_col
+
+    # rows whose basic variable is still artificial are redundant constraints
+    keep_rows = [i for i, b in enumerate(basis) if b < total_vars]
+    tableau = tableau[keep_rows]
+    basis = [basis[i] for i in keep_rows]
+
+    # --- phase two: drop artificial columns, optimise the real objective --
+    tableau = np.hstack([tableau[:, :total_vars], tableau[:, -1:]])
+    phase2_cost = np.concatenate([cost_full, [0.0]])
+    iterations += _run_simplex(tableau, basis, phase2_cost, max_iterations)
+
+    x_full = np.zeros(total_vars)
+    for i, b in enumerate(basis):
+        if b < total_vars:
+            x_full[b] = tableau[i, -1]
+    x = x_full[:n]
+    return SimplexResult(x=x, objective=float(c @ x), iterations=iterations,
+                         status="optimal")
+
+
+def _run_simplex(tableau: np.ndarray, basis: list[int], cost: np.ndarray,
+                 max_iterations: int) -> int:
+    """Run primal simplex pivots in place; return the pivot count."""
+    m = tableau.shape[0]
+    n_cols = tableau.shape[1] - 1
+    iterations = 0
+    while True:
+        # reduced costs: c_j - c_B @ B^{-1} A_j  (computed from the tableau)
+        cb = cost[basis]
+        reduced = cost[:n_cols] - cb @ tableau[:, :n_cols]
+        # Bland's rule: smallest index with negative reduced cost
+        entering = next((j for j in range(n_cols) if reduced[j] < -_EPS), None)
+        if entering is None:
+            return iterations
+        # ratio test
+        ratios = []
+        for i in range(m):
+            if tableau[i, entering] > _EPS:
+                ratios.append((tableau[i, -1] / tableau[i, entering], basis[i], i))
+        if not ratios:
+            raise SolverError("LP is unbounded")
+        ratios.sort(key=lambda r: (r[0], r[1]))
+        leaving_row = ratios[0][2]
+        _pivot(tableau, leaving_row, entering)
+        basis[leaving_row] = entering
+        iterations += 1
+        if iterations > max_iterations:
+            raise SolverError(
+                f"simplex exceeded the iteration cap ({max_iterations}); "
+                "the instance is too large for the educational backend"
+            )
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot of the tableau on (row, col)."""
+    tableau[row] /= tableau[row, col]
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > 0:
+            tableau[i] -= tableau[i, col] * tableau[row]

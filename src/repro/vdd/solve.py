@@ -1,0 +1,30 @@
+"""Dispatching solver for the Vdd-Hopping model."""
+
+from __future__ import annotations
+
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import Solution
+from repro.utils.errors import InvalidModelError
+from repro.vdd.lp import solve_vdd_lp
+from repro.vdd.mixing import solve_vdd_mixing
+
+
+def solve_vdd_hopping(problem: MinEnergyProblem, *, method: str = "lp",
+                      backend: str = "highs") -> Solution:
+    """Solve a Vdd-Hopping instance.
+
+    Parameters
+    ----------
+    problem:
+        The instance; its model must be a :class:`VddHoppingModel`.
+    method:
+        ``"lp"`` (optimal, Theorem 3; the default) or ``"mixing"`` (the fast
+        two-adjacent-mode heuristic built on the Continuous optimum).
+    backend:
+        LP backend when ``method="lp"``: ``"highs"`` or ``"simplex"``.
+    """
+    if method == "lp":
+        return solve_vdd_lp(problem, backend=backend)
+    if method == "mixing":
+        return solve_vdd_mixing(problem)
+    raise InvalidModelError(f"unknown Vdd-Hopping method {method!r} (use 'lp' or 'mixing')")

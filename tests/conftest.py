@@ -1,0 +1,81 @@
+"""Shared pytest fixtures and an import fallback for non-installed checkouts."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+# Allow running the test suite from a fresh checkout without installation
+# (e.g. in offline environments where `pip install -e .` is unavailable).
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:  # pragma: no cover - only hit without installation
+        sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.core.models import ContinuousModel, DiscreteModel, IncrementalModel, VddHoppingModel
+from repro.core.problem import MinEnergyProblem
+from repro.graphs import generators
+
+
+@pytest.fixture
+def small_fork():
+    """A 4-leaf fork graph with fixed weights (Theorem 1 shape)."""
+    return generators.fork(4, source_work=2.0, works=[1.0, 2.0, 3.0, 4.0])
+
+
+@pytest.fixture
+def small_chain():
+    """A 5-task chain with fixed weights."""
+    return generators.chain(5, works=[1.0, 2.0, 3.0, 2.0, 1.0])
+
+
+@pytest.fixture
+def small_sp_graph():
+    """A deterministic series-parallel graph with 10 tasks."""
+    return generators.random_series_parallel(10, seed=42)
+
+
+@pytest.fixture
+def small_layered_dag():
+    """A deterministic layered DAG with 12 tasks (not series-parallel in general)."""
+    return generators.layered_dag(12, seed=7)
+
+
+@pytest.fixture
+def four_modes():
+    """A small irregular mode set."""
+    return (0.4, 0.7, 0.8, 1.0)
+
+
+@pytest.fixture
+def continuous_model():
+    return ContinuousModel(s_max=1.0)
+
+
+@pytest.fixture
+def discrete_model(four_modes):
+    return DiscreteModel(modes=four_modes)
+
+
+@pytest.fixture
+def vdd_model(four_modes):
+    return VddHoppingModel(modes=four_modes)
+
+
+@pytest.fixture
+def incremental_model():
+    return IncrementalModel.from_range(0.2, 1.0, 0.2)
+
+
+@pytest.fixture
+def layered_problem(small_layered_dag):
+    """A Continuous problem on the layered DAG with 50% deadline slack."""
+    from repro.graphs.analysis import longest_path_length
+
+    min_makespan = longest_path_length(small_layered_dag)
+    return MinEnergyProblem(graph=small_layered_dag, deadline=1.5 * min_makespan,
+                            model=ContinuousModel(s_max=1.0))

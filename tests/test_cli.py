@@ -1,0 +1,93 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import generators, graph_to_json
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = generators.layered_dag(12, seed=3)
+    path = tmp_path / "graph.json"
+    path.write_text(graph_to_json(graph))
+    return path
+
+
+class TestSolveCommand:
+    def test_continuous_solve(self, graph_file, capsys):
+        code = main(["solve", str(graph_file), "--model", "continuous", "--slack", "1.5"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "continuous"
+        assert payload["energy"] > 0
+        assert payload["makespan"] <= payload["deadline"] * (1 + 1e-6)
+        assert len(payload["speeds"]) == 12
+
+    def test_discrete_solve_with_modes(self, graph_file, capsys):
+        code = main(["solve", str(graph_file), "--model", "discrete",
+                     "--modes", "0.5,1.0", "--slack", "1.6"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["speeds"].values()) <= {0.5, 1.0}
+
+    def test_vdd_solve_with_absolute_deadline(self, graph_file, capsys):
+        graph = generators.layered_dag(12, seed=3)
+        deadline = 1.5 * sum(graph.works().values())
+        code = main(["solve", str(graph_file), "--model", "vdd",
+                     "--modes", "0.4,0.7,1.0", "--deadline", str(deadline)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["solver"].startswith("vdd")
+
+    def test_incremental_solve_default_grid(self, graph_file, capsys):
+        code = main(["solve", str(graph_file), "--model", "incremental", "--slack", "1.5"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "incremental"
+
+    def test_bad_modes_reported(self, graph_file, capsys):
+        code = main(["solve", str(graph_file), "--model", "discrete", "--modes", "a,b"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_graph_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["solve", str(tmp_path / "missing.json")])
+
+    def test_infeasible_reported_as_error(self, graph_file, capsys):
+        code = main(["solve", str(graph_file), "--model", "discrete",
+                     "--modes", "0.5,1.0", "--deadline", "0.001"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_list_experiments(self, capsys):
+        code = main(["experiment", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for key in ("E1", "E5", "E10"):
+            assert key in out
+
+    def test_no_id_lists_experiments(self, capsys):
+        assert main(["experiment"]) == 0
+        assert "E1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        code = main(["experiment", "E99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_structure(self):
+        parser = build_parser()
+        args = parser.parse_args(["solve", "g.json", "--model", "vdd"])
+        assert args.command == "solve"
+        assert args.model == "vdd"
+        args = parser.parse_args(["experiment", "E3", "--csv"])
+        assert args.experiment_id == "E3"
+        assert args.csv

@@ -1,0 +1,277 @@
+"""Tests for the Discrete-model solvers (Theorem 4) and the hardness gadget."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.continuous.bounds import continuous_lower_bound
+from repro.core.models import ContinuousModel, DiscreteModel, IncrementalModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.validation import check_solution
+from repro.discrete import (
+    decide_two_partition_via_energy,
+    solve_chain_discrete_exact,
+    solve_discrete,
+    solve_discrete_best_heuristic,
+    solve_discrete_exact,
+    solve_discrete_greedy_reclaim,
+    solve_discrete_round_up,
+    solve_independent_discrete_exact,
+    two_partition_gadget,
+)
+from repro.graphs import generators
+from repro.graphs.analysis import longest_path_length
+from repro.graphs.taskgraph import TaskGraph
+from repro.utils.errors import (
+    InfeasibleProblemError,
+    InvalidGraphError,
+    InvalidModelError,
+    SolverError,
+)
+
+
+def _problem(graph, slack, modes=(0.4, 0.7, 1.0)):
+    model = DiscreteModel(modes=modes)
+    min_makespan = longest_path_length(graph) / model.max_speed
+    return MinEnergyProblem(graph=graph, deadline=slack * min_makespan, model=model)
+
+
+def _brute_force_optimum(problem):
+    """Reference exhaustive search over all mode assignments (tiny instances)."""
+    import itertools
+
+    graph = problem.graph
+    names = graph.task_names()
+    modes = problem.model.modes
+    best = None
+    from repro.core.solution import SpeedAssignment, compute_schedule
+
+    for combo in itertools.product(modes, repeat=len(names)):
+        speeds = dict(zip(names, combo))
+        durations = {n: graph.work(n) / speeds[n] for n in names}
+        if compute_schedule(graph, durations).makespan > problem.deadline * (1 + 1e-9):
+            continue
+        energy = SpeedAssignment(speeds).energy(graph, problem.power)
+        if best is None or energy < best:
+            best = energy
+    return best
+
+
+class TestExactSolvers:
+    def test_exact_matches_brute_force_on_chain(self):
+        g = generators.chain(5, seed=0)
+        p = _problem(g, 1.5)
+        exact = solve_discrete_exact(p)
+        check_solution(exact)
+        assert exact.energy == pytest.approx(_brute_force_optimum(p), rel=1e-9)
+
+    def test_exact_matches_brute_force_on_layered(self):
+        g = generators.layered_dag(7, seed=1)
+        p = _problem(g, 1.4)
+        exact = solve_discrete_exact(p)
+        check_solution(exact)
+        assert exact.energy == pytest.approx(_brute_force_optimum(p), rel=1e-9)
+
+    def test_exact_requires_mode_model(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=100.0, model=ContinuousModel())
+        with pytest.raises(InvalidModelError):
+            solve_discrete_exact(p)
+
+    def test_exact_infeasible_instance(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=1.0,
+                             model=DiscreteModel(modes=(0.5, 1.0)))
+        with pytest.raises(InfeasibleProblemError):
+            solve_discrete_exact(p)
+
+    def test_exact_node_cap(self):
+        g = generators.layered_dag(16, seed=2)
+        p = _problem(g, 1.5, modes=(0.2, 0.4, 0.6, 0.8, 1.0))
+        with pytest.raises(SolverError):
+            solve_discrete_exact(p, max_nodes=10)
+
+    def test_exact_accepts_incremental_model(self):
+        g = generators.chain(4, seed=3)
+        model = IncrementalModel.from_range(0.5, 1.0, 0.25)
+        p = MinEnergyProblem(graph=g, deadline=g.total_work() / 0.6, model=model)
+        s = solve_discrete_exact(p)
+        check_solution(s)
+
+    def test_chain_dp_matches_branch_and_bound(self):
+        g = generators.chain(8, seed=4)
+        p = _problem(g, 1.6)
+        dp = solve_chain_discrete_exact(p)
+        bb = solve_discrete_exact(p)
+        check_solution(dp)
+        assert dp.energy == pytest.approx(bb.energy, rel=1e-9)
+
+    def test_chain_dp_rejects_non_chain(self, small_fork):
+        p = _problem(small_fork, 1.5)
+        with pytest.raises(InvalidGraphError):
+            solve_chain_discrete_exact(p)
+
+    def test_chain_dp_infeasible(self):
+        g = generators.chain(3, works=[1.0, 1.0, 1.0])
+        p = MinEnergyProblem(graph=g, deadline=2.0, model=DiscreteModel(modes=(0.5, 1.0)))
+        with pytest.raises(InfeasibleProblemError):
+            solve_chain_discrete_exact(p)
+
+    def test_independent_exact(self):
+        g = TaskGraph(tasks=[("A", 1.0), ("B", 4.0), ("C", 2.0)])
+        p = MinEnergyProblem(graph=g, deadline=5.0,
+                             model=DiscreteModel(modes=(0.5, 1.0, 2.0)))
+        s = solve_independent_discrete_exact(p)
+        check_solution(s)
+        # A: 1/0.5 = 2 <= 5 -> slowest; B: 4/0.5 = 8 > 5, 4/1 = 4 <= 5 -> 1.0
+        assert s.speeds()["A"] == 0.5
+        assert s.speeds()["B"] == 1.0
+        assert s.speeds()["C"] == 0.5
+
+    def test_independent_exact_rejects_edges(self, small_chain):
+        p = _problem(small_chain, 1.5)
+        with pytest.raises(InvalidGraphError):
+            solve_independent_discrete_exact(p)
+
+    def test_independent_exact_infeasible(self):
+        g = TaskGraph(tasks=[("A", 10.0)])
+        p = MinEnergyProblem(graph=g, deadline=1.0, model=DiscreteModel(modes=(1.0,)))
+        with pytest.raises(InfeasibleProblemError):
+            solve_independent_discrete_exact(p)
+
+    @given(st.integers(min_value=2, max_value=7),
+           st.floats(min_value=1.1, max_value=2.5),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_never_beaten_by_heuristics(self, n, slack, seed):
+        g = generators.layered_dag(n, seed=seed)
+        p = _problem(g, slack)
+        exact = solve_discrete_exact(p)
+        heuristic = solve_discrete_best_heuristic(p)
+        check_solution(exact)
+        check_solution(heuristic)
+        assert exact.energy <= heuristic.energy * (1 + 1e-9)
+        assert exact.energy >= continuous_lower_bound(p) * (1 - 1e-6)
+
+
+class TestHeuristics:
+    def test_round_up_feasible_and_admissible(self, small_layered_dag):
+        p = _problem(small_layered_dag, 1.4)
+        s = solve_discrete_round_up(p)
+        check_solution(s)
+        assert s.lower_bound is not None
+        assert s.energy >= s.lower_bound * (1 - 1e-6)
+
+    def test_round_up_exact_when_modes_match_continuous(self):
+        # chain of total work 2, deadline 4 -> continuous speed 0.5 which is a mode
+        g = generators.chain(2, works=[1.0, 1.0])
+        p = MinEnergyProblem(graph=g, deadline=4.0,
+                             model=DiscreteModel(modes=(0.5, 1.0)))
+        s = solve_discrete_round_up(p)
+        assert s.energy == pytest.approx(continuous_lower_bound(p), rel=1e-9)
+
+    def test_greedy_reclaim_improves_on_no_reclaim(self, small_layered_dag):
+        from repro.baselines.naive import solve_no_reclaim
+
+        p = _problem(small_layered_dag, 1.6)
+        greedy = solve_discrete_greedy_reclaim(p)
+        baseline = solve_no_reclaim(p)
+        check_solution(greedy)
+        assert greedy.energy <= baseline.energy * (1 + 1e-9)
+
+    def test_greedy_reclaim_respects_max_passes(self, small_layered_dag):
+        p = _problem(small_layered_dag, 2.0)
+        limited = solve_discrete_greedy_reclaim(p, max_passes=1)
+        assert limited.metadata["moves_applied"] <= 1
+
+    def test_best_heuristic_reports_both(self, small_layered_dag):
+        p = _problem(small_layered_dag, 1.5)
+        best = solve_discrete_best_heuristic(p)
+        assert "round_up_energy" in best.metadata
+        assert "greedy_energy" in best.metadata
+        assert best.energy <= min(best.metadata["round_up_energy"],
+                                  best.metadata["greedy_energy"]) * (1 + 1e-12)
+
+    def test_heuristics_require_mode_model(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=100.0, model=ContinuousModel())
+        with pytest.raises(InvalidModelError):
+            solve_discrete_round_up(p)
+        with pytest.raises(InvalidModelError):
+            solve_discrete_greedy_reclaim(p)
+
+
+class TestDispatcher:
+    def test_dispatch_independent(self):
+        g = TaskGraph(tasks=[("A", 1.0), ("B", 2.0)])
+        p = MinEnergyProblem(graph=g, deadline=5.0, model=DiscreteModel(modes=(0.5, 1.0)))
+        assert solve_discrete(p).solver == "discrete-independent-exact"
+
+    def test_dispatch_chain(self):
+        g = generators.chain(6, seed=5)
+        p = _problem(g, 1.5)
+        assert solve_discrete(p).solver == "discrete-chain-pareto-dp"
+
+    def test_dispatch_small_general_graph_exact(self):
+        g = generators.layered_dag(8, seed=6)
+        p = _problem(g, 1.5)
+        assert solve_discrete(p).solver == "discrete-branch-and-bound"
+
+    def test_dispatch_large_graph_heuristic(self):
+        g = generators.layered_dag(40, seed=7)
+        p = _problem(g, 1.5)
+        s = solve_discrete(p)
+        assert s.solver in ("discrete-round-up", "discrete-greedy-reclaim")
+
+    def test_dispatch_forced_heuristic(self):
+        g = generators.layered_dag(8, seed=8)
+        p = _problem(g, 1.5)
+        s = solve_discrete(p, exact=False)
+        assert s.solver in ("discrete-round-up", "discrete-greedy-reclaim")
+
+    def test_dispatch_rejects_wrong_model(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=100.0, model=ContinuousModel())
+        with pytest.raises(InvalidModelError):
+            solve_discrete(p)
+
+
+class TestHardnessGadget:
+    def test_gadget_structure(self):
+        problem, budget = two_partition_gadget([3, 1, 1, 2, 2, 1])
+        half = 5
+        assert problem.deadline == pytest.approx(1.5 * half)
+        assert budget == pytest.approx(5.0 * half)
+        assert problem.model.modes == (1.0, 2.0)
+        assert problem.graph.n_tasks == 6
+
+    def test_gadget_rejects_bad_input(self):
+        with pytest.raises(InvalidGraphError):
+            two_partition_gadget([])
+        with pytest.raises(InvalidGraphError):
+            two_partition_gadget([1, 2])  # odd sum
+        with pytest.raises(InvalidGraphError):
+            two_partition_gadget([1.5, 0.5])  # type: ignore[list-item]
+        with pytest.raises(InvalidGraphError):
+            two_partition_gadget([2, -2])
+
+    def test_yes_instances(self):
+        assert decide_two_partition_via_energy([1, 1])
+        assert decide_two_partition_via_energy([3, 1, 2, 2])
+        assert decide_two_partition_via_energy([5, 5, 10])  # {10} vs {5,5}
+
+    def test_no_instances(self):
+        assert not decide_two_partition_via_energy([1, 3])
+        assert not decide_two_partition_via_energy([1, 1, 4])
+        assert not decide_two_partition_via_energy([2, 2, 2, 8])
+
+    @given(st.lists(st.integers(min_value=1, max_value=20), min_size=2, max_size=9))
+    @settings(max_examples=40, deadline=None)
+    def test_reduction_agrees_with_subset_sum(self, values):
+        total = sum(values)
+        if total % 2 == 1:
+            values = values + [1]
+            total += 1
+        target = total // 2
+        reachable = {0}
+        for v in values:
+            reachable |= {r + v for r in reachable if r + v <= target}
+        expected = target in reachable
+        assert decide_two_partition_via_energy(values) == expected

@@ -1,0 +1,224 @@
+"""Tests for the Incremental approximation (Theorem 5) and the baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import solve_no_reclaim, solve_proportional_path, solve_uniform_scaling
+from repro.continuous.bounds import continuous_lower_bound
+from repro.core.models import ContinuousModel, DiscreteModel, IncrementalModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.validation import check_solution
+from repro.graphs import generators
+from repro.graphs.analysis import longest_path_length
+from repro.incremental import (
+    ApproximationCertificate,
+    build_incremental_model,
+    grid_from_discrete,
+    incremental_certificate,
+    solve_incremental_approx,
+    solve_incremental_exact,
+)
+from repro.incremental.approx import theorem5_ratio
+from repro.utils.errors import InvalidModelError
+
+
+def _problem(graph, slack, model):
+    min_makespan = longest_path_length(graph) / model.max_speed
+    return MinEnergyProblem(graph=graph, deadline=slack * min_makespan, model=model)
+
+
+class TestGridConstruction:
+    def test_build_from_delta(self):
+        m = build_incremental_model(0.5, 1.0, delta=0.25)
+        assert m.modes == (0.5, 0.75, 1.0)
+
+    def test_build_from_n_modes(self):
+        m = build_incremental_model(0.5, 1.0, n_modes=6)
+        assert m.n_modes == 6
+        assert m.modes[0] == pytest.approx(0.5)
+        assert m.modes[-1] == pytest.approx(1.0)
+
+    def test_build_single_mode(self):
+        m = build_incremental_model(0.5, 1.0, n_modes=1)
+        assert m.modes == (0.5,)
+
+    def test_build_requires_exactly_one_spec(self):
+        with pytest.raises(InvalidModelError):
+            build_incremental_model(0.5, 1.0)
+        with pytest.raises(InvalidModelError):
+            build_incremental_model(0.5, 1.0, delta=0.1, n_modes=3)
+        with pytest.raises(InvalidModelError):
+            build_incremental_model(0.5, 1.0, n_modes=0)
+        with pytest.raises(InvalidModelError):
+            build_incremental_model(1.0, 1.0, n_modes=3)
+
+    def test_grid_from_discrete_covers_range(self):
+        discrete = DiscreteModel(modes=(0.3, 0.5, 1.0))
+        grid = grid_from_discrete(discrete)
+        assert grid.s_min == pytest.approx(0.3)
+        assert grid.delta == pytest.approx(0.5)  # the largest gap
+        assert grid.modes[-1] <= 1.0 + 1e-9
+
+    def test_grid_from_single_mode_discrete(self):
+        grid = grid_from_discrete(DiscreteModel(modes=(0.7,)))
+        assert grid.modes == (0.7,)
+
+
+class TestTheorem5:
+    def test_ratio_formula(self):
+        m = IncrementalModel.from_range(1.0, 2.0, 0.5)
+        assert theorem5_ratio(m, 1) == pytest.approx((1.5 ** 2) * 4.0)
+        assert theorem5_ratio(m, 1000) == pytest.approx(1.5 ** 2 * (1 + 1e-3) ** 2)
+
+    def test_ratio_rejects_bad_k(self):
+        m = IncrementalModel.from_range(1.0, 2.0, 0.5)
+        with pytest.raises(InvalidModelError):
+            theorem5_ratio(m, 0)
+
+    def test_approx_solution_feasible_and_certified(self, small_layered_dag):
+        model = IncrementalModel.from_range(0.25, 1.0, 0.25)
+        p = _problem(small_layered_dag, 1.5, model)
+        s = solve_incremental_approx(p)
+        check_solution(s)
+        assert s.metadata["a_posteriori_ratio"] <= s.metadata["a_priori_ratio"] + 1e-9
+
+    def test_approx_with_small_k_still_feasible(self, small_layered_dag):
+        model = IncrementalModel.from_range(0.25, 1.0, 0.25)
+        p = _problem(small_layered_dag, 1.5, model)
+        s = solve_incremental_approx(p, k=2)
+        check_solution(s)
+
+    def test_approx_rejects_wrong_model(self, small_layered_dag):
+        p = _problem(small_layered_dag, 1.5, ContinuousModel(s_max=1.0))
+        with pytest.raises(InvalidModelError):
+            solve_incremental_approx(p)
+
+    def test_approx_rejects_bad_k(self, small_layered_dag):
+        model = IncrementalModel.from_range(0.25, 1.0, 0.25)
+        p = _problem(small_layered_dag, 1.5, model)
+        with pytest.raises(InvalidModelError):
+            solve_incremental_approx(p, k=0)
+
+    def test_exact_beats_or_equals_approx(self):
+        g = generators.layered_dag(7, seed=1)
+        model = IncrementalModel.from_range(0.25, 1.0, 0.25)
+        p = _problem(g, 1.4, model)
+        exact = solve_incremental_exact(p)
+        approx = solve_incremental_approx(p)
+        check_solution(exact)
+        check_solution(approx)
+        assert exact.energy <= approx.energy * (1 + 1e-9)
+        # Theorem 5: the approximation is within the guaranteed factor of the
+        # exact optimum (a fortiori of the continuous bound)
+        assert approx.energy <= theorem5_ratio(model, 1000) * exact.energy * (1 + 1e-6)
+
+    def test_exact_rejects_wrong_model(self, small_layered_dag):
+        p = _problem(small_layered_dag, 1.5, DiscreteModel(modes=(0.5, 1.0)))
+        with pytest.raises(InvalidModelError):
+            solve_incremental_exact(p)
+
+    def test_certificate_fields(self, small_layered_dag):
+        model = IncrementalModel.from_range(0.25, 1.0, 0.25)
+        p = _problem(small_layered_dag, 1.5, model)
+        lb = continuous_lower_bound(p)
+        cert = incremental_certificate(p, achieved_energy=lb * 1.2,
+                                       continuous_lower_bound=lb)
+        assert isinstance(cert, ApproximationCertificate)
+        assert cert.delta == model.delta
+        assert cert.a_posteriori_ratio <= 1.2 + 1e-9
+        assert cert.is_within_guarantee()
+
+    def test_certificate_rejects_wrong_model(self, small_layered_dag):
+        p = _problem(small_layered_dag, 1.5, ContinuousModel(s_max=1.0))
+        with pytest.raises(InvalidModelError):
+            incremental_certificate(p, 1.0, 1.0)
+
+    def test_finer_grid_never_hurts(self):
+        g = generators.layered_dag(14, seed=2)
+        coarse = IncrementalModel.from_range(0.2, 1.0, 0.4)
+        fine = IncrementalModel.from_range(0.2, 1.0, 0.1)
+        pc = _problem(g, 1.5, coarse)
+        pf = _problem(g, 1.5, fine)
+        assert (solve_incremental_approx(pf).energy
+                <= solve_incremental_approx(pc).energy * (1 + 1e-9))
+
+    @given(st.integers(min_value=2, max_value=15),
+           st.floats(min_value=1.1, max_value=3.0),
+           st.sampled_from([0.4, 0.2, 0.1]),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_theorem5_guarantee_holds(self, n, slack, delta, seed):
+        """Property: the measured ratio never exceeds the proven bound."""
+        g = generators.layered_dag(n, seed=seed)
+        model = IncrementalModel.from_range(0.2, 1.0, delta)
+        p = _problem(g, slack, model)
+        s = solve_incremental_approx(p)
+        check_solution(s)
+        assert s.metadata["a_posteriori_ratio"] <= s.metadata["a_priori_ratio"] * (1 + 1e-9)
+
+
+class TestBaselines:
+    def test_no_reclaim_runs_everything_at_s_max(self, layered_problem):
+        p = layered_problem
+        s = solve_no_reclaim(p)
+        check_solution(s)
+        assert all(v == pytest.approx(1.0) for v in s.speeds().values())
+
+    def test_no_reclaim_requires_finite_s_max(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=100.0, model=ContinuousModel())
+        with pytest.raises(InvalidModelError):
+            solve_no_reclaim(p)
+
+    def test_uniform_scaling_continuous(self, layered_problem):
+        s = solve_uniform_scaling(layered_problem)
+        check_solution(s)
+        speeds = set(round(v, 12) for v in s.speeds().values())
+        assert len(speeds) == 1
+        # the common speed stretches the critical path to the deadline
+        assert s.makespan == pytest.approx(layered_problem.deadline)
+
+    def test_uniform_scaling_discrete_rounds_up(self, small_layered_dag):
+        model = DiscreteModel(modes=(0.25, 0.5, 0.75, 1.0))
+        p = _problem(small_layered_dag, 1.7, model)
+        s = solve_uniform_scaling(p)
+        check_solution(s)
+        assert set(s.speeds().values()) <= set(model.modes)
+
+    def test_uniform_never_better_than_optimal(self, layered_problem):
+        from repro.continuous.solve import solve_continuous
+
+        uniform = solve_uniform_scaling(layered_problem)
+        optimal = solve_continuous(layered_problem)
+        assert optimal.energy <= uniform.energy * (1 + 1e-9)
+
+    def test_no_reclaim_worst_of_all(self, small_layered_dag):
+        model = DiscreteModel(modes=(0.4, 0.7, 1.0))
+        p = _problem(small_layered_dag, 1.8, model)
+        from repro.discrete.heuristics import solve_discrete_best_heuristic
+
+        baseline = solve_no_reclaim(p)
+        reclaimed = solve_discrete_best_heuristic(p)
+        assert reclaimed.energy <= baseline.energy * (1 + 1e-9)
+
+    def test_proportional_path_alias(self, layered_problem):
+        s = solve_proportional_path(layered_problem)
+        assert s.solver == "baseline-proportional-path"
+
+    @given(st.integers(min_value=2, max_value=20),
+           st.floats(min_value=1.05, max_value=4.0),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_savings_grow_with_slack(self, n, slack, seed):
+        """Reclaiming with uniform scaling saves a factor slack**2 exactly
+        (cubic law): E_uniform = E_no_reclaim / slack**2 on the same graph."""
+        g = generators.layered_dag(n, seed=seed)
+        model = ContinuousModel(s_max=1.0)
+        min_makespan = longest_path_length(g)
+        p = MinEnergyProblem(graph=g, deadline=slack * min_makespan, model=model)
+        no_reclaim = solve_no_reclaim(p)
+        uniform = solve_uniform_scaling(p)
+        assert uniform.energy == pytest.approx(no_reclaim.energy / slack ** 2, rel=1e-6)

@@ -1,0 +1,289 @@
+"""Integration tests: the public API end to end, model orderings, experiments.
+
+These tests exercise the whole pipeline the way a user (or the benchmark
+harness) does: generate a workload, map it, solve it under every model,
+validate the solutions, simulate them, and check the orderings the theory
+predicts (Continuous <= Vdd-Hopping <= Discrete exact <= heuristics <=
+no-reclaim, Incremental within its proven factor, ...).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ContinuousModel,
+    DiscreteModel,
+    IncrementalModel,
+    MinEnergyProblem,
+    VddHoppingModel,
+    check_solution,
+    continuous_lower_bound,
+    generators,
+    list_schedule,
+    simulate_solution,
+    solve,
+    solve_no_reclaim,
+    solve_uniform_scaling,
+)
+from repro.graphs.analysis import longest_path_length
+from repro.utils.errors import InvalidModelError
+
+
+def _make_problem(graph, slack, model):
+    min_makespan = longest_path_length(graph) / model.max_speed
+    return MinEnergyProblem(graph=graph, deadline=slack * min_makespan, model=model)
+
+
+MODES = (0.4, 0.6, 0.8, 1.0)
+
+
+class TestPublicAPI:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_docstring_quickstart_runs(self):
+        graph = generators.fork(4, seed=0)
+        problem = MinEnergyProblem(graph=graph, deadline=10.0, model=ContinuousModel())
+        solution = solve(problem)
+        assert solution.energy > 0
+
+    def test_solve_dispatch_per_model(self, small_layered_dag):
+        problems = {
+            "continuous": _make_problem(small_layered_dag, 1.5, ContinuousModel(s_max=1.0)),
+            "discrete": _make_problem(small_layered_dag, 1.5, DiscreteModel(modes=MODES)),
+            "vdd": _make_problem(small_layered_dag, 1.5, VddHoppingModel(modes=MODES)),
+            "incremental": _make_problem(small_layered_dag, 1.5,
+                                         IncrementalModel.from_range(0.4, 1.0, 0.2)),
+        }
+        solvers = {name: solve(p).solver for name, p in problems.items()}
+        assert solvers["continuous"].startswith("continuous")
+        assert solvers["vdd"].startswith("vdd")
+        assert solvers["discrete"].startswith("discrete")
+        assert solvers["incremental"].startswith("incremental")
+
+    def test_solve_rejects_unknown_model(self, small_layered_dag):
+        from repro.core.models import EnergyModel
+
+        class WeirdModel(EnergyModel):
+            pass
+
+        with pytest.raises(InvalidModelError):
+            solve(MinEnergyProblem(graph=small_layered_dag, deadline=100.0,
+                                   model=WeirdModel()))
+
+    def test_exact_flag_for_incremental(self, small_layered_dag):
+        p = _make_problem(small_layered_dag, 1.4,
+                          IncrementalModel.from_range(0.5, 1.0, 0.25))
+        approx = solve(p)
+        exact = solve(p, exact=True)
+        assert exact.energy <= approx.energy * (1 + 1e-9)
+
+
+class TestModelOrderings:
+    """The relations between models that the paper's framework implies."""
+
+    @pytest.mark.parametrize("graph_class", ["chain", "fork", "tree",
+                                             "series_parallel", "layered"])
+    def test_continuous_below_vdd_below_discrete_below_baseline(self, graph_class):
+        builder = generators.GRAPH_CLASSES[graph_class]
+        graph = builder(14, seed=5)
+        slack = 1.5
+        continuous = solve(_make_problem(graph, slack, ContinuousModel(s_max=1.0)))
+        vdd = solve(_make_problem(graph, slack, VddHoppingModel(modes=MODES)))
+        discrete = solve(_make_problem(graph, slack, DiscreteModel(modes=MODES)))
+        baseline = solve_no_reclaim(_make_problem(graph, slack, DiscreteModel(modes=MODES)))
+        for s in (continuous, vdd, discrete, baseline):
+            check_solution(s)
+        assert continuous.energy <= vdd.energy * (1 + 1e-6)
+        assert vdd.energy <= discrete.energy * (1 + 1e-6)
+        assert discrete.energy <= baseline.energy * (1 + 1e-6)
+
+    def test_incremental_between_continuous_and_guarantee(self, small_layered_dag):
+        model = IncrementalModel.from_range(0.4, 1.0, 0.2)
+        p = _make_problem(small_layered_dag, 1.5, model)
+        inc = solve(p)
+        lb = continuous_lower_bound(p)
+        assert lb * (1 - 1e-6) <= inc.energy
+        assert inc.energy <= lb * model.approximation_ratio_vs_continuous() * (1 + 1e-6) \
+            or inc.energy <= inc.metadata["a_priori_ratio"] * lb * (1 + 1e-6)
+
+    def test_vdd_with_two_modes_no_worse_than_discrete_exact(self):
+        graph = generators.layered_dag(8, seed=6)
+        slack = 1.3
+        vdd = solve(_make_problem(graph, slack, VddHoppingModel(modes=(0.5, 1.0))))
+        discrete = solve(_make_problem(graph, slack, DiscreteModel(modes=(0.5, 1.0))),
+                         exact=True)
+        assert vdd.energy <= discrete.energy * (1 + 1e-6)
+
+    def test_looser_deadline_never_costs_more(self, small_layered_dag):
+        tight = solve(_make_problem(small_layered_dag, 1.2, ContinuousModel(s_max=1.0)))
+        loose = solve(_make_problem(small_layered_dag, 2.4, ContinuousModel(s_max=1.0)))
+        assert loose.energy <= tight.energy * (1 + 1e-9)
+
+    def test_more_modes_never_hurt_vdd(self, small_layered_dag):
+        few = solve(_make_problem(small_layered_dag, 1.5, VddHoppingModel(modes=(0.4, 1.0))))
+        many = solve(_make_problem(small_layered_dag, 1.5, VddHoppingModel(modes=MODES)))
+        assert many.energy <= few.energy * (1 + 1e-6)
+
+    @given(st.integers(min_value=3, max_value=16),
+           st.floats(min_value=1.1, max_value=2.5),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_full_ordering_property(self, n, slack, seed):
+        graph = generators.layered_dag(n, seed=seed)
+        continuous = solve(_make_problem(graph, slack, ContinuousModel(s_max=1.0)))
+        vdd = solve(_make_problem(graph, slack, VddHoppingModel(modes=MODES)))
+        discrete = solve(_make_problem(graph, slack, DiscreteModel(modes=MODES)))
+        uniform = solve_uniform_scaling(_make_problem(graph, slack, DiscreteModel(modes=MODES)))
+        baseline = solve_no_reclaim(_make_problem(graph, slack, DiscreteModel(modes=MODES)))
+        assert continuous.energy <= vdd.energy * (1 + 1e-6)
+        assert vdd.energy <= discrete.energy * (1 + 1e-6)
+        assert discrete.energy <= uniform.energy * (1 + 1e-6)
+        assert uniform.energy <= baseline.energy * (1 + 1e-6)
+
+
+class TestMappedWorkflow:
+    """Full pipeline: generate -> map -> solve -> simulate."""
+
+    def test_mapped_pipeline_all_models(self):
+        graph = generators.layered_dag(25, seed=7)
+        execution = list_schedule(graph, 4)
+        combined = execution.combined_graph()
+        deadline = 1.6 * longest_path_length(combined)
+        for model in (ContinuousModel(s_max=1.0), DiscreteModel(modes=MODES),
+                      VddHoppingModel(modes=MODES),
+                      IncrementalModel.from_range(0.4, 1.0, 0.2)):
+            problem = MinEnergyProblem(graph=combined, deadline=deadline, model=model)
+            solution = solve(problem)
+            check_solution(solution)
+            trace = simulate_solution(solution, execution=execution)
+            assert trace.total_energy == pytest.approx(solution.energy, rel=1e-6)
+            assert trace.makespan <= deadline * (1 + 1e-6)
+
+    def test_mapping_reduces_available_parallelism(self):
+        """Mapping onto fewer processors only adds constraints, so the
+        continuous optimum can only increase."""
+        graph = generators.layered_dag(20, seed=8)
+        deadline = 2.0 * longest_path_length(graph)
+
+        def optimum(n_proc):
+            if n_proc == 0:
+                combined = graph
+            else:
+                combined = list_schedule(graph, n_proc).combined_graph()
+            p = MinEnergyProblem(graph=combined, deadline=deadline,
+                                 model=ContinuousModel(s_max=1.0))
+            return solve(p).energy
+
+        unmapped = optimum(0)
+        eight = optimum(8)
+        two = optimum(2)
+        assert unmapped <= eight * (1 + 1e-6)
+        assert eight <= two * (1 + 1e-6)
+
+
+class TestExperimentDrivers:
+    """Smoke-test every experiment driver at a reduced scale."""
+
+    def test_e1_closed_form_agreement(self):
+        from repro.experiments.drivers import experiment_e1_fork_closed_form
+
+        table = experiment_e1_fork_closed_form(sizes=(2, 4), slacks=(1.2, 2.0), seed=1)
+        assert len(table) == 4
+        assert max(table.column("relative_difference")) < 1e-6
+
+    def test_e2_tree_sp_agreement(self):
+        from repro.experiments.drivers import experiment_e2_tree_sp
+
+        table = experiment_e2_tree_sp(sizes=(8,), seed=2)
+        assert max(table.column("relative_difference")) < 1e-4
+
+    def test_e3_orderings(self):
+        from repro.experiments.drivers import experiment_e3_vdd_lp
+
+        table = experiment_e3_vdd_lp(n_tasks=10, mode_counts=(2, 4), repetitions=1, seed=3)
+        assert all(r >= 1.0 - 1e-9 for r in table.column("lp_over_lb"))
+        assert all(r >= 1.0 - 1e-9 for r in table.column("mixing_over_lp"))
+
+    def test_e4_reduction_agreement(self):
+        from repro.experiments.drivers import experiment_e4_discrete_exact
+
+        table = experiment_e4_discrete_exact(sizes=(6,), repetitions=2, seed=4)
+        assert all(a == 1.0 for a in table.column("two_partition_agreement"))
+        assert all(r >= 1.0 - 1e-9 for r in table.column("heuristic_over_exact"))
+
+    def test_e5_guarantees(self):
+        from repro.experiments.drivers import experiment_e5_incremental_approx
+
+        table = experiment_e5_incremental_approx(n_tasks=8, deltas=(0.35,), k_values=(1000,),
+                                                 repetitions=1, seed=5)
+        assert all(table.column("within_guarantee"))
+
+    def test_e6_monotone_convergence(self):
+        from repro.experiments.drivers import experiment_e6_modes_sweep
+
+        table = experiment_e6_modes_sweep(n_tasks=10, mode_counts=(2, 8), repetitions=1, seed=6)
+        vdd = table.column("vdd_ratio")
+        assert vdd[-1] <= vdd[0] + 1e-9  # more modes help
+        assert all(v >= 1.0 - 1e-9 for v in vdd)
+
+    def test_e7_and_e9_baseline_relations(self):
+        from repro.experiments.drivers import (
+            experiment_e7_deadline_sweep,
+            experiment_e9_reclaiming_gain,
+        )
+
+        t7 = experiment_e7_deadline_sweep(n_tasks=10, slacks=(1.2, 2.0), n_modes=4,
+                                          repetitions=1, seed=7)
+        assert all(r >= 1.0 - 1e-9 for r in t7.column("vdd_ratio"))
+        t9 = experiment_e9_reclaiming_gain(n_tasks=10, slacks=(1.5,), n_modes=4,
+                                           repetitions=1, seed=8)
+        # the continuous model reclaims the most energy
+        row = t9.rows[0]
+        columns = list(t9.columns)
+        cont = row[columns.index("continuous_saving")]
+        for label in ("vdd_saving", "discrete_saving", "incremental_saving", "uniform_saving"):
+            assert cont >= row[columns.index(label)] - 1e-9
+
+    def test_e8_covers_requested_classes(self):
+        from repro.experiments.drivers import experiment_e8_graph_classes
+
+        table = experiment_e8_graph_classes(n_tasks=10, repetitions=1, seed=9,
+                                            classes=("chain", "fork"))
+        assert table.column("graph_class") == ["chain", "fork"]
+
+    def test_e10_reports_positive_timings(self):
+        from repro.experiments.drivers import experiment_e10_scalability
+
+        table = experiment_e10_scalability(sizes=(10,), seed=10)
+        assert all(v > 0 for v in table.rows[0][1:])
+
+    def test_workload_ensemble_reproducible(self):
+        from repro.experiments.workloads import WorkloadSpec, workload_ensemble
+
+        spec = WorkloadSpec(graph_class="layered", n_tasks=12, seed=3)
+        a = workload_ensemble(spec, repetitions=3)
+        b = workload_ensemble(spec, repetitions=3)
+        assert [p.deadline for p in a] == [p.deadline for p in b]
+        assert [p.graph.works() for p in a] == [p.graph.works() for p in b]
+
+    def test_workload_spec_validation(self):
+        from repro.experiments.workloads import WorkloadSpec, make_workload
+
+        with pytest.raises(InvalidModelError):
+            make_workload(WorkloadSpec(graph_class="hypercube"))
+        with pytest.raises(InvalidModelError):
+            make_workload(WorkloadSpec(mapping="teleport"))
+
+    def test_matching_models_consistency(self):
+        from repro.experiments.workloads import matching_models
+
+        models = matching_models(1.0, 4)
+        assert models["discrete"].modes == models["vdd"].modes
+        assert models["incremental"].n_modes == 4
+        assert models["continuous"].max_speed == 1.0

@@ -1,0 +1,181 @@
+"""Tests for the mapping substrate (execution graphs and mapping producers)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators
+from repro.graphs.analysis import longest_path_length, topological_order
+from repro.graphs.taskgraph import TaskGraph
+from repro.mapping import (
+    ExecutionGraph,
+    bottom_levels,
+    list_schedule,
+    load_balance_mapping,
+    one_task_per_processor,
+    round_robin_mapping,
+    single_processor_mapping,
+    top_levels,
+)
+from repro.utils.errors import InvalidGraphError
+
+
+class TestExecutionGraph:
+    def test_trivial_mapping_equals_task_graph(self):
+        g = generators.layered_dag(10, seed=0)
+        eg = ExecutionGraph.trivial(g)
+        assert eg.n_processors == 10
+        assert set(eg.combined_graph().edges()) == set(g.edges())
+        assert eg.processor_edges() == []
+
+    def test_single_processor_adds_chain_edges(self):
+        g = generators.fork(3, source_work=1.0, works=[1.0, 1.0, 1.0])
+        eg = ExecutionGraph(task_graph=g, processor_lists={0: ["T0", "T1", "T2", "T3"]})
+        combined = eg.combined_graph()
+        assert combined.has_edge("T1", "T2")
+        assert combined.has_edge("T2", "T3")
+        assert len(eg.processor_edges()) == 2  # T1->T2, T2->T3 (T0->T1 already exists)
+
+    def test_processor_of_and_work(self):
+        g = generators.chain(4, works=[1.0, 2.0, 3.0, 4.0])
+        eg = ExecutionGraph(task_graph=g,
+                            processor_lists={0: ["T1", "T3"], 1: ["T2", "T4"]})
+        assert eg.processor_of("T3") == 0
+        assert eg.processor_work() == {0: 4.0, 1: 6.0}
+
+    def test_unknown_task_in_list_rejected(self):
+        g = generators.chain(2, works=[1.0, 1.0])
+        with pytest.raises(InvalidGraphError):
+            ExecutionGraph(task_graph=g, processor_lists={0: ["T1", "ghost"]})
+
+    def test_duplicate_task_rejected(self):
+        g = generators.chain(2, works=[1.0, 1.0])
+        with pytest.raises(InvalidGraphError):
+            ExecutionGraph(task_graph=g, processor_lists={0: ["T1"], 1: ["T1", "T2"]})
+
+    def test_unmapped_task_rejected(self):
+        g = generators.chain(2, works=[1.0, 1.0])
+        with pytest.raises(InvalidGraphError):
+            ExecutionGraph(task_graph=g, processor_lists={0: ["T1"]})
+
+    def test_order_incompatible_with_precedence_rejected(self):
+        g = generators.chain(2, works=[1.0, 1.0])
+        with pytest.raises(InvalidGraphError):
+            ExecutionGraph(task_graph=g, processor_lists={0: ["T2", "T1"]})
+
+    def test_from_processor_assignment(self):
+        g = generators.layered_dag(12, seed=1)
+        assignment = {t: i % 3 for i, t in enumerate(topological_order(g))}
+        eg = ExecutionGraph.from_processor_assignment(g, assignment)
+        assert eg.n_processors <= 3
+        assert eg.combined_graph().is_dag()
+
+    def test_from_processor_assignment_missing_task(self):
+        g = generators.chain(3, works=[1.0] * 3)
+        with pytest.raises(InvalidGraphError):
+            ExecutionGraph.from_processor_assignment(g, {"T1": 0})
+
+
+class TestLevels:
+    def test_bottom_levels_chain(self):
+        g = generators.chain(3, works=[1.0, 2.0, 3.0])
+        bl = bottom_levels(g)
+        assert bl["T1"] == pytest.approx(6.0)
+        assert bl["T3"] == pytest.approx(3.0)
+
+    def test_top_levels_chain(self):
+        g = generators.chain(3, works=[1.0, 2.0, 3.0])
+        tl = top_levels(g)
+        assert tl["T1"] == 0.0
+        assert tl["T3"] == pytest.approx(3.0)
+
+    def test_bottom_level_equals_critical_path_at_source(self):
+        g = generators.layered_dag(20, seed=2)
+        bl = bottom_levels(g)
+        assert max(bl.values()) == pytest.approx(longest_path_length(g))
+
+
+class TestMappingProducers:
+    def test_list_schedule_partitions_tasks(self):
+        g = generators.layered_dag(30, seed=3)
+        eg = list_schedule(g, 4)
+        mapped = [t for tasks in eg.processor_lists.values() for t in tasks]
+        assert sorted(mapped) == sorted(g.task_names())
+        assert eg.n_processors <= 4
+        assert eg.combined_graph().is_dag()
+
+    def test_list_schedule_single_processor_serialises(self):
+        g = generators.layered_dag(10, seed=4)
+        eg = list_schedule(g, 1)
+        combined = eg.combined_graph()
+        # a single processor forces a total order: n-1 consecutive edges exist
+        order = eg.processor_lists[0]
+        assert len(order) == g.n_tasks
+        for a, b in zip(order, order[1:]):
+            assert combined.has_edge(a, b)
+
+    def test_list_schedule_makespan_not_worse_than_single(self):
+        g = generators.layered_dag(24, seed=5)
+        multi = list_schedule(g, 4).combined_graph()
+        single = single_processor_mapping(g).combined_graph()
+        assert longest_path_length(multi) <= longest_path_length(single) + 1e-9
+
+    def test_list_schedule_invalid_inputs(self):
+        g = generators.chain(3, works=[1.0] * 3)
+        with pytest.raises(InvalidGraphError):
+            list_schedule(g, 0)
+        with pytest.raises(InvalidGraphError):
+            list_schedule(g, 2, reference_speed=0.0)
+
+    def test_round_robin_mapping(self):
+        g = generators.layered_dag(9, seed=6)
+        eg = round_robin_mapping(g, 3)
+        sizes = sorted(len(v) for v in eg.processor_lists.values())
+        assert sum(sizes) == 9
+        assert max(sizes) - min(sizes) <= 1
+        assert eg.combined_graph().is_dag()
+
+    def test_load_balance_mapping_balances_work(self):
+        g = generators.layered_dag(40, seed=7)
+        eg = load_balance_mapping(g, 4)
+        loads = list(eg.processor_work().values())
+        assert max(loads) <= g.total_work()  # sanity
+        # greedy balancing keeps the spread below the largest single task + mean
+        mean = g.total_work() / 4
+        largest = max(g.work(t) for t in g.task_names())
+        assert max(loads) - min(loads) <= largest + mean
+
+    def test_single_processor_mapping(self):
+        g = generators.layered_dag(8, seed=8)
+        eg = single_processor_mapping(g)
+        assert eg.n_processors == 1
+        assert longest_path_length(eg.combined_graph()) == pytest.approx(g.total_work())
+
+    def test_one_task_per_processor(self):
+        g = generators.layered_dag(8, seed=9)
+        eg = one_task_per_processor(g)
+        assert eg.n_processors == 8
+
+    def test_invalid_processor_counts(self):
+        g = generators.chain(3, works=[1.0] * 3)
+        for fn in (round_robin_mapping, load_balance_mapping):
+            with pytest.raises(InvalidGraphError):
+                fn(g, 0)
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_all_producers_yield_valid_execution_graphs(self, n, p, seed):
+        g = generators.layered_dag(n, seed=seed)
+        for producer in (lambda: list_schedule(g, p),
+                         lambda: round_robin_mapping(g, p),
+                         lambda: load_balance_mapping(g, p),
+                         lambda: single_processor_mapping(g)):
+            eg = producer()
+            combined = eg.combined_graph()
+            assert combined.is_dag()
+            assert set(combined.task_names()) == set(g.task_names())
+            # original precedence edges are preserved
+            for u, v in g.edges():
+                assert combined.has_edge(u, v)

@@ -1,0 +1,310 @@
+"""Tests for MinEnergyProblem, assignments, schedules and the validator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.models import ContinuousModel, DiscreteModel, VddHoppingModel
+from repro.core.power import CUBIC, PowerLaw
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import (
+    HoppingAssignment,
+    SpeedAssignment,
+    assignments_close,
+    compute_schedule,
+    make_solution,
+)
+from repro.core.validation import check_assignment, check_solution, is_feasible_assignment
+from repro.graphs import generators
+from repro.graphs.taskgraph import TaskGraph
+from repro.mapping.execution_graph import ExecutionGraph
+from repro.utils.errors import (
+    InfeasibleProblemError,
+    InvalidGraphError,
+    InvalidModelError,
+    InvalidSolutionError,
+)
+
+
+class TestMinEnergyProblem:
+    def test_basic_construction(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0)
+        assert p.n_tasks == 5
+        assert "MinEnergy" in p.name
+
+    def test_accepts_execution_graph(self, small_chain):
+        eg = ExecutionGraph.trivial(small_chain)
+        p = MinEnergyProblem(graph=eg, deadline=20.0)
+        assert isinstance(p.graph, TaskGraph)
+        assert p.n_tasks == 5
+
+    def test_rejects_non_graph(self):
+        with pytest.raises(InvalidGraphError):
+            MinEnergyProblem(graph="not a graph", deadline=1.0)
+
+    def test_rejects_invalid_deadline(self, small_chain):
+        with pytest.raises(InvalidModelError):
+            MinEnergyProblem(graph=small_chain, deadline=0.0)
+        with pytest.raises(InvalidModelError):
+            MinEnergyProblem(graph=small_chain, deadline=math.inf)
+
+    def test_rejects_non_model(self, small_chain):
+        with pytest.raises(InvalidModelError):
+            MinEnergyProblem(graph=small_chain, deadline=1.0, model="continuous")
+
+    def test_rejects_cyclic_graph(self):
+        g = TaskGraph(tasks=[("A", 1.0), ("B", 1.0)], edges=[("A", "B"), ("B", "A")])
+        with pytest.raises(InvalidGraphError):
+            MinEnergyProblem(graph=g, deadline=1.0)
+
+    def test_min_makespan_chain(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0,
+                             model=ContinuousModel(s_max=2.0))
+        assert p.min_makespan() == pytest.approx(small_chain.total_work() / 2.0)
+
+    def test_min_makespan_uncapped_model(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0, model=ContinuousModel())
+        assert p.min_makespan() == 0.0
+        assert p.slack_factor() == math.inf
+
+    def test_feasibility(self, small_chain):
+        feasible = MinEnergyProblem(graph=small_chain, deadline=10.0,
+                                    model=ContinuousModel(s_max=1.0))
+        assert feasible.is_feasible()
+        infeasible = MinEnergyProblem(graph=small_chain, deadline=5.0,
+                                      model=ContinuousModel(s_max=1.0))
+        assert not infeasible.is_feasible()
+        with pytest.raises(InfeasibleProblemError):
+            infeasible.ensure_feasible()
+
+    def test_slack_factor(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=18.0,
+                             model=ContinuousModel(s_max=1.0))
+        assert p.slack_factor() == pytest.approx(2.0)
+
+    def test_earliest_completion_times_default_speed(self, small_fork):
+        p = MinEnergyProblem(graph=small_fork, deadline=20.0,
+                             model=ContinuousModel(s_max=1.0))
+        ect = p.earliest_completion_times()
+        assert ect["T0"] == pytest.approx(2.0)
+        assert ect["T4"] == pytest.approx(6.0)
+
+    def test_earliest_completion_times_custom_speeds(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0,
+                             model=ContinuousModel(s_max=1.0))
+        ect = p.earliest_completion_times({n: 2.0 for n in small_chain.task_names()})
+        assert ect["T5"] == pytest.approx(small_chain.total_work() / 2.0)
+
+    def test_earliest_completion_missing_speed(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0,
+                             model=ContinuousModel(s_max=1.0))
+        with pytest.raises(InvalidModelError):
+            p.earliest_completion_times({"T1": 1.0})
+
+    def test_latest_completion_times(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0,
+                             model=ContinuousModel(s_max=1.0))
+        lct = p.latest_completion_times()
+        assert lct["T5"] == pytest.approx(20.0)
+        # earlier tasks must leave room for the downstream work at s_max
+        assert lct["T1"] == pytest.approx(20.0 - (2.0 + 3.0 + 2.0 + 1.0))
+
+    def test_uncapped_model_requires_speeds_for_timing(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0, model=ContinuousModel())
+        with pytest.raises(InvalidModelError):
+            p.earliest_completion_times()
+
+    def test_with_model_and_deadline(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0,
+                             model=ContinuousModel(s_max=1.0))
+        q = p.with_model(DiscreteModel(modes=(1.0,)))
+        assert q.model.name == "discrete"
+        assert q.deadline == p.deadline
+        r = p.with_deadline(30.0)
+        assert r.deadline == 30.0
+        assert r.model is p.model
+
+
+class TestSpeedAssignment:
+    def test_durations_and_energy(self, small_chain):
+        a = SpeedAssignment({n: 2.0 for n in small_chain.task_names()})
+        durations = a.durations(small_chain)
+        assert durations["T2"] == pytest.approx(1.0)
+        # cubic: E = sum w * s^2 = 9 * 4
+        assert a.energy(small_chain) == pytest.approx(small_chain.total_work() * 4.0)
+
+    def test_task_energy(self):
+        a = SpeedAssignment({"A": 3.0})
+        assert a.task_energy("A", 2.0) == pytest.approx(18.0)
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(InvalidSolutionError):
+            SpeedAssignment({"A": 0.0})
+
+    def test_scaled(self):
+        a = SpeedAssignment({"A": 1.0, "B": 2.0})
+        b = a.scaled(2.0)
+        assert b.speeds["B"] == 4.0
+        with pytest.raises(InvalidSolutionError):
+            a.scaled(0.0)
+
+    def test_assignments_close(self):
+        a = SpeedAssignment({"A": 1.0, "B": 2.0})
+        b = SpeedAssignment({"A": 1.0 + 1e-9, "B": 2.0})
+        c = SpeedAssignment({"A": 1.5, "B": 2.0})
+        assert assignments_close(a, b)
+        assert not assignments_close(a, c)
+        assert not assignments_close(a, SpeedAssignment({"A": 1.0}))
+
+
+class TestHoppingAssignment:
+    def test_energy_and_work(self):
+        segs = {"A": [(1.0, 2.0), (2.0, 1.0)]}  # 2 + 2 = 4 work units
+        h = HoppingAssignment(segments=segs)
+        assert h.executed_work("A") == pytest.approx(4.0)
+        assert h.duration("A") == pytest.approx(3.0)
+        assert h.task_energy("A") == pytest.approx(1.0 * 2.0 + 8.0 * 1.0)
+        assert h.average_speeds()["A"] == pytest.approx(4.0 / 3.0)
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(InvalidSolutionError):
+            HoppingAssignment(segments={"A": []})
+
+    def test_invalid_segment_values(self):
+        with pytest.raises(InvalidSolutionError):
+            HoppingAssignment(segments={"A": [(0.0, 1.0)]})
+        with pytest.raises(InvalidSolutionError):
+            HoppingAssignment(segments={"A": [(1.0, -1.0)]})
+
+    def test_from_constant_speeds(self, small_chain):
+        a = SpeedAssignment({n: 2.0 for n in small_chain.task_names()})
+        h = HoppingAssignment.from_constant_speeds(a, small_chain)
+        assert h.energy(small_chain) == pytest.approx(a.energy(small_chain))
+        assert h.durations(small_chain) == pytest.approx(a.durations(small_chain))
+
+
+class TestScheduleAndSolution:
+    def test_compute_schedule_chain(self, small_chain):
+        durations = {n: small_chain.work(n) for n in small_chain.task_names()}
+        sched = compute_schedule(small_chain, durations)
+        assert sched.makespan == pytest.approx(small_chain.total_work())
+        assert sched.start["T1"] == 0.0
+        assert sched.task_interval("T2") == (pytest.approx(1.0), pytest.approx(3.0))
+
+    def test_compute_schedule_fork(self, small_fork):
+        durations = {n: small_fork.work(n) for n in small_fork.task_names()}
+        sched = compute_schedule(small_fork, durations)
+        # all leaves start when the source finishes
+        assert sched.start["T3"] == pytest.approx(2.0)
+        assert sched.makespan == pytest.approx(6.0)
+
+    def test_make_solution_recomputes_energy(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0,
+                             model=ContinuousModel(s_max=2.0))
+        a = SpeedAssignment({n: 1.0 for n in small_chain.task_names()})
+        s = make_solution(p, a, solver="test")
+        assert s.energy == pytest.approx(a.energy(small_chain))
+        assert s.makespan == pytest.approx(small_chain.total_work())
+        assert "test" in s.summary()
+
+    def test_solution_gap_and_ratio(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=20.0,
+                             model=ContinuousModel(s_max=2.0))
+        a = SpeedAssignment({n: 1.0 for n in small_chain.task_names()})
+        s = make_solution(p, a, solver="test", lower_bound=a.energy(small_chain) / 2)
+        assert s.gap_to_lower_bound() == pytest.approx(1.0)
+        assert s.energy_ratio(s.energy) == pytest.approx(1.0)
+        with pytest.raises(InvalidSolutionError):
+            s.energy_ratio(0.0)
+
+    def test_solution_speeds_for_hopping(self, small_chain):
+        p = MinEnergyProblem(graph=small_chain, deadline=40.0,
+                             model=VddHoppingModel(modes=(0.5, 1.0)))
+        segs = {n: [(1.0, small_chain.work(n))] for n in small_chain.task_names()}
+        s = make_solution(p, HoppingAssignment(segments=segs), solver="test")
+        assert s.speeds()["T1"] == pytest.approx(1.0)
+
+
+class TestValidation:
+    def _problem(self, graph, deadline, model=None):
+        return MinEnergyProblem(graph=graph, deadline=deadline,
+                                model=model or ContinuousModel(s_max=2.0))
+
+    def test_valid_assignment_passes(self, small_chain):
+        p = self._problem(small_chain, 20.0)
+        a = SpeedAssignment({n: 1.0 for n in small_chain.task_names()})
+        check_assignment(p, a)
+        assert is_feasible_assignment(p, a)
+
+    def test_missing_task_detected(self, small_chain):
+        p = self._problem(small_chain, 20.0)
+        a = SpeedAssignment({"T1": 1.0})
+        with pytest.raises(InvalidSolutionError):
+            check_assignment(p, a)
+
+    def test_extra_task_detected(self, small_chain):
+        p = self._problem(small_chain, 20.0)
+        speeds = {n: 1.0 for n in small_chain.task_names()}
+        speeds["ghost"] = 1.0
+        with pytest.raises(InvalidSolutionError):
+            check_assignment(p, SpeedAssignment(speeds))
+
+    def test_deadline_violation_detected(self, small_chain):
+        p = self._problem(small_chain, 5.0)
+        a = SpeedAssignment({n: 1.0 for n in small_chain.task_names()})  # needs 9 time units
+        with pytest.raises(InvalidSolutionError):
+            check_assignment(p, a)
+        assert not is_feasible_assignment(p, a)
+
+    def test_inadmissible_speed_detected(self, small_chain):
+        p = self._problem(small_chain, 20.0, model=DiscreteModel(modes=(1.0, 2.0)))
+        a = SpeedAssignment({n: 1.5 for n in small_chain.task_names()})
+        with pytest.raises(InvalidSolutionError):
+            check_assignment(p, a)
+        # but passes when admissibility checking is off
+        check_assignment(p, a, check_admissibility=False)
+
+    def test_speed_above_continuous_cap_detected(self, small_chain):
+        p = self._problem(small_chain, 20.0, model=ContinuousModel(s_max=1.0))
+        a = SpeedAssignment({n: 1.5 for n in small_chain.task_names()})
+        with pytest.raises(InvalidSolutionError):
+            check_assignment(p, a)
+
+    def test_hopping_work_mismatch_detected(self, small_chain):
+        p = self._problem(small_chain, 40.0, model=VddHoppingModel(modes=(1.0, 2.0)))
+        segs = {n: [(1.0, small_chain.work(n) * 0.5)] for n in small_chain.task_names()}
+        with pytest.raises(InvalidSolutionError):
+            check_assignment(p, HoppingAssignment(segments=segs))
+
+    def test_hopping_inadmissible_mode_detected(self, small_chain):
+        p = self._problem(small_chain, 40.0, model=VddHoppingModel(modes=(1.0, 2.0)))
+        segs = {n: [(1.5, small_chain.work(n) / 1.5)] for n in small_chain.task_names()}
+        with pytest.raises(InvalidSolutionError):
+            check_assignment(p, HoppingAssignment(segments=segs))
+
+    def test_hopping_under_constant_speed_model_rejected(self, small_chain):
+        p = self._problem(small_chain, 40.0, model=DiscreteModel(modes=(1.0, 2.0)))
+        segs = {n: [(1.0, small_chain.work(n) / 2), (2.0, small_chain.work(n) / 4)]
+                for n in small_chain.task_names()}
+        with pytest.raises(InvalidSolutionError):
+            check_assignment(p, HoppingAssignment(segments=segs))
+
+    def test_check_solution_detects_energy_mismatch(self, small_chain):
+        p = self._problem(small_chain, 20.0)
+        a = SpeedAssignment({n: 1.0 for n in small_chain.task_names()})
+        s = make_solution(p, a, solver="test")
+        s.energy *= 2.0
+        with pytest.raises(InvalidSolutionError):
+            check_solution(s)
+
+    @given(st.floats(min_value=0.3, max_value=2.0), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_speed_feasibility_matches_makespan(self, speed, seed):
+        graph = generators.layered_dag(10, seed=seed)
+        p = MinEnergyProblem(graph=graph, deadline=25.0, model=ContinuousModel(s_max=2.0))
+        a = SpeedAssignment({n: speed for n in graph.task_names()})
+        sched = compute_schedule(graph, a.durations(graph))
+        assert is_feasible_assignment(p, a) == (sched.makespan <= 25.0 * (1 + 1e-6))

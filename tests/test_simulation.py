@@ -1,0 +1,180 @@
+"""Tests for the discrete-event simulator and its metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.models import ContinuousModel, VddHoppingModel
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import HoppingAssignment, SpeedAssignment
+from repro.graphs import generators
+from repro.graphs.analysis import longest_path_length
+from repro.mapping.list_scheduling import list_schedule
+from repro.simulation import (
+    ExecutionTrace,
+    SegmentRecord,
+    TaskRecord,
+    energy_from_profile,
+    power_profile,
+    processor_utilisation,
+    simulate,
+    simulate_solution,
+    trace_summary,
+)
+from repro.solve import solve
+from repro.utils.errors import InvalidSolutionError
+from repro.vdd.lp import solve_vdd_lp
+
+
+class TestTraceStructures:
+    def test_segment_record(self):
+        seg = SegmentRecord(task="A", processor=0, speed=2.0, start=1.0, end=3.0)
+        assert seg.duration == 2.0
+        assert seg.energy() == pytest.approx(16.0)
+
+    def test_task_record(self):
+        segs = (SegmentRecord("A", 0, 1.0, 0.0, 2.0), SegmentRecord("A", 0, 2.0, 2.0, 3.0))
+        rec = TaskRecord(task="A", processor=0, work=4.0, start=0.0, finish=3.0,
+                         segments=segs)
+        assert rec.duration == 3.0
+        assert rec.executed_work() == pytest.approx(4.0)
+        assert rec.energy() == pytest.approx(2.0 + 8.0)
+
+    def test_trace_rejects_duplicates(self):
+        trace = ExecutionTrace()
+        rec = TaskRecord("A", 0, 1.0, 0.0, 1.0,
+                         (SegmentRecord("A", 0, 1.0, 0.0, 1.0),))
+        trace.add(rec)
+        with pytest.raises(InvalidSolutionError):
+            trace.add(rec)
+
+    def test_empty_trace_metrics(self):
+        trace = ExecutionTrace()
+        assert trace.makespan == 0.0
+        assert trace.total_energy == 0.0
+        with pytest.raises(InvalidSolutionError):
+            trace_summary(trace)
+
+
+class TestSimulate:
+    def test_chain_simulation_times(self, small_chain):
+        assignment = SpeedAssignment({n: 1.0 for n in small_chain.task_names()})
+        trace = simulate(small_chain, assignment)
+        assert trace.makespan == pytest.approx(small_chain.total_work())
+        assert trace.records["T3"].start == pytest.approx(3.0)
+        assert trace.total_energy == pytest.approx(assignment.energy(small_chain))
+
+    def test_fork_parallel_execution(self, small_fork):
+        assignment = SpeedAssignment({n: 1.0 for n in small_fork.task_names()})
+        trace = simulate(small_fork, assignment)
+        # all leaves start when the source finishes
+        for leaf in ("T1", "T2", "T3", "T4"):
+            assert trace.records[leaf].start == pytest.approx(2.0)
+        assert trace.makespan == pytest.approx(6.0)
+
+    def test_simulation_matches_analytical_schedule(self, small_layered_dag):
+        from repro.core.solution import compute_schedule
+
+        assignment = SpeedAssignment({n: 0.8 for n in small_layered_dag.task_names()})
+        trace = simulate(small_layered_dag, assignment)
+        sched = compute_schedule(small_layered_dag, assignment.durations(small_layered_dag))
+        for n in small_layered_dag.task_names():
+            assert trace.records[n].finish == pytest.approx(sched.finish[n])
+
+    def test_hopping_segments_simulated(self):
+        g = generators.chain(2, works=[2.0, 2.0])
+        segments = {"T1": [(1.0, 1.0), (2.0, 0.5)], "T2": [(2.0, 1.0)]}
+        trace = simulate(g, HoppingAssignment(segments=segments))
+        assert trace.records["T1"].finish == pytest.approx(1.5)
+        assert trace.records["T2"].start == pytest.approx(1.5)
+        assert len(trace.records["T1"].segments) == 2
+
+    def test_work_mismatch_detected(self):
+        g = generators.chain(1, works=[2.0])
+        bad = HoppingAssignment(segments={"T1": [(1.0, 1.0)]})  # only 1 of 2 work units
+        with pytest.raises(InvalidSolutionError):
+            simulate(g, bad)
+
+    def test_processor_labelling(self):
+        g = generators.layered_dag(12, seed=0)
+        eg = list_schedule(g, 3)
+        combined = eg.combined_graph()
+        assignment = SpeedAssignment({n: 1.0 for n in combined.task_names()})
+        processor_of = {t: eg.processor_of(t) for t in g.task_names()}
+        trace = simulate(combined, assignment, processor_of=processor_of)
+        assert set(trace.processors()) <= {0, 1, 2}
+        # tasks sharing a processor never overlap in time
+        for proc in trace.processors():
+            records = trace.records_on(proc)
+            for a, b in zip(records, records[1:]):
+                assert b.start >= a.finish - 1e-9
+
+    def test_simulate_solution_energy_matches_solver(self, layered_problem):
+        solution = solve(layered_problem)
+        trace = simulate_solution(solution)
+        assert trace.total_energy == pytest.approx(solution.energy, rel=1e-9)
+        assert trace.makespan == pytest.approx(solution.makespan, rel=1e-9)
+
+    def test_simulate_vdd_solution(self, small_layered_dag):
+        model = VddHoppingModel(modes=(0.4, 0.7, 1.0))
+        deadline = 1.4 * longest_path_length(small_layered_dag)
+        p = MinEnergyProblem(graph=small_layered_dag, deadline=deadline, model=model)
+        solution = solve_vdd_lp(p)
+        trace = simulate_solution(solution)
+        assert trace.total_energy == pytest.approx(solution.energy, rel=1e-6)
+
+    def test_simulate_with_execution_graph_labels(self):
+        g = generators.layered_dag(15, seed=1)
+        eg = list_schedule(g, 4)
+        p = MinEnergyProblem(graph=eg, deadline=2.0 * longest_path_length(g),
+                             model=ContinuousModel(s_max=1.0))
+        solution = solve(p)
+        trace = simulate_solution(solution, execution=eg)
+        assert len(trace.processors()) <= 4
+
+
+class TestMetrics:
+    def _trace(self, graph, speed=1.0):
+        assignment = SpeedAssignment({n: speed for n in graph.task_names()})
+        return simulate(graph, assignment)
+
+    def test_utilisation_single_processor_chain(self, small_chain):
+        trace = self._trace(small_chain)
+        util = processor_utilisation(trace)
+        assert util[0] == pytest.approx(1.0)
+
+    def test_utilisation_with_horizon(self, small_chain):
+        trace = self._trace(small_chain)
+        util = processor_utilisation(trace, horizon=2 * trace.makespan)
+        assert util[0] == pytest.approx(0.5)
+
+    def test_power_profile_covers_makespan(self, small_fork):
+        trace = self._trace(small_fork)
+        profile = power_profile(trace)
+        assert profile[0][0] == pytest.approx(0.0)
+        assert profile[-1][1] == pytest.approx(trace.makespan)
+        # during the parallel phase the power is the sum over the 4 running leaves
+        parallel_powers = [p for a, b, p in profile if a >= 2.0]
+        assert max(parallel_powers) == pytest.approx(4.0)  # 4 leaves at speed 1
+
+    def test_energy_from_profile_matches_total(self, small_layered_dag):
+        trace = self._trace(small_layered_dag, speed=0.7)
+        assert energy_from_profile(trace) == pytest.approx(trace.total_energy, rel=1e-9)
+
+    def test_trace_summary_keys(self, small_chain):
+        summary = trace_summary(self._trace(small_chain))
+        assert summary["n_tasks"] == 5
+        assert summary["makespan"] == pytest.approx(small_chain.total_work())
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_profile_energy_equals_segment_energy(self, n, p, seed):
+        g = generators.layered_dag(n, seed=seed)
+        eg = list_schedule(g, p)
+        combined = eg.combined_graph()
+        assignment = SpeedAssignment({t: 0.9 for t in combined.task_names()})
+        trace = simulate(combined, assignment,
+                         processor_of={t: eg.processor_of(t) for t in g.task_names()})
+        assert energy_from_profile(trace) == pytest.approx(trace.total_energy, rel=1e-9)

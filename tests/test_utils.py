@@ -1,0 +1,245 @@
+"""Tests for repro.utils (numerics, rng, tables, errors)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    InvalidGraphError,
+    ReproError,
+    Table,
+    clamp,
+    cube,
+    cube_root,
+    format_float,
+    geq_with_tol,
+    is_close,
+    leq_with_tol,
+    make_rng,
+    safe_div,
+    spawn_rngs,
+)
+from repro.utils.rng import choice_without_replacement, random_partition, shuffled
+from repro.utils.tables import ascii_series_plot
+
+
+class TestNumerics:
+    def test_is_close_exact(self):
+        assert is_close(1.0, 1.0)
+
+    def test_is_close_within_tolerance(self):
+        assert is_close(1.0, 1.0 + 1e-10)
+
+    def test_is_close_rejects_distant(self):
+        assert not is_close(1.0, 1.01)
+
+    def test_leq_with_tol_strict(self):
+        assert leq_with_tol(1.0, 2.0)
+
+    def test_leq_with_tol_equal(self):
+        assert leq_with_tol(2.0, 2.0)
+
+    def test_leq_with_tol_slightly_above(self):
+        assert leq_with_tol(2.0 + 1e-10, 2.0)
+
+    def test_leq_with_tol_rejects(self):
+        assert not leq_with_tol(2.1, 2.0)
+
+    def test_geq_with_tol(self):
+        assert geq_with_tol(2.0, 1.0)
+        assert not geq_with_tol(1.0, 2.0)
+
+    def test_clamp_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamp_below(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_clamp_above(self):
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_clamp_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+    def test_cube(self):
+        assert cube(3.0) == 27.0
+
+    def test_cube_root_inverts_cube(self):
+        assert is_close(cube_root(27.0), 3.0)
+
+    def test_cube_root_zero(self):
+        assert cube_root(0.0) == 0.0
+
+    def test_cube_root_negative_raises(self):
+        with pytest.raises(ValueError):
+            cube_root(-1.0)
+
+    def test_safe_div_normal(self):
+        assert safe_div(6.0, 3.0) == 2.0
+
+    def test_safe_div_by_zero(self):
+        assert safe_div(1.0, 0.0) == math.inf
+
+    def test_safe_div_custom_default(self):
+        assert safe_div(1.0, 0.0, default=0.0) == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1e12))
+    def test_cube_root_cube_roundtrip(self, x):
+        assert is_close(cube_root(x) ** 3, x, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=-1e6, max_value=1e6))
+    def test_leq_total_order_consistency(self, a, b):
+        # at least one direction of the tolerant comparison must hold
+        assert leq_with_tol(a, b) or leq_with_tol(b, a)
+
+
+class TestRng:
+    def test_make_rng_from_none(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_make_rng_from_int_reproducible(self):
+        a = make_rng(7).integers(0, 1000, size=5)
+        b = make_rng(7).integers(0, 1000, size=5)
+        assert list(a) == list(b)
+
+    def test_make_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_spawn_rngs_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_spawn_rngs_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert list(a.integers(0, 10**6, size=4)) != list(b.integers(0, 10**6, size=4))
+
+    def test_spawn_rngs_reproducible(self):
+        first = [g.integers(0, 10**6) for g in spawn_rngs(3, 3)]
+        second = [g.integers(0, 10**6) for g in spawn_rngs(3, 3)]
+        assert first == second
+
+    def test_spawn_rngs_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_choice_without_replacement(self):
+        rng = make_rng(1)
+        out = choice_without_replacement(rng, list(range(10)), 4)
+        assert len(out) == 4
+        assert len(set(out)) == 4
+
+    def test_choice_without_replacement_too_many(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(make_rng(0), [1, 2], 3)
+
+    def test_random_partition_sums(self):
+        rng = make_rng(2)
+        sizes = random_partition(rng, 20, 4)
+        assert sum(sizes) == 20
+        assert len(sizes) == 4
+        assert all(s >= 0 for s in sizes)
+
+    def test_random_partition_invalid(self):
+        with pytest.raises(ValueError):
+            random_partition(make_rng(0), 10, 0)
+
+    def test_shuffled_preserves_elements(self):
+        rng = make_rng(3)
+        items = list(range(15))
+        out = shuffled(rng, items)
+        assert sorted(out) == items
+
+
+class TestTables:
+    def test_add_row_positional(self):
+        t = Table(columns=["a", "b"])
+        t.add_row(1, 2.5)
+        assert len(t) == 1
+
+    def test_add_row_named(self):
+        t = Table(columns=["a", "b"])
+        t.add_row(b=2.0, a=1)
+        assert t.rows[0] == [1, 2.0]
+
+    def test_add_row_wrong_count(self):
+        t = Table(columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_add_row_missing_named(self):
+        t = Table(columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(a=1)
+
+    def test_add_row_mixed_raises(self):
+        t = Table(columns=["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, a=1)
+
+    def test_to_ascii_contains_headers_and_values(self):
+        t = Table(columns=["x", "energy"], title="demo")
+        t.add_row(1, 3.14159)
+        text = t.to_ascii()
+        assert "demo" in text
+        assert "energy" in text
+        assert "3.142" in text
+
+    def test_to_csv_roundtrip_lines(self):
+        t = Table(columns=["x", "y"])
+        t.add_row(1, 2.0)
+        t.add_row(3, 4.0)
+        lines = t.to_csv().strip().split("\n")
+        assert lines[0] == "x,y"
+        assert len(lines) == 3
+
+    def test_column_extraction(self):
+        t = Table(columns=["x", "y"])
+        t.add_row(1, 10.0)
+        t.add_row(2, 20.0)
+        assert t.column("y") == [10.0, 20.0]
+
+    def test_column_unknown(self):
+        t = Table(columns=["x"])
+        with pytest.raises(KeyError):
+            t.column("z")
+
+    def test_format_float_none(self):
+        assert format_float(None) == "-"
+
+    def test_format_float_bool(self):
+        assert format_float(True) == "yes"
+        assert format_float(False) == "no"
+
+    def test_format_float_precision(self):
+        assert format_float(3.14159, digits=3) == "3.14"
+
+    def test_ascii_series_plot_contains_series(self):
+        text = ascii_series_plot([1, 2], {"model": [1.0, 2.0]}, title="plot")
+        assert "plot" in text
+        assert "model" in text
+
+    def test_ascii_series_plot_empty(self):
+        assert ascii_series_plot([], {}, title="t") == "t\n"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(InvalidGraphError, ReproError)
+
+    def test_all_library_errors_are_repro_errors(self):
+        from repro.utils.errors import (
+            InfeasibleProblemError,
+            InvalidModelError,
+            InvalidSolutionError,
+            SolverError,
+        )
+
+        for exc in (InfeasibleProblemError, InvalidModelError,
+                    InvalidSolutionError, SolverError, InvalidGraphError):
+            assert issubclass(exc, ReproError)
