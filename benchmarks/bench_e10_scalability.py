@@ -5,11 +5,16 @@ of the instance size for each model's default algorithm.  Expected shape:
 the Vdd-Hopping LP stays fast (HiGHS scales well on these LPs), while the
 general convex solver and the greedy slack-reclamation heuristic dominate
 the cost on larger non-series-parallel graphs.
+
+A second case exercises the batch engine on the structured classes the
+array-based core makes cheap: deep chains and trees up to 10,000 tasks
+solved through the iterative Theorem-2 paths (these used to blow the
+recursion limit around 1,000 tasks).
 """
 
 from conftest import run_once
 
-from repro.experiments.drivers import experiment_e10_scalability
+from repro.experiments.drivers import experiment_batch_sweep, experiment_e10_scalability
 
 
 def test_e10_scalability(benchmark):
@@ -19,3 +24,13 @@ def test_e10_scalability(benchmark):
                    "discrete_heuristic_seconds", "incremental_seconds"):
         assert all(v > 0 for v in table.column(column))
     assert table.column("n_tasks") == [10, 20, 40]
+
+
+def test_e10_deep_graph_batch(benchmark):
+    table = run_once(benchmark, experiment_batch_sweep, case="e10_deep_graph_batch",
+                     graph_classes=("chain", "tree"), sizes=(1000, 10_000),
+                     slacks=(2.0,), alphas=(3.0,), model="continuous",
+                     s_max=float("inf"), repetitions=1, seed=10)
+    assert all(table.column("ok"))
+    # deep graphs must route through the O(n) structured solvers
+    assert set(table.column("solver")) <= {"continuous-chain", "continuous-tree"}

@@ -10,7 +10,7 @@ the reclaiming strategies.
 
 from conftest import run_once
 
-from repro.experiments.drivers import experiment_e7_deadline_sweep
+from repro.experiments.drivers import experiment_batch_sweep, experiment_e7_deadline_sweep
 
 
 def test_e7_deadline_sweep(benchmark):
@@ -23,3 +23,15 @@ def test_e7_deadline_sweep(benchmark):
     # Vdd-Hopping is never worse than the plain Discrete heuristic
     for v, d in zip(table.column("vdd_ratio"), table.column("discrete_ratio")):
         assert v <= d + 1e-9
+
+
+def test_e7_deadline_sweep_batch(benchmark):
+    """The same deadline axis driven through the batch sweep engine."""
+    table = run_once(benchmark, experiment_batch_sweep, case="e7_deadline_batch",
+                     graph_classes=("layered",), sizes=(24,),
+                     slacks=(1.05, 1.2, 1.5, 2.0, 3.0), alphas=(3.0,),
+                     model="discrete", n_modes=5, repetitions=2, seed=7)
+    assert all(table.column("ok"))
+    assert len(table) == 10  # 5 slacks x 2 repetitions
+    assert all(e > 0 for e in table.column("energy"))
+    assert all(s > 0 for s in table.column("seconds"))

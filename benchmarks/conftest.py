@@ -5,12 +5,25 @@ DESIGN.md section 4 (and EXPERIMENTS.md).  The benchmarks use
 ``benchmark.pedantic`` with a single round so that the heavy experiment
 drivers run exactly once per session; the resulting table is printed so the
 rows the "paper table/figure" would contain appear in the benchmark output.
+
+Reproducibility: every case re-seeds the global ``random`` and NumPy RNGs
+from its experiment seed before running (the drivers thread explicit seeds
+everywhere, so this is belt-and-braces against stray global draws), and the
+produced table is also written as machine-readable JSON rows to
+``benchmarks/results/BENCH_<case>.json`` (directory overridable with the
+``REPRO_BENCH_DIR`` environment variable, set it to ``0`` to disable) so
+benchmark trajectories can be diffed across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import random
 import sys
+
+import numpy as np
 
 _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
@@ -20,9 +33,38 @@ if str(_SRC) not in sys.path:
         sys.path.insert(0, str(_SRC))
 
 
-def run_once(benchmark, fn, **kwargs):
-    """Run an experiment driver exactly once under pytest-benchmark and print it."""
+def _emit_json(name: str, table, kwargs: dict) -> None:
+    """Write the table as one JSON document per benchmark case."""
+    target = os.environ.get("REPRO_BENCH_DIR", "")
+    if target == "0":
+        return
+    out_dir = pathlib.Path(target) if target else (
+        pathlib.Path(__file__).resolve().parent / "results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "case": name,
+        "title": table.title,
+        "params": {k: repr(v) for k, v in sorted(kwargs.items())},
+        "columns": list(table.columns),
+        "rows": [[None if v is None else v for v in row] for row in table.rows],
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n",
+                    encoding="utf-8")
+
+
+def run_once(benchmark, fn, *, case: str | None = None, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark.
+
+    Seeds the global RNGs from the case's ``seed`` kwarg, prints the table,
+    and persists its rows as ``BENCH_<case>.json`` for cross-PR comparison.
+    """
+    name = (case or fn.__name__.removeprefix("experiment_")).lstrip("_")
+    seed = int(kwargs.get("seed", 0))
+    random.seed(seed)
+    np.random.seed(seed % 2**32)
     table = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
     print()
     print(table.to_ascii())
+    _emit_json(name, table, kwargs)
     return table

@@ -17,5 +17,6 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    # numpy >= 2.0: the SP decomposition's bitset closure uses np.bitwise_count
+    install_requires=["numpy>=2.0", "scipy>=1.10", "networkx>=3.0"],
 )

@@ -1,0 +1,59 @@
+"""Batch solving: process-pool fan-out and parameter-grid sweeps.
+
+This subsystem turns the single-instance solvers into a throughput engine:
+:func:`solve_many` maps :func:`repro.solve.solve` over many instances with
+per-instance error capture (serially or across worker processes), and
+:func:`sweep` expands deadline/alpha/graph-size grids into instances and
+returns one table row per solve.  It is the layer the scalability
+experiments (E7/E10), the ``repro sweep`` CLI subcommand and future
+sharded/async front-ends build on.
+
+Quickstart
+----------
+Solve a grid of chains and trees over two deadline slacks on 4 workers::
+
+    from repro.batch import sweep
+
+    table = sweep(
+        graph_classes=("chain", "tree"),
+        sizes=(100, 1000),
+        slacks=(1.2, 2.0),
+        model="continuous",
+        repetitions=3,
+        seed=7,
+        workers=4,
+    )
+    print(table.to_ascii())      # or table.to_csv()
+
+Fan out hand-built problems and inspect failures::
+
+    from repro.batch import solve_many, failed
+
+    results = solve_many(problems, workers=8, chunk=4)
+    for r in failed(results):
+        print(f"{r.name}: {r.error_type}: {r.error}")
+
+Every result is a :class:`~repro.batch.engine.BatchResult` with the energy,
+makespan, solver name and wall-clock seconds of its instance; a failing
+instance (infeasible deadline, solver blow-up) is captured as ``ok=False``
+instead of aborting the batch.
+
+From the command line::
+
+    python -m repro sweep --classes chain,tree --sizes 100,1000 \\
+        --slacks 1.2,2.0 --workers 4 --csv
+"""
+
+from repro.batch.engine import BatchResult, failed, solve_many, summarize
+from repro.batch.sweep import SWEEP_COLUMNS, build_sweep_problems, sweep, sweep_failures
+
+__all__ = [
+    "BatchResult",
+    "SWEEP_COLUMNS",
+    "build_sweep_problems",
+    "failed",
+    "solve_many",
+    "summarize",
+    "sweep",
+    "sweep_failures",
+]

@@ -1,0 +1,153 @@
+"""Process-pool fan-out over many ``MinEnergy(G, D)`` instances.
+
+:func:`solve_many` maps the model-appropriate solver over a list of
+problems, either serially or across a pool of worker processes.  Every
+instance is wrapped in per-instance error capture: a failing solve (an
+infeasible deadline, a solver blow-up, a bad model) produces a
+:class:`BatchResult` with ``ok=False`` and the error recorded instead of
+killing the whole batch — exactly what a long parameter sweep needs.
+
+Results come back in submission order and carry compact summaries (energy,
+makespan, solver, wall-clock seconds) rather than full :class:`Solution`
+objects, so a 10,000-instance sweep does not ship 10,000 schedules back
+through the pipe.  Set ``keep_speeds=True`` to include the per-task speeds
+when the assignments themselves are needed.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.problem import MinEnergyProblem
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one instance of a batch solve.
+
+    ``ok`` distinguishes solved instances from captured failures; failed
+    instances keep ``energy``/``makespan``/``solver`` as ``None`` and record
+    the exception type and message instead.
+    """
+
+    index: int
+    name: str
+    ok: bool
+    n_tasks: int = 0
+    energy: float | None = None
+    makespan: float | None = None
+    solver: str | None = None
+    optimal: bool | None = None
+    lower_bound: float | None = None
+    seconds: float = 0.0
+    error: str | None = None
+    error_type: str | None = None
+    speeds: dict[str, float] | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+def _solve_one(item: tuple) -> BatchResult:
+    """Worker body: solve one instance, capturing any failure."""
+    index, problem, exact, validate, keep_speeds, solver_kwargs = item
+    from repro.core.validation import check_solution
+    from repro.solve import solve
+
+    start = time.perf_counter()
+    try:
+        solution = solve(problem, exact=exact, **solver_kwargs)
+        if validate:
+            check_solution(solution)
+        return BatchResult(
+            index=index,
+            name=problem.name,
+            ok=True,
+            n_tasks=problem.n_tasks,
+            energy=float(solution.energy),
+            makespan=float(solution.makespan),
+            solver=solution.solver,
+            optimal=bool(solution.optimal),
+            lower_bound=(float(solution.lower_bound)
+                         if solution.lower_bound is not None else None),
+            seconds=time.perf_counter() - start,
+            speeds=solution.speeds() if keep_speeds else None,
+            metadata=dict(solution.metadata),
+        )
+    except Exception as exc:  # per-instance capture: the batch must survive
+        return BatchResult(
+            index=index,
+            name=problem.name,
+            ok=False,
+            n_tasks=problem.n_tasks,
+            seconds=time.perf_counter() - start,
+            error=str(exc),
+            error_type=type(exc).__name__,
+        )
+
+
+def solve_many(problems: Sequence[MinEnergyProblem] | Iterable[MinEnergyProblem], *,
+               workers: int | None = None, chunk: int = 1,
+               exact: bool | None = None, validate: bool = True,
+               keep_speeds: bool = False,
+               solver_kwargs: dict[str, Any] | None = None) -> list[BatchResult]:
+    """Solve many instances, optionally fanning out over worker processes.
+
+    Parameters
+    ----------
+    problems:
+        The instances; each is dispatched through :func:`repro.solve.solve`
+        so mixed energy models in one batch are fine.
+    workers:
+        ``None``, 0 or 1 solves serially in this process; otherwise a
+        :class:`~concurrent.futures.ProcessPoolExecutor` with that many
+        workers is used (instances must then be picklable, which every
+        library graph/model is).
+    chunk:
+        Number of instances handed to a worker per dispatch (larger chunks
+        amortise pickling for many small instances).
+    exact:
+        Forwarded to :func:`repro.solve.solve` (exact vs heuristic for the
+        NP-complete models).
+    validate:
+        Re-check every returned solution with
+        :func:`repro.core.validation.check_solution`; a validation failure
+        is captured like any other per-instance error.
+    keep_speeds:
+        Include each solution's per-task speeds in its result (off by
+        default to keep large sweeps lightweight).
+    solver_kwargs:
+        Extra keyword arguments forwarded to the model-specific solver.
+
+    Returns
+    -------
+    list[BatchResult]
+        One entry per instance, in input order, ``ok=False`` for captured
+        failures.
+    """
+    items = [(i, p, exact, validate, keep_speeds, solver_kwargs or {})
+             for i, p in enumerate(problems)]
+    if workers is None or workers <= 1:
+        return [_solve_one(item) for item in items]
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_solve_one, items, chunksize=chunk))
+
+
+def failed(results: Iterable[BatchResult]) -> list[BatchResult]:
+    """The subset of results whose solve raised (in input order)."""
+    return [r for r in results if not r.ok]
+
+
+def summarize(results: Sequence[BatchResult]) -> dict[str, Any]:
+    """Aggregate counters for a batch: sizes, failures, total wall-clock."""
+    n_failed = sum(1 for r in results if not r.ok)
+    return {
+        "n_instances": len(results),
+        "n_solved": len(results) - n_failed,
+        "n_failed": n_failed,
+        "total_seconds": sum(r.seconds for r in results),
+        "total_tasks": sum(r.n_tasks for r in results),
+    }

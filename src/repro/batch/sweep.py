@@ -1,0 +1,129 @@
+"""Grid sweeps over deadline slack, power exponent and graph size.
+
+:func:`sweep` expands a Cartesian grid of workload parameters into concrete
+``MinEnergy(G, D)`` instances, fans them out through
+:func:`repro.batch.engine.solve_many`, and returns one table row per
+instance (failures included, with the error recorded) so trajectories can
+be compared across runs or dumped to CSV/JSON.
+
+The grid axes mirror the experiment harness: graph class and size (the
+generators of :mod:`repro.graphs.generators`), deadline slack (``D`` as a
+multiple of the minimum makespan), power exponent ``alpha`` and the energy
+model.  Repetitions re-draw the random graph with per-cell derived seeds,
+so a sweep is reproducible from its base seed alone.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.models import ContinuousModel
+from repro.core.power import PowerLaw
+from repro.core.problem import MinEnergyProblem
+from repro.experiments.workloads import WorkloadSpec, make_workload, matching_models
+from repro.utils.errors import InvalidModelError
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import Table
+from repro.batch.engine import BatchResult, solve_many
+
+#: Columns of the table returned by :func:`sweep`, one row per instance.
+SWEEP_COLUMNS = (
+    "graph_class", "n_tasks", "slack", "alpha", "seed", "ok", "solver",
+    "energy", "makespan", "seconds", "error",
+)
+
+
+def build_sweep_problems(*, graph_classes: Sequence[str] = ("chain", "tree", "layered"),
+                         sizes: Sequence[int] = (32,),
+                         slacks: Sequence[float] = (1.5,),
+                         alphas: Sequence[float] = (3.0,),
+                         model: str = "continuous", n_modes: int = 5,
+                         s_max: float = 1.0,
+                         n_processors: int = 0, mapping: str = "none",
+                         repetitions: int = 1, seed: int = 0,
+                         ) -> tuple[list[MinEnergyProblem], list[tuple]]:
+    """Materialise the problem grid of a sweep.
+
+    Returns the problem list and, aligned with it, the grid coordinates
+    ``(graph_class, n_tasks, slack, alpha, instance_seed)`` of every
+    instance.
+
+    ``s_max`` only applies to the Continuous model; pass ``float("inf")``
+    for the uncapped Theorem-2 regime, where deep trees and chains stay on
+    the O(n) structured solvers instead of falling back to the numerical
+    one when the closed form exceeds the cap.  (The deadline is always
+    measured against the reference speed 1.0, so rows stay comparable
+    across caps.)
+    """
+    if model not in ("continuous", "discrete", "vdd", "incremental"):
+        raise InvalidModelError(
+            f"unknown sweep model {model!r}; choose continuous, discrete, "
+            "vdd or incremental"
+        )
+    cells = [(cls, int(n), float(slack), float(alpha))
+             for cls in graph_classes
+             for n in sizes
+             for slack in slacks
+             for alpha in alphas]
+    rngs = spawn_rngs(seed, len(cells) * repetitions)
+    models = matching_models(1.0, n_modes)
+    if model == "continuous":
+        models = dict(models, continuous=ContinuousModel(s_max=float(s_max)))
+    problems: list[MinEnergyProblem] = []
+    coords: list[tuple] = []
+    for c, cell in enumerate(cells):
+        cls, n, slack, alpha = cell
+        for rep in range(repetitions):
+            instance_seed = int(rngs[c * repetitions + rep].integers(0, 2**31 - 1))
+            spec = WorkloadSpec(graph_class=cls, n_tasks=n,
+                                n_processors=n_processors, mapping=mapping,
+                                slack=slack, seed=instance_seed)
+            base = make_workload(spec, model=models[model])
+            problem = MinEnergyProblem(
+                graph=base.graph, deadline=base.deadline, model=base.model,
+                power=PowerLaw(alpha=alpha), name=base.name,
+            )
+            problems.append(problem)
+            coords.append((cls, n, slack, alpha, instance_seed))
+    return problems, coords
+
+
+def sweep(*, graph_classes: Sequence[str] = ("chain", "tree", "layered"),
+          sizes: Sequence[int] = (32,),
+          slacks: Sequence[float] = (1.5,),
+          alphas: Sequence[float] = (3.0,),
+          model: str = "continuous", n_modes: int = 5,
+          s_max: float = 1.0,
+          n_processors: int = 0, mapping: str = "none",
+          repetitions: int = 1, seed: int = 0,
+          workers: int | None = None, chunk: int = 1,
+          exact: bool | None = None, validate: bool = True,
+          title: str = "batch sweep") -> Table:
+    """Run a deadline/alpha/graph-size grid and return one row per instance.
+
+    Parameters mirror :func:`build_sweep_problems` plus the fan-out knobs of
+    :func:`repro.batch.engine.solve_many` (``workers``, ``chunk``,
+    ``exact``, ``validate``).  Failed instances appear as rows with
+    ``ok=False`` and the error message in the last column, so a sweep never
+    dies half way through a grid.
+    """
+    problems, coords = build_sweep_problems(
+        graph_classes=graph_classes, sizes=sizes, slacks=slacks, alphas=alphas,
+        model=model, n_modes=n_modes, s_max=s_max, n_processors=n_processors,
+        mapping=mapping, repetitions=repetitions, seed=seed,
+    )
+    results = solve_many(problems, workers=workers, chunk=chunk,
+                         exact=exact, validate=validate)
+    table = Table(columns=list(SWEEP_COLUMNS), title=title)
+    for coord, result in zip(coords, results):
+        cls, n, slack, alpha, instance_seed = coord
+        table.add_row(cls, result.n_tasks, slack, alpha, instance_seed,
+                      result.ok, result.solver, result.energy,
+                      result.makespan, result.seconds, result.error)
+    return table
+
+
+def sweep_failures(table: Table) -> list[str]:
+    """Error messages of the failed rows of a sweep table."""
+    errors = table.column("error")
+    return [e for ok, e in zip(table.column("ok"), errors) if not ok]

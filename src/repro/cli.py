@@ -22,6 +22,12 @@ Regenerate experiment E6 (modes sweep) and print its table::
 List the available experiments::
 
     python -m repro experiment --list
+
+Run a batch sweep over graph classes, sizes and deadline slacks on four
+worker processes, emitting CSV::
+
+    python -m repro sweep --classes chain,tree --sizes 100,1000 \
+        --slacks 1.2,2.0 --workers 4 --csv
 """
 
 from __future__ import annotations
@@ -127,6 +133,53 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_floats(text: str, *, flag: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise ReproError(f"could not parse {flag} list {text!r}: {exc}") from exc
+    if not values:
+        raise ReproError(f"the {flag} list is empty")
+    return values
+
+
+def _parse_ints(text: str, *, flag: str) -> tuple[int, ...]:
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise ReproError(f"could not parse {flag} list {text!r}: {exc}") from exc
+    if not values:
+        raise ReproError(f"the {flag} list is empty")
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.batch import sweep, sweep_failures
+
+    table = sweep(
+        graph_classes=tuple(c.strip() for c in args.classes.split(",") if c.strip()),
+        sizes=_parse_ints(args.sizes, flag="--sizes"),
+        slacks=_parse_floats(args.slacks, flag="--slacks"),
+        alphas=_parse_floats(args.alphas, flag="--alphas"),
+        model=args.model,
+        n_modes=args.n_modes,
+        s_max=args.s_max,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=args.workers or None,
+        chunk=args.chunk,
+    )
+    if args.csv:
+        print(table.to_csv(), end="")
+    else:
+        print(table.to_ascii(), end="")
+    failures = sweep_failures(table)
+    if failures:
+        print(f"{len(failures)} of {len(table)} instances failed "
+              "(see the error column)", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -158,6 +211,33 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--list", action="store_true", help="list available experiments")
     exp_parser.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
     exp_parser.set_defaults(handler=_cmd_experiment)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a batch sweep over graph-class/size/deadline/alpha grids")
+    sweep_parser.add_argument("--classes", default="chain,tree,layered",
+                              help="comma-separated graph classes (default chain,tree,layered)")
+    sweep_parser.add_argument("--sizes", default="32",
+                              help="comma-separated task counts (default 32)")
+    sweep_parser.add_argument("--slacks", default="1.5",
+                              help="comma-separated deadline slack factors (default 1.5)")
+    sweep_parser.add_argument("--alphas", default="3.0",
+                              help="comma-separated power-law exponents (default 3.0)")
+    sweep_parser.add_argument("--model", choices=("continuous", "discrete", "vdd", "incremental"),
+                              default="continuous")
+    sweep_parser.add_argument("--n-modes", type=int, default=5,
+                              help="mode count for the mode-based models (default 5)")
+    sweep_parser.add_argument("--s-max", type=float, default=1.0,
+                              help="continuous speed cap; pass inf for the uncapped "
+                                   "Theorem-2 regime (default 1.0)")
+    sweep_parser.add_argument("--repetitions", type=int, default=1,
+                              help="random repetitions per grid cell (default 1)")
+    sweep_parser.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    sweep_parser.add_argument("--workers", type=int, default=0,
+                              help="worker processes; 0 or 1 solves serially (default 0)")
+    sweep_parser.add_argument("--chunk", type=int, default=1,
+                              help="instances per worker dispatch (default 1)")
+    sweep_parser.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
     return parser
 
 

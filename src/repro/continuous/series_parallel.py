@@ -52,19 +52,42 @@ from repro.utils.errors import InvalidGraphError, SolverError
 from repro.utils.numerics import leq_with_tol
 
 
+def sp_node_loads(node: SPNode, *, alpha: float = 3.0) -> dict[int, float]:
+    """Equivalent load of every node of a decomposition tree, keyed by ``id``.
+
+    One iterative post-order pass (explicit stack — decomposition trees of
+    caterpillar graphs can nest O(n) deep, and each node's load is combined
+    from its memoised children exactly once, so the pass is O(n) instead of
+    the O(n²) recompute-per-level of the recursive formulation).
+    """
+    loads: dict[int, float] = {}
+    stack: list[tuple[SPNode, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if isinstance(current, SPLeaf):
+            loads[id(current)] = current.work
+            continue
+        if not isinstance(current, (SPSeries, SPParallel)):
+            raise InvalidGraphError(f"unknown SP node type {type(current).__name__}")
+        if not expanded:
+            stack.append((current, True))
+            for child in current.children:
+                stack.append((child, False))
+            continue
+        if isinstance(current, SPSeries):
+            loads[id(current)] = sum(loads[id(c)] for c in current.children)
+        else:
+            loads[id(current)] = sum(loads[id(c)] ** alpha
+                                     for c in current.children) ** (1.0 / alpha)
+    return loads
+
+
 def sp_equivalent_load(node: SPNode, *, alpha: float = 3.0) -> float:
     """Equivalent load of a decomposition-tree node.
 
     See the module docstring for the composition rules.
     """
-    if isinstance(node, SPLeaf):
-        return node.work
-    if isinstance(node, SPSeries):
-        return sum(sp_equivalent_load(c, alpha=alpha) for c in node.children)
-    if isinstance(node, SPParallel):
-        return sum(sp_equivalent_load(c, alpha=alpha) ** alpha
-                   for c in node.children) ** (1.0 / alpha)
-    raise InvalidGraphError(f"unknown SP node type {type(node).__name__}")
+    return sp_node_loads(node, alpha=alpha)[id(node)]
 
 
 def equivalent_load(graph: TaskGraph, *, alpha: float = 3.0) -> float:
@@ -77,29 +100,39 @@ def equivalent_load(graph: TaskGraph, *, alpha: float = 3.0) -> float:
 
 
 def _assign_speeds(node: SPNode, window: float, speeds: dict[str, float],
-                   *, alpha: float) -> None:
-    """Recursively assign optimal speeds for ``node`` inside ``window`` time units."""
-    if window <= 0:
-        raise SolverError(
-            "series-parallel speed assignment received a non-positive window; "
-            "the instance is infeasible or the deadline is degenerate"
-        )
-    if isinstance(node, SPLeaf):
-        speeds[node.task] = node.work / window
-        return
-    if isinstance(node, SPSeries):
-        loads = [sp_equivalent_load(c, alpha=alpha) for c in node.children]
-        total = sum(loads)
-        if total <= 0:
-            raise SolverError("series block with zero total load")
-        for child, load in zip(node.children, loads):
-            _assign_speeds(child, window * load / total, speeds, alpha=alpha)
-        return
-    if isinstance(node, SPParallel):
-        for child in node.children:
-            _assign_speeds(child, window, speeds, alpha=alpha)
-        return
-    raise InvalidGraphError(f"unknown SP node type {type(node).__name__}")
+                   *, alpha: float, loads: dict[int, float] | None = None) -> None:
+    """Assign optimal speeds for ``node`` inside ``window`` time units.
+
+    Iterative top-down pass over the decomposition tree; ``loads`` memoises
+    :func:`sp_node_loads` (computed here when not supplied) so series nodes
+    split their window with two lookups per child instead of re-walking the
+    subtree.
+    """
+    if loads is None:
+        loads = sp_node_loads(node, alpha=alpha)
+    stack: list[tuple[SPNode, float]] = [(node, window)]
+    while stack:
+        current, win = stack.pop()
+        if win <= 0:
+            raise SolverError(
+                "series-parallel speed assignment received a non-positive window; "
+                "the instance is infeasible or the deadline is degenerate"
+            )
+        if isinstance(current, SPLeaf):
+            speeds[current.task] = current.work / win
+            continue
+        if isinstance(current, SPSeries):
+            total = loads[id(current)]
+            if total <= 0:
+                raise SolverError("series block with zero total load")
+            for child in current.children:
+                stack.append((child, win * loads[id(child)] / total))
+            continue
+        if isinstance(current, SPParallel):
+            for child in current.children:
+                stack.append((child, win))
+            continue
+        raise InvalidGraphError(f"unknown SP node type {type(current).__name__}")
 
 
 def solve_series_parallel(problem: MinEnergyProblem, *,
@@ -129,8 +162,9 @@ def solve_series_parallel(problem: MinEnergyProblem, *,
     graph = problem.graph
     alpha = problem.power.alpha
     tree = sp_decompose(graph)
+    loads = sp_node_loads(tree, alpha=alpha)
     speeds: dict[str, float] = {}
-    _assign_speeds(tree, problem.deadline, speeds, alpha=alpha)
+    _assign_speeds(tree, problem.deadline, speeds, alpha=alpha, loads=loads)
     s_max = problem.model.max_speed
     if enforce_speed_cap:
         violating = {n: s for n, s in speeds.items() if not leq_with_tol(s, s_max)}
@@ -145,5 +179,5 @@ def solve_series_parallel(problem: MinEnergyProblem, *,
     return make_solution(
         problem, assignment, solver="continuous-series-parallel",
         optimal=not enforce_speed_cap or True,
-        metadata={"equivalent_load": sp_equivalent_load(tree, alpha=alpha)},
+        metadata={"equivalent_load": loads[id(tree)]},
     )

@@ -28,7 +28,7 @@ from repro.continuous.closed_forms import (
 from repro.continuous.general import solve_general_convex
 from repro.continuous.series_parallel import solve_series_parallel
 from repro.continuous.tree import is_tree, solve_tree
-from repro.graphs.sp_decomposition import NotSeriesParallelError, is_series_parallel
+from repro.graphs.sp_decomposition import NotSeriesParallelError
 from repro.utils.errors import InvalidGraphError, InvalidModelError, SolverError
 
 
@@ -79,8 +79,10 @@ def solve_continuous(problem: MinEnergyProblem, *, force_method: str | None = No
     except SolverError:
         pass  # s_max violated: fall through to the convex solver
     try:
-        if is_series_parallel(problem.graph):
-            return solve_series_parallel(problem)
+        # solve_series_parallel decomposes internally and raises
+        # NotSeriesParallelError for non-SP graphs, so probing with
+        # is_series_parallel first would run the decomposition twice.
+        return solve_series_parallel(problem)
     except (SolverError, NotSeriesParallelError):
         pass
 

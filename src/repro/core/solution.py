@@ -20,10 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.power import PowerLaw, CUBIC
 from repro.core.problem import MinEnergyProblem
-from repro.graphs.analysis import topological_order
-from repro.graphs.taskgraph import TaskGraph
+from repro.graphs.taskgraph import GraphIndex, TaskGraph
 from repro.utils.errors import InvalidSolutionError
 from repro.utils.numerics import is_close
 
@@ -55,14 +56,29 @@ class SpeedAssignment:
         """Execution time of ``task`` given its ``work``."""
         return work / self.speeds[task]
 
+    def speeds_vector(self, graph: TaskGraph) -> np.ndarray:
+        """Dense speed vector aligned with ``graph.index().names``."""
+        return graph.index().vector_of(self.speeds)
+
+    def durations_vector(self, graph: TaskGraph) -> np.ndarray:
+        """Dense duration vector (``work / speed``) aligned with the index."""
+        idx = graph.index()
+        return idx.works / idx.vector_of(self.speeds)
+
     def durations(self, graph: TaskGraph) -> dict[str, float]:
         """Per-task execution times for the given graph."""
-        return {n: self.duration(n, graph.work(n)) for n in graph.task_names()}
+        return graph.index().mapping_of(self.durations_vector(graph))
 
     def energy(self, graph: TaskGraph, power: PowerLaw = CUBIC) -> float:
-        """Total dynamic energy of the assignment on ``graph``."""
-        return sum(power.energy_for_work(graph.work(n), self.speeds[n])
-                   for n in graph.task_names())
+        """Total dynamic energy of the assignment on ``graph``.
+
+        Vectorized over the graph index: ``sum_i w_i * s_i**(alpha - 1)``
+        (speeds are validated strictly positive at construction, so the
+        closed form matches :meth:`PowerLaw.energy_for_work` task by task).
+        """
+        idx = graph.index()
+        speeds = idx.vector_of(self.speeds)
+        return float(np.dot(idx.works, speeds ** (power.alpha - 1.0)))
 
     def task_energy(self, task: str, work: float, power: PowerLaw = CUBIC) -> float:
         """Energy of a single task."""
@@ -174,21 +190,85 @@ class Schedule:
         return self.start[task], self.finish[task]
 
 
-def compute_schedule(graph: TaskGraph, durations: Mapping[str, float]) -> Schedule:
+def asap_times(idx: GraphIndex, durations: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ASAP start/finish times over a graph index.
+
+    Wide graphs are processed one whole level at a time with
+    ``np.maximum.at`` over the level's incoming edges; for deep, narrow
+    graphs (many levels relative to the task count) the per-level NumPy
+    dispatch overhead would dominate, so a flat pass over the CSR arrays is
+    used instead.  Both paths are O(n + m) and recursion-free.
+    """
+    n = idx.n_tasks
+    start = np.zeros(n)
+    finish = np.zeros(n)
+    if n == 0:
+        return start, finish
+    n_levels = idx.n_levels
+    if n_levels * 4 <= n:
+        # level-batched: every task of a level starts after the max finish
+        # of its in-edges, all applied in one scatter per level
+        order_by_level, level_ptr = idx.order_by_level, idx.level_ptr
+        edge_src, edge_dst, edge_level_ptr = idx.edge_src, idx.edge_dst, idx.edge_level_ptr
+        first = order_by_level[level_ptr[0]:level_ptr[1]]
+        finish[first] = durations[first]
+        for lv in range(1, n_levels):
+            e0, e1 = edge_level_ptr[lv], edge_level_ptr[lv + 1]
+            np.maximum.at(start, edge_dst[e0:e1], finish[edge_src[e0:e1]])
+            nodes = order_by_level[level_ptr[lv]:level_ptr[lv + 1]]
+            finish[nodes] = start[nodes] + durations[nodes]
+        return start, finish
+    # deep graph: flat CSR pass on Python lists (no per-step NumPy dispatch)
+    pred_ptr = idx.pred_ptr.tolist()
+    pred_idx = idx.pred_idx.tolist()
+    dur = durations.tolist()
+    s_list = [0.0] * n
+    f_list = [0.0] * n
+    for u in idx.topo_order.tolist():
+        lo, hi = pred_ptr[u], pred_ptr[u + 1]
+        s = 0.0
+        for p in pred_idx[lo:hi]:
+            fp = f_list[p]
+            if fp > s:
+                s = fp
+        s_list[u] = s
+        f_list[u] = s + dur[u]
+    return np.asarray(s_list), np.asarray(f_list)
+
+
+def compute_makespan(graph: TaskGraph, durations: Mapping[str, float] | np.ndarray) -> float:
+    """Makespan of the ASAP schedule without materialising per-task dicts.
+
+    ``durations`` may be a per-task mapping or a dense vector in the order
+    of ``graph.index().names``.  This is the fast path used by feasibility
+    probes that only need the latest finish time (convex-solver line
+    searches, greedy reclamation, batch sweeps).
+    """
+    idx = graph.index()
+    if not isinstance(durations, np.ndarray):
+        durations = idx.vector_of(durations)
+    _start, finish = asap_times(idx, durations)
+    return float(finish.max()) if idx.n_tasks else 0.0
+
+
+def compute_schedule(graph: TaskGraph, durations: Mapping[str, float] | np.ndarray) -> Schedule:
     """ASAP schedule of ``graph`` for the given per-task durations.
 
     Every task starts as soon as all of its predecessors have finished; the
     result is the canonical schedule used for feasibility checking (it
     minimises every completion time simultaneously, so if it misses the
     deadline no other schedule with the same durations can meet it).
+
+    ``durations`` may be a mapping or a dense vector aligned with
+    ``graph.index().names``; the propagation itself runs on the graph's
+    integer index (see :func:`asap_times`) rather than per-task dicts.
     """
-    order = topological_order(graph)
-    start: dict[str, float] = {}
-    finish: dict[str, float] = {}
-    for n in order:
-        s = max((finish[p] for p in graph.predecessors(n)), default=0.0)
-        start[n] = s
-        finish[n] = s + durations[n]
+    idx = graph.index()
+    if not isinstance(durations, np.ndarray):
+        durations = idx.vector_of(durations)
+    start_v, finish_v = asap_times(idx, durations)
+    start = {name: float(start_v[i]) for i, name in enumerate(idx.names)}
+    finish = {name: float(finish_v[i]) for i, name in enumerate(idx.names)}
     return Schedule(start=start, finish=finish)
 
 
@@ -271,7 +351,10 @@ def make_solution(problem: MinEnergyProblem, assignment: Assignment, *,
     law, so solvers cannot accidentally report an energy inconsistent with
     their own assignment.
     """
-    durations = assignment.durations(problem.graph)
+    if isinstance(assignment, SpeedAssignment):
+        durations: Mapping[str, float] | np.ndarray = assignment.durations_vector(problem.graph)
+    else:
+        durations = assignment.durations(problem.graph)
     schedule = compute_schedule(problem.graph, durations)
     energy = assignment.energy(problem.graph, problem.power)
     return Solution(

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from repro.core.models import ContinuousModel, DiscreteModel, IncrementalModel
 from repro.core.problem import MinEnergyProblem
-from repro.core.solution import SpeedAssignment, Solution, compute_schedule, make_solution
+from repro.core.solution import SpeedAssignment, Solution, compute_makespan, make_solution
 from repro.utils.errors import InvalidModelError
 from repro.utils.numerics import leq_with_tol
 
@@ -93,45 +93,44 @@ def solve_discrete_greedy_reclaim(problem: MinEnergyProblem, *,
     model = _require_mode_model(problem)
     problem.ensure_feasible()
     graph = problem.graph
+    idx = graph.index()
+    names = idx.names
+    works = idx.works
     modes = list(model.modes)
-    mode_index = {m: i for i, m in enumerate(modes)}
     power = problem.power
     deadline = problem.deadline
 
-    current = {n: modes[-1] for n in graph.task_names()}
+    mode_of = [len(modes) - 1] * idx.n_tasks
+    durations = works / modes[-1]
     if max_passes is None:
         max_passes = graph.n_tasks * len(modes)
 
-    def is_feasible(speeds: dict[str, float]) -> bool:
-        durations = {n: graph.work(n) / speeds[n] for n in graph.task_names()}
-        return leq_with_tol(compute_schedule(graph, durations).makespan, deadline)
-
     applied = 0
     while applied < max_passes:
-        best_task: str | None = None
+        best_i: int | None = None
         best_saving = 0.0
-        best_new_mode = 0.0
-        for name in graph.task_names():
-            idx = mode_index[current[name]]
-            if idx == 0:
+        for i in range(idx.n_tasks):
+            m = mode_of[i]
+            if m == 0:
                 continue
-            new_mode = modes[idx - 1]
-            saving = (power.energy_for_work(graph.work(name), current[name])
-                      - power.energy_for_work(graph.work(name), new_mode))
+            saving = (power.energy_for_work(works[i], modes[m])
+                      - power.energy_for_work(works[i], modes[m - 1]))
             if saving <= best_saving:
                 continue
-            trial = dict(current)
-            trial[name] = new_mode
-            if is_feasible(trial):
-                best_task = name
+            old = durations[i]
+            durations[i] = works[i] / modes[m - 1]
+            feasible = leq_with_tol(compute_makespan(graph, durations), deadline)
+            durations[i] = old
+            if feasible:
+                best_i = i
                 best_saving = saving
-                best_new_mode = new_mode
-        if best_task is None:
+        if best_i is None:
             break
-        current[best_task] = best_new_mode
+        mode_of[best_i] -= 1
+        durations[best_i] = works[best_i] / modes[mode_of[best_i]]
         applied += 1
 
-    assignment = SpeedAssignment(current)
+    assignment = SpeedAssignment({names[i]: modes[m] for i, m in enumerate(mode_of)})
     lower = critical_path_lower_bound(problem)
     return make_solution(
         problem, assignment, solver="discrete-greedy-reclaim", optimal=False,
@@ -139,9 +138,25 @@ def solve_discrete_greedy_reclaim(problem: MinEnergyProblem, *,
     )
 
 
-def solve_discrete_best_heuristic(problem: MinEnergyProblem) -> Solution:
-    """Run both heuristics and return the one with the lower energy."""
+def solve_discrete_best_heuristic(problem: MinEnergyProblem, *,
+                                  greedy_threshold: int = 512) -> Solution:
+    """Run both heuristics and return the one with the lower energy.
+
+    Parameters
+    ----------
+    greedy_threshold:
+        The greedy slack-reclamation loop evaluates every task against a
+        fresh schedule per move (O(n²) per move, O(n³·modes) worst case), so
+        beyond this task count only the round-up heuristic runs — on large
+        graphs the greedy loop would dominate the solve by orders of
+        magnitude while typically matching round-up's quality.
+    """
     round_up = solve_discrete_round_up(problem)
+    if problem.graph.n_tasks > greedy_threshold:
+        round_up.metadata["greedy_skipped"] = (
+            f"n_tasks {problem.graph.n_tasks} > greedy_threshold {greedy_threshold}"
+        )
+        return round_up
     greedy = solve_discrete_greedy_reclaim(problem)
     best = round_up if round_up.energy <= greedy.energy else greedy
     best.metadata["round_up_energy"] = round_up.energy

@@ -21,7 +21,12 @@ from repro.core.models import DiscreteModel, IncrementalModel
 from repro.core.problem import MinEnergyProblem
 from repro.core.solution import SpeedAssignment, Solution, make_solution
 from repro.graphs.analysis import topological_order
-from repro.utils.errors import InfeasibleProblemError, InvalidGraphError, InvalidModelError
+from repro.utils.errors import (
+    InfeasibleProblemError,
+    InvalidGraphError,
+    InvalidModelError,
+    SolverError,
+)
 from repro.utils.numerics import leq_with_tol
 
 
@@ -97,8 +102,9 @@ def solve_chain_discrete_exact(problem: MinEnergyProblem, *,
         The instance; its graph must be a chain.
     max_states:
         Safety cap on the total number of Pareto states kept across the
-        sweep; exceeding it raises :class:`InvalidModelError` (the instance
-        has too many modes/tasks for the exact DP).
+        sweep; exceeding it raises :class:`SolverError` (the instance has
+        too many modes/tasks for the exact DP — callers fall back to the
+        heuristics).
 
     Raises
     ------
@@ -144,7 +150,7 @@ def solve_chain_discrete_exact(problem: MinEnergyProblem, *,
         front = pruned
         total_states += len(front)
         if total_states > max_states:
-            raise InvalidModelError(
+            raise SolverError(
                 f"chain DP exceeded {max_states} Pareto states; reduce the number of "
                 "modes or use the heuristics"
             )

@@ -25,6 +25,7 @@ from repro.utils.errors import InvalidGraphError, InvalidModelError, SolverError
 
 def solve_discrete(problem: MinEnergyProblem, *, exact: bool | None = None,
                    exact_threshold: int = 14,
+                   chain_dp_threshold: int = 1024,
                    max_nodes: int = 2_000_000) -> Solution:
     """Solve a Discrete-model instance.
 
@@ -39,6 +40,11 @@ def solve_discrete(problem: MinEnergyProblem, *, exact: bool | None = None,
     exact_threshold:
         Maximum task count for which the automatic mode attempts exact
         branch and bound on general graphs.
+    chain_dp_threshold:
+        Maximum task count for which the automatic mode attempts the exact
+        chain Pareto DP; deeper chains go straight to the heuristics (the
+        DP's front would hit its state cap after a long, fruitless sweep).
+        ``exact=True`` always attempts the DP regardless of size.
     max_nodes:
         Node cap for branch and bound.
     """
@@ -57,9 +63,17 @@ def solve_discrete(problem: MinEnergyProblem, *, exact: bool | None = None,
     if graph.n_edges == 0:
         return solve_independent_discrete_exact(problem)
     try:
-        return solve_chain_discrete_exact(problem)
+        if exact is True or graph.n_tasks <= chain_dp_threshold:
+            return solve_chain_discrete_exact(problem)
     except InvalidGraphError:
         pass
+    except SolverError:
+        # The chain's Pareto front blew past the state cap (deep chains with
+        # loose deadlines).  In automatic mode fall through to the
+        # polynomial heuristics instead of crashing the dispatch; an
+        # explicit exact request still gets the honest failure.
+        if exact is True:
+            raise
 
     if exact is True:
         return solve_discrete_exact(problem, max_nodes=max_nodes)

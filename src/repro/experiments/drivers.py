@@ -474,6 +474,33 @@ def experiment_e10_scalability(*, sizes: Sequence[int] = (10, 20, 40, 80),
     return table
 
 
+# --------------------------------------------------------------------------- #
+# SWEEP — batch sweep engine over (class, size, slack, alpha) grids
+# --------------------------------------------------------------------------- #
+def experiment_batch_sweep(*, graph_classes: Sequence[str] = ("chain", "fork", "tree",
+                                                              "series_parallel", "layered"),
+                           sizes: Sequence[int] = (16, 64),
+                           slacks: Sequence[float] = (1.2, 2.0),
+                           alphas: Sequence[float] = (3.0,),
+                           model: str = "continuous", n_modes: int = 5,
+                           s_max: float = 1.0,
+                           repetitions: int = 2, seed: int = 11,
+                           workers: int | None = None, chunk: int = 1) -> Table:
+    """Batch sweep over graph class / size / deadline / alpha grids.
+
+    One row per solved instance (failures captured in the ``error`` column);
+    the fan-out runs through :func:`repro.batch.solve_many`, so ``workers``
+    turns the sweep into a process-pool run.  This is the driver behind the
+    ``repro sweep`` CLI subcommand.
+    """
+    from repro.batch import sweep
+
+    return sweep(graph_classes=graph_classes, sizes=sizes, slacks=slacks,
+                 alphas=alphas, model=model, n_modes=n_modes, s_max=s_max,
+                 repetitions=repetitions, seed=seed, workers=workers,
+                 chunk=chunk, title="SWEEP - batch sweep engine grid")
+
+
 #: Registry used by the benchmark harness and the documentation generator.
 EXPERIMENT_REGISTRY: dict[str, Callable[..., Table]] = {
     "E1": experiment_e1_fork_closed_form,
@@ -486,4 +513,5 @@ EXPERIMENT_REGISTRY: dict[str, Callable[..., Table]] = {
     "E8": experiment_e8_graph_classes,
     "E9": experiment_e9_reclaiming_gain,
     "E10": experiment_e10_scalability,
+    "SWEEP": experiment_batch_sweep,
 }

@@ -205,13 +205,20 @@ def random_tree(n: int, *, seed: RngLike = None, max_children: int = 4,
     sampler = work_sampler or uniform_works()
     g = TaskGraph(name=name)
     g.add_task(Task("T1", sampler(rng)))
-    child_count = {0: 0}
+    # attach each new node to a uniformly random node that still has
+    # capacity; the swap-remove list keeps the draw uniform over exactly
+    # those nodes while staying O(1) per attachment (the previous
+    # rebuild-the-candidate-list loop was O(n²) and took minutes at 10k)
+    available = [0]
+    child_count = [0] * n
     for i in range(1, n):
-        # attach to a uniformly random node that still has capacity
-        candidates = [j for j in range(i) if child_count[j] < max_children]
-        parent = int(rng.choice(candidates))
+        k = int(rng.integers(0, len(available)))
+        parent = available[k]
         child_count[parent] += 1
-        child_count[i] = 0
+        if child_count[parent] >= max_children:
+            available[k] = available[-1]
+            available.pop()
+        available.append(i)
         g.add_task(Task(f"T{i + 1}", sampler(rng)))
         if direction == "out":
             g.add_edge(f"T{parent + 1}", f"T{i + 1}")

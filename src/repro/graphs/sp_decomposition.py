@@ -31,7 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.graphs.analysis import descendants
+import numpy as np
+
+from repro.graphs.analysis import descendant_bitsets
 from repro.graphs.taskgraph import TaskGraph
 from repro.utils.errors import InvalidGraphError
 
@@ -45,8 +47,20 @@ class SPNode:
     """Base class of decomposition-tree nodes."""
 
     def leaves(self) -> list[str]:
-        """Names of the tasks below this node (in deterministic order)."""
-        raise NotImplementedError
+        """Names of the tasks below this node (in deterministic order).
+
+        Iterative pre-order walk — decomposition trees of deep caterpillar
+        graphs can nest O(n) levels, which must not overflow the stack.
+        """
+        out: list[str] = []
+        stack: list[SPNode] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, SPLeaf):
+                out.append(node.task)
+            else:
+                stack.extend(reversed(node.children))  # type: ignore[union-attr]
+        return out
 
     def size(self) -> int:
         """Number of task leaves below this node."""
@@ -60,21 +74,12 @@ class SPLeaf(SPNode):
     task: str
     work: float
 
-    def leaves(self) -> list[str]:
-        return [self.task]
-
 
 @dataclass
 class SPSeries(SPNode):
     """A series composition: children execute strictly one after another."""
 
     children: list[SPNode] = field(default_factory=list)
-
-    def leaves(self) -> list[str]:
-        out: list[str] = []
-        for c in self.children:
-            out.extend(c.leaves())
-        return out
 
 
 @dataclass
@@ -83,37 +88,44 @@ class SPParallel(SPNode):
 
     children: list[SPNode] = field(default_factory=list)
 
-    def leaves(self) -> list[str]:
-        out: list[str] = []
-        for c in self.children:
-            out.extend(c.leaves())
-        return out
-
 
 def _weak_components(graph: TaskGraph, nodes: list[str]) -> list[list[str]]:
-    """Weakly connected components of the sub-poset induced by ``nodes``."""
-    node_set = set(nodes)
-    seen: set[str] = set()
+    """Weakly connected components of the sub-poset induced by ``nodes``.
+
+    Runs on the graph's CSR index (integer neighbour lists) so that
+    repeated calls from the decomposition loop do not re-sort adjacency
+    sets; the output keeps the historical order (components in first-seen
+    order, members sorted by name).
+    """
+    idx = graph.index()
+    index_of, names = idx.index_of, idx.names
+    pred_ptr, pred_idx = idx.pred_ptr.tolist(), idx.pred_idx.tolist()
+    succ_ptr, succ_idx = idx.succ_ptr.tolist(), idx.succ_idx.tolist()
+    node_ids = [index_of[u] for u in nodes]
+    in_set = set(node_ids)
+    seen: set[int] = set()
     components: list[list[str]] = []
-    for start in nodes:
+    for start in node_ids:
         if start in seen:
             continue
-        comp: list[str] = []
+        comp: list[int] = []
         stack = [start]
         seen.add(start)
         while stack:
             u = stack.pop()
             comp.append(u)
-            for v in graph.successors(u) + graph.predecessors(u):
-                if v in node_set and v not in seen:
+            neighbours = (succ_idx[succ_ptr[u]:succ_ptr[u + 1]]
+                          + pred_idx[pred_ptr[u]:pred_ptr[u + 1]])
+            for v in neighbours:
+                if v in in_set and v not in seen:
                     seen.add(v)
                     stack.append(v)
-        components.append(sorted(comp))
+        components.append(sorted(names[i] for i in comp))
     return components
 
 
 def _series_blocks(
-    nodes: list[str], closure: dict[str, set[str]]
+    nodes: list[str], closure: np.ndarray, index_of, n_words: int
 ) -> list[list[str]] | None:
     """Split ``nodes`` into the finest chain of series blocks, or ``None``.
 
@@ -122,35 +134,48 @@ def _series_blocks(
     precede every task of the suffix.  All valid boundaries are found, which
     yields the finest ordinal-sum decomposition; ``None`` is returned when no
     boundary exists (the block is series-irreducible).
+
+    ``closure`` is the packed-bitset transitive closure from
+    :func:`repro.graphs.analysis.descendant_bitsets`: the prefix test is a
+    running word-wise AND of the prefix rows against the mask of remaining
+    nodes, so each candidate boundary costs O(n / 64) instead of comparing
+    Python sets.
     """
-    node_set = set(nodes)
     n = len(nodes)
     if n < 2:
         return None
-    # descendant counts restricted to this block
-    desc_in = {u: len(closure[u] & node_set) for u in nodes}
+    rows_unsorted = closure[[index_of[u] for u in nodes]]
+    word = np.right_shift([index_of[u] for u in nodes], 6)
+    bit = np.uint64(1) << (np.array([index_of[u] for u in nodes],
+                                    dtype=np.uint64) & np.uint64(63))
+    block_mask = np.zeros(n_words, dtype=np.uint64)
+    np.bitwise_or.at(block_mask, word, bit)
+    # descendant counts restricted to this block, batched in one call
+    desc_in = np.bitwise_count(rows_unsorted & block_mask).sum(axis=1)
     # Sort so that potential "earlier" tasks (more in-block descendants) come
     # first; ties broken by name for determinism.
-    ordered = sorted(nodes, key=lambda u: (-desc_in[u], u))
+    perm = sorted(range(n), key=lambda i: (-int(desc_in[i]), nodes[i]))
+    ordered = [nodes[i] for i in perm]
+    # A boundary after position j is valid iff every task of positions
+    # 0..j transitively precedes every task of positions j+1.. — i.e. the
+    # cumulative prefix AND of the descendant rows contains all remaining
+    # nodes.  (Checking the cumulative prefix instead of only the nodes
+    # since the previous boundary is equivalent: each earlier block passed
+    # the same test against a superset of the remaining nodes.)  Since no
+    # node is its own strict descendant, the prefix AND restricted to the
+    # block never contains prefix nodes, so containment reduces to a
+    # popcount: exactly ``n - 1 - j`` in-block bits must survive.
+    rows_sorted = rows_unsorted[perm]
+    prefix_and = np.bitwise_and.accumulate(rows_sorted, axis=0)
+    in_block = np.bitwise_count(prefix_and & block_mask).sum(axis=1)
+    valid = in_block[:-1] == np.arange(n - 1, 0, -1)
     blocks: list[list[str]] = []
-    current: list[str] = []
-    remaining = set(nodes)
-    for idx, u in enumerate(ordered):
-        current.append(u)
-        remaining.discard(u)
-        if not remaining:
-            blocks.append(current)
-            current = []
-            break
-        # valid boundary iff every task of the prefix precedes every
-        # remaining task
-        if all(remaining <= (closure[v] & node_set) for v in current):
-            blocks.append(current)
-            current = []
-    if current:
-        # ordered exhausted without closing the final block -- cannot happen
-        # because the last boundary (remaining empty) always closes it
-        blocks.append(current)
+    start = 0
+    for j in range(n - 1):
+        if valid[j]:
+            blocks.append(ordered[start:j + 1])
+            start = j + 1
+    blocks.append(ordered[start:])
     if len(blocks) < 2:
         return None
     return blocks
@@ -158,6 +183,11 @@ def _series_blocks(
 
 def sp_decompose(graph: TaskGraph) -> SPNode:
     """Decompose ``graph`` into a series-parallel tree.
+
+    The decomposition is iterative (an explicit work stack instead of
+    recursion) and queries the transitive closure through packed bitsets, so
+    deep chains and caterpillar graphs neither overflow the interpreter
+    stack nor materialise quadratic Python sets.
 
     Returns
     -------
@@ -174,25 +204,38 @@ def sp_decompose(graph: TaskGraph) -> SPNode:
     graph.validate()
     if graph.n_tasks == 0:
         raise InvalidGraphError("cannot decompose an empty graph")
-    closure = {u: descendants(graph, u) for u in graph.task_names()}
+    closure = descendant_bitsets(graph)
+    index_of = graph.index().index_of
+    n_words = closure.shape[1]
 
-    def recurse(nodes: list[str]) -> SPNode:
+    root_holder: list[SPNode | None] = [None]
+    # each entry: (nodes, container list, slot to fill)
+    stack: list[tuple[list[str], list, int]] = [(graph.task_names(), root_holder, 0)]
+    while stack:
+        nodes, container, slot = stack.pop()
         if len(nodes) == 1:
             name = nodes[0]
-            return SPLeaf(task=name, work=graph.work(name))
+            container[slot] = SPLeaf(task=name, work=graph.work(name))
+            continue
         components = _weak_components(graph, nodes)
         if len(components) > 1:
-            return SPParallel(children=[recurse(c) for c in components])
-        blocks = _series_blocks(nodes, closure)
-        if blocks is None:
-            raise NotSeriesParallelError(
-                f"graph {graph.name!r} is not series-parallel: block "
-                f"{sorted(nodes)[:6]}{'...' if len(nodes) > 6 else ''} is "
-                "connected but admits no series cut"
-            )
-        return SPSeries(children=[recurse(b) for b in blocks])
-
-    return recurse(graph.task_names())
+            parent: SPNode = SPParallel(children=[None] * len(components))  # type: ignore[list-item]
+            groups = components
+        else:
+            blocks = _series_blocks(nodes, closure, index_of, n_words)
+            if blocks is None:
+                raise NotSeriesParallelError(
+                    f"graph {graph.name!r} is not series-parallel: block "
+                    f"{sorted(nodes)[:6]}{'...' if len(nodes) > 6 else ''} is "
+                    "connected but admits no series cut"
+                )
+            parent = SPSeries(children=[None] * len(blocks))  # type: ignore[list-item]
+            groups = blocks
+        container[slot] = parent
+        for i, group in enumerate(groups):
+            stack.append((group, parent.children, i))  # type: ignore[union-attr]
+    assert root_holder[0] is not None
+    return root_holder[0]
 
 
 def is_series_parallel(graph: TaskGraph) -> bool:
@@ -206,16 +249,24 @@ def is_series_parallel(graph: TaskGraph) -> bool:
 
 def sp_tree_depth(node: SPNode) -> int:
     """Depth of a decomposition tree (a leaf has depth 1)."""
-    if isinstance(node, SPLeaf):
-        return 1
-    children = node.children  # type: ignore[union-attr]
-    return 1 + max(sp_tree_depth(c) for c in children)
+    best = 0
+    stack: list[tuple[SPNode, int]] = [(node, 1)]
+    while stack:
+        current, depth = stack.pop()
+        if isinstance(current, SPLeaf):
+            best = max(best, depth)
+        else:
+            for child in current.children:  # type: ignore[union-attr]
+                stack.append((child, depth + 1))
+    return best
 
 
 def iter_leaves(node: SPNode) -> Iterable[SPLeaf]:
-    """Iterate over the task leaves of a decomposition tree."""
-    if isinstance(node, SPLeaf):
-        yield node
-        return
-    for child in node.children:  # type: ignore[union-attr]
-        yield from iter_leaves(child)
+    """Iterate over the task leaves of a decomposition tree (pre-order)."""
+    stack: list[SPNode] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, SPLeaf):
+            yield current
+        else:
+            stack.extend(reversed(current.children))  # type: ignore[union-attr]

@@ -22,8 +22,153 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
 import networkx as nx
+import numpy as np
 
 from repro.utils.errors import InvalidGraphError
+
+
+@dataclass(frozen=True)
+class GraphIndex:
+    """Immutable integer-indexed view of a :class:`TaskGraph`.
+
+    Task ``i`` is the ``i``-th task in insertion order.  Adjacency is stored
+    in CSR (compressed sparse row) form: the predecessors of task ``i`` are
+    ``pred_idx[pred_ptr[i]:pred_ptr[i + 1]]`` and likewise for successors.
+    The topological order and the 0-based level of every task are computed
+    once and cached with the index; all arrays are read-only NumPy arrays so
+    the view can be shared freely between solvers.
+
+    The view is a snapshot: :meth:`TaskGraph.index` invalidates its cached
+    instance whenever the graph mutates, so holders of a stale ``GraphIndex``
+    keep a consistent (if outdated) picture rather than a corrupt one.
+    """
+
+    names: tuple[str, ...]
+    index_of: Mapping[str, int]
+    works: np.ndarray
+    pred_ptr: np.ndarray
+    pred_idx: np.ndarray
+    succ_ptr: np.ndarray
+    succ_idx: np.ndarray
+    topo_order: np.ndarray
+    level: np.ndarray
+    #: nodes sorted by (level, index); ``level_ptr[L]:level_ptr[L+1]`` slices
+    #: the nodes of level ``L``.
+    order_by_level: np.ndarray
+    level_ptr: np.ndarray
+    #: edges sorted by the level of their target; ``edge_level_ptr[L]`` points
+    #: at the first edge whose target sits at level ``L``.
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_level_ptr: np.ndarray
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.names)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.succ_idx.shape[0])
+
+    @property
+    def n_levels(self) -> int:
+        return int(self.level.max()) + 1 if len(self.names) else 0
+
+    def predecessors_of(self, i: int) -> np.ndarray:
+        """Predecessor indices of task ``i``."""
+        return self.pred_idx[self.pred_ptr[i]:self.pred_ptr[i + 1]]
+
+    def successors_of(self, i: int) -> np.ndarray:
+        """Successor indices of task ``i``."""
+        return self.succ_idx[self.succ_ptr[i]:self.succ_ptr[i + 1]]
+
+    def vector_of(self, mapping: Mapping[str, float]) -> np.ndarray:
+        """Dense float vector of a per-task mapping, in index order."""
+        return np.fromiter((mapping[name] for name in self.names),
+                           dtype=float, count=len(self.names))
+
+    def mapping_of(self, vector: np.ndarray) -> dict[str, float]:
+        """Per-task dict view of a dense vector, in index order."""
+        return {name: float(vector[i]) for i, name in enumerate(self.names)}
+
+
+def _build_index(graph: "TaskGraph") -> GraphIndex:
+    """Construct the CSR index, topological order and levels of a graph."""
+    names = tuple(graph._tasks)
+    n = len(names)
+    index_of = {name: i for i, name in enumerate(names)}
+    works = np.fromiter((t.work for t in graph._tasks.values()),
+                        dtype=float, count=n)
+
+    pred_ptr = np.zeros(n + 1, dtype=np.int64)
+    succ_ptr = np.zeros(n + 1, dtype=np.int64)
+    for i, name in enumerate(names):
+        pred_ptr[i + 1] = pred_ptr[i] + len(graph._pred[name])
+        succ_ptr[i + 1] = succ_ptr[i] + len(graph._succ[name])
+    pred_idx = np.empty(pred_ptr[-1], dtype=np.int64)
+    succ_idx = np.empty(succ_ptr[-1], dtype=np.int64)
+    for i, name in enumerate(names):
+        preds = sorted(index_of[p] for p in graph._pred[name])
+        succs = sorted(index_of[s] for s in graph._succ[name])
+        pred_idx[pred_ptr[i]:pred_ptr[i + 1]] = preds
+        succ_idx[succ_ptr[i]:succ_ptr[i + 1]] = succs
+
+    # Kahn topological order (FIFO over insertion order) and levels in one
+    # pass; a cycle leaves the order short, which consumers detect via -1
+    # levels -- but we raise here so every cached index is a valid DAG view.
+    indeg = (pred_ptr[1:] - pred_ptr[:-1]).copy()
+    order = np.empty(n, dtype=np.int64)
+    level = np.zeros(n, dtype=np.int64)
+    head = 0
+    tail = 0
+    for i in range(n):
+        if indeg[i] == 0:
+            order[tail] = i
+            tail += 1
+    while head < tail:
+        u = order[head]
+        head += 1
+        for v in succ_idx[succ_ptr[u]:succ_ptr[u + 1]]:
+            indeg[v] -= 1
+            lv = level[u] + 1
+            if lv > level[v]:
+                level[v] = lv
+            if indeg[v] == 0:
+                order[tail] = v
+                tail += 1
+    if tail != n:
+        raise InvalidGraphError(f"graph {graph.name!r} contains a cycle")
+
+    n_levels = int(level.max()) + 1 if n else 0
+    order_by_level = np.argsort(level, kind="stable").astype(np.int64)
+    level_counts = np.bincount(level, minlength=max(n_levels, 1))
+    level_ptr = np.zeros(n_levels + 1, dtype=np.int64)
+    np.cumsum(level_counts[:n_levels], out=level_ptr[1:])
+
+    m = int(succ_ptr[-1])
+    edge_src = np.repeat(np.arange(n, dtype=np.int64),
+                         succ_ptr[1:] - succ_ptr[:-1])
+    edge_dst = succ_idx.copy()
+    by_dst_level = np.argsort(level[edge_dst], kind="stable")
+    edge_src = edge_src[by_dst_level]
+    edge_dst = edge_dst[by_dst_level]
+    edge_level_ptr = np.zeros(n_levels + 1, dtype=np.int64)
+    if m:
+        edge_counts = np.bincount(level[edge_dst], minlength=n_levels)
+        np.cumsum(edge_counts, out=edge_level_ptr[1:])
+
+    arrays = (works, pred_ptr, pred_idx, succ_ptr, succ_idx, order, level,
+              order_by_level, level_ptr, edge_src, edge_dst, edge_level_ptr)
+    for arr in arrays:
+        arr.setflags(write=False)
+    return GraphIndex(
+        names=names, index_of=index_of, works=works,
+        pred_ptr=pred_ptr, pred_idx=pred_idx,
+        succ_ptr=succ_ptr, succ_idx=succ_idx,
+        topo_order=order, level=level,
+        order_by_level=order_by_level, level_ptr=level_ptr,
+        edge_src=edge_src, edge_dst=edge_dst, edge_level_ptr=edge_level_ptr,
+    )
 
 
 @dataclass(frozen=True)
@@ -82,6 +227,7 @@ class TaskGraph:
         self._tasks: dict[str, Task] = {}
         self._succ: dict[str, set[str]] = {}
         self._pred: dict[str, set[str]] = {}
+        self._index: GraphIndex | None = None
         for t in tasks:
             if isinstance(t, tuple):
                 t = Task(t[0], float(t[1]))
@@ -106,6 +252,7 @@ class TaskGraph:
         self._tasks[task.name] = task
         self._succ[task.name] = set()
         self._pred[task.name] = set()
+        self._index = None
         return task
 
     def add_edge(self, source: str, target: str) -> None:
@@ -118,6 +265,7 @@ class TaskGraph:
             raise InvalidGraphError(f"self-loop on task {source!r}")
         self._succ[source].add(target)
         self._pred[target].add(source)
+        self._index = None
 
     def remove_edge(self, source: str, target: str) -> None:
         """Remove the precedence edge ``source -> target`` (must exist)."""
@@ -126,6 +274,7 @@ class TaskGraph:
             self._pred[target].remove(source)
         except KeyError as exc:
             raise InvalidGraphError(f"edge {source!r} -> {target!r} does not exist") from exc
+        self._index = None
 
     # ------------------------------------------------------------------ #
     # queries
@@ -215,6 +364,28 @@ class TaskGraph:
     def out_degree(self, name: str) -> int:
         """Number of immediate successors."""
         return len(self._succ[name])
+
+    # ------------------------------------------------------------------ #
+    # integer indexing
+    # ------------------------------------------------------------------ #
+    def index(self) -> GraphIndex:
+        """Cached integer-indexed CSR view of the graph.
+
+        The view (name↔index arrays, CSR predecessor/successor lists, cached
+        topological order and levels) is built on first use and invalidated
+        by every mutation (:meth:`add_task`, :meth:`add_edge`,
+        :meth:`remove_edge`).  All hot solver paths operate on this view
+        instead of the per-task dictionaries.
+
+        Raises
+        ------
+        InvalidGraphError
+            If the graph contains a cycle (a cached index always describes a
+            valid DAG).
+        """
+        if self._index is None:
+            self._index = _build_index(self)
+        return self._index
 
     # ------------------------------------------------------------------ #
     # validation / transformation
@@ -316,6 +487,16 @@ class TaskGraph:
         """Build a graph from a ``{name: work}`` mapping and an edge list."""
         return cls(tasks=[Task(n, float(w)) for n, w in works.items()],
                    edges=edges, name=name)
+
+    def __getstate__(self) -> dict:
+        """Pickle without the cached index (rebuilt lazily on first use).
+
+        Keeps payloads lean when problems are shipped to worker processes by
+        :func:`repro.batch.solve_many`.
+        """
+        state = self.__dict__.copy()
+        state["_index"] = None
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (
