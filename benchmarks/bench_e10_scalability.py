@@ -10,7 +10,13 @@ A second case exercises the batch engine on the structured classes the
 array-based core makes cheap: deep chains and trees up to 10,000 tasks
 solved through the iterative Theorem-2 paths (these used to blow the
 recursion limit around 1,000 tasks).
+
+A third case runs the same grid twice through a shared result cache: the
+emitted rows are the warm pass, so the ``cache_hit`` column (and the solve
+times collapsing to lookups) records the cache's effect in the BENCH JSON.
 """
+
+import time
 
 from conftest import run_once
 
@@ -34,3 +40,31 @@ def test_e10_deep_graph_batch(benchmark):
     assert all(table.column("ok"))
     # deep graphs must route through the O(n) structured solvers
     assert set(table.column("solver")) <= {"continuous-chain", "continuous-tree"}
+
+
+def _cached_resweep(**kwargs):
+    """Run the same sweep grid cold then warm through one result cache."""
+    from repro.cache import memory_cache
+
+    cache = memory_cache()
+    start = time.perf_counter()
+    experiment_batch_sweep(cache=cache, **kwargs)           # cold: fills
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = experiment_batch_sweep(cache=cache, **kwargs)    # warm: all hits
+    warm_seconds = time.perf_counter() - start
+    from repro.batch import sweep_cache_stats
+
+    stats = sweep_cache_stats(warm)
+    warm.title += (f" [cold {cold_seconds:.3f}s -> warm {warm_seconds:.3f}s, "
+                   f"warm hit rate {stats['hit_rate']:.0%}]")
+    return warm
+
+
+def test_e10_cached_resweep(benchmark):
+    table = run_once(benchmark, _cached_resweep, case="e10_cached_resweep",
+                     graph_classes=("layered",), sizes=(24, 48),
+                     slacks=(1.2, 2.0), alphas=(3.0,), model="continuous",
+                     repetitions=2, seed=10)
+    assert all(table.column("ok"))
+    assert all(table.column("cache_hit"))  # the emitted pass is fully warm

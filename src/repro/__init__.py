@@ -54,14 +54,20 @@ from repro.discrete.solve import solve_discrete
 from repro.incremental.approx import solve_incremental_approx, solve_incremental_exact
 from repro.baselines.naive import solve_no_reclaim, solve_uniform_scaling
 from repro.simulation.engine import simulate, simulate_solution
-from repro.solve import solve
+from repro.solve import solve, solver_methods
+from repro.cache import ResultCache, disk_cache, memory_cache
+from repro.batch import solve_many, sweep
+from repro.service import JobHandle, JobStatus, SolverService
 from repro.utils.errors import (
     InfeasibleProblemError,
     InvalidGraphError,
     InvalidModelError,
+    InvalidOptionError,
     InvalidSolutionError,
     ReproError,
     SolverError,
+    UnknownOptionError,
+    UnknownSolverError,
 )
 
 __version__ = "1.0.0"
@@ -95,6 +101,7 @@ __all__ = [
     "single_processor_mapping",
     # solvers
     "solve",
+    "solver_methods",
     "solve_continuous",
     "continuous_lower_bound",
     "solve_vdd_hopping",
@@ -103,6 +110,15 @@ __all__ = [
     "solve_incremental_exact",
     "solve_no_reclaim",
     "solve_uniform_scaling",
+    # batch / cache / service
+    "solve_many",
+    "sweep",
+    "ResultCache",
+    "memory_cache",
+    "disk_cache",
+    "SolverService",
+    "JobHandle",
+    "JobStatus",
     # simulation
     "simulate",
     "simulate_solution",
@@ -113,5 +129,8 @@ __all__ = [
     "InfeasibleProblemError",
     "InvalidSolutionError",
     "SolverError",
+    "UnknownSolverError",
+    "InvalidOptionError",
+    "UnknownOptionError",
     "__version__",
 ]

@@ -5,8 +5,10 @@ This subsystem turns the single-instance solvers into a throughput engine:
 per-instance error capture (serially or across worker processes), and
 :func:`sweep` expands deadline/alpha/graph-size grids into instances and
 returns one table row per solve.  It is the layer the scalability
-experiments (E7/E10), the ``repro sweep`` CLI subcommand and future
-sharded/async front-ends build on.
+experiments (E7/E10), the ``repro sweep`` CLI subcommand and the
+:class:`repro.service.SolverService` job front-end build on; pass a
+:class:`repro.cache.ResultCache` to any of them and repeated instances are
+answered from the content-addressed cache instead of the pool.
 
 Quickstart
 ----------
@@ -45,7 +47,14 @@ From the command line::
 """
 
 from repro.batch.engine import BatchResult, failed, solve_many, summarize
-from repro.batch.sweep import SWEEP_COLUMNS, build_sweep_problems, sweep, sweep_failures
+from repro.batch.sweep import (
+    SWEEP_COLUMNS,
+    build_sweep_problems,
+    sweep,
+    sweep_cache_stats,
+    sweep_failures,
+    sweep_table,
+)
 
 __all__ = [
     "BatchResult",
@@ -55,5 +64,7 @@ __all__ = [
     "solve_many",
     "summarize",
     "sweep",
+    "sweep_cache_stats",
     "sweep_failures",
+    "sweep_table",
 ]

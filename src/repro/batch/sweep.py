@@ -10,12 +10,18 @@ The grid axes mirror the experiment harness: graph class and size (the
 generators of :mod:`repro.graphs.generators`), deadline slack (``D`` as a
 multiple of the minimum makespan), power exponent ``alpha`` and the energy
 model.  Repetitions re-draw the random graph with per-cell derived seeds,
-so a sweep is reproducible from its base seed alone.
+so a sweep is reproducible from its base seed alone — and every row records
+its own instance seed and ``cache_hit`` flag, so a single row is too.
+
+Passing a :class:`repro.cache.ResultCache` makes repeated sweeps
+near-free: a second identical run is served entirely from the cache (the
+``cache_hit`` column reports it per row, :func:`sweep_cache_stats`
+aggregates the hit rate).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.models import ContinuousModel
 from repro.core.power import PowerLaw
@@ -26,10 +32,13 @@ from repro.utils.rng import spawn_rngs
 from repro.utils.tables import Table
 from repro.batch.engine import BatchResult, solve_many
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import ResultCache
+
 #: Columns of the table returned by :func:`sweep`, one row per instance.
 SWEEP_COLUMNS = (
     "graph_class", "n_tasks", "slack", "alpha", "seed", "ok", "solver",
-    "energy", "makespan", "seconds", "error",
+    "energy", "makespan", "seconds", "cache_hit", "error",
 )
 
 
@@ -88,6 +97,23 @@ def build_sweep_problems(*, graph_classes: Sequence[str] = ("chain", "tree", "la
     return problems, coords
 
 
+def sweep_table(coords: Sequence[tuple], results: Sequence[BatchResult], *,
+                title: str = "batch sweep") -> Table:
+    """Assemble the one-row-per-instance sweep table.
+
+    Shared by :func:`sweep` and the :class:`repro.service.SolverService`
+    job front-end, so CLI sweeps and submitted jobs emit identical rows.
+    """
+    table = Table(columns=list(SWEEP_COLUMNS), title=title)
+    for coord, result in zip(coords, results):
+        cls, n, slack, alpha, instance_seed = coord
+        table.add_row(cls, result.n_tasks, slack, alpha, instance_seed,
+                      result.ok, result.solver, result.energy,
+                      result.makespan, result.seconds, result.cache_hit,
+                      result.error)
+    return table
+
+
 def sweep(*, graph_classes: Sequence[str] = ("chain", "tree", "layered"),
           sizes: Sequence[int] = (32,),
           slacks: Sequence[float] = (1.5,),
@@ -97,33 +123,41 @@ def sweep(*, graph_classes: Sequence[str] = ("chain", "tree", "layered"),
           n_processors: int = 0, mapping: str = "none",
           repetitions: int = 1, seed: int = 0,
           workers: int | None = None, chunk: int = 1,
+          method: str | None = None,
           exact: bool | None = None, validate: bool = True,
+          cache: "ResultCache | None" = None,
           title: str = "batch sweep") -> Table:
     """Run a deadline/alpha/graph-size grid and return one row per instance.
 
     Parameters mirror :func:`build_sweep_problems` plus the fan-out knobs of
     :func:`repro.batch.engine.solve_many` (``workers``, ``chunk``,
-    ``exact``, ``validate``).  Failed instances appear as rows with
-    ``ok=False`` and the error message in the last column, so a sweep never
-    dies half way through a grid.
+    ``method``, ``exact``, ``validate``, ``cache``).  Failed instances
+    appear as rows with ``ok=False`` and the error message in the last
+    column, so a sweep never dies half way through a grid.
     """
     problems, coords = build_sweep_problems(
         graph_classes=graph_classes, sizes=sizes, slacks=slacks, alphas=alphas,
         model=model, n_modes=n_modes, s_max=s_max, n_processors=n_processors,
         mapping=mapping, repetitions=repetitions, seed=seed,
     )
-    results = solve_many(problems, workers=workers, chunk=chunk,
-                         exact=exact, validate=validate)
-    table = Table(columns=list(SWEEP_COLUMNS), title=title)
-    for coord, result in zip(coords, results):
-        cls, n, slack, alpha, instance_seed = coord
-        table.add_row(cls, result.n_tasks, slack, alpha, instance_seed,
-                      result.ok, result.solver, result.energy,
-                      result.makespan, result.seconds, result.error)
-    return table
+    results = solve_many(problems, workers=workers, chunk=chunk, method=method,
+                         exact=exact, validate=validate, cache=cache,
+                         seeds=[coord[-1] for coord in coords])
+    return sweep_table(coords, results, title=title)
 
 
 def sweep_failures(table: Table) -> list[str]:
     """Error messages of the failed rows of a sweep table."""
     errors = table.column("error")
     return [e for ok, e in zip(table.column("ok"), errors) if not ok]
+
+
+def sweep_cache_stats(table: Table) -> dict[str, float | int]:
+    """Cache counters of a sweep table: hits, misses and the hit rate."""
+    hits = sum(1 for h in table.column("cache_hit") if h)
+    total = len(table)
+    return {
+        "hits": hits,
+        "misses": total - hits,
+        "hit_rate": hits / total if total else 0.0,
+    }

@@ -1,0 +1,225 @@
+"""Content-addressed cache of solve results.
+
+A solve request is identified by
+:meth:`repro.core.problem.MinEnergyProblem.cache_key` — a SHA-256 over the
+graph structure hash, the weights, the model parameters, the deadline, the
+power exponent and the resolved solver ``(method, options)`` pair.  The
+cache maps those keys to JSON-serialisable *envelopes* holding the speed (or
+hopping) assignment plus the solver's verdict, so a hit is rebuilt into a
+full, re-validated :class:`~repro.core.solution.Solution` without running
+any solver.  Repeated sweep cells and incremental re-solves become
+near-free.
+
+Two stores are provided (and agree on content, see
+:mod:`repro.cache.store`): an in-process LRU and an on-disk JSON directory.
+
+Quickstart
+----------
+>>> from repro.cache import memory_cache
+>>> from repro.solve import solve
+>>> cache = memory_cache()
+>>> first = solve(problem, cache=cache)          # doctest: +SKIP
+>>> again = solve(problem, cache=cache)          # doctest: +SKIP
+>>> again.metadata["cache_hit"], cache.stats.hit_rate  # doctest: +SKIP
+(True, 0.5)
+
+Batch wiring: pass ``cache=`` to :func:`repro.batch.solve_many`,
+:func:`repro.batch.sweep` or a :class:`repro.service.SolverService` — only
+misses are fanned out to workers, and every row records its ``cache_hit``
+flag in :attr:`repro.batch.BatchResult.metadata`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.cache.store import DiskJSONStore, MemoryLRUStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.problem import MinEnergyProblem
+    from repro.core.solution import Solution
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of solver metadata to JSON-stable values."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    # numpy scalars expose item(); anything else degrades to repr
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except Exception:  # pragma: no cover - exotic array-likes
+            pass
+    return repr(value)
+
+
+def solution_envelope(solution: "Solution") -> dict[str, Any]:
+    """Serialisable envelope of a solution (the cached value).
+
+    Stores the assignment (constant speeds, or hopping segments), the solver
+    name, optimality flag, lower bound and sanitised metadata — everything
+    needed to rebuild an equivalent :class:`Solution` for an identical
+    problem.  Energy and makespan are included for summary consumers (batch
+    rows) but are recomputed on reconstruction, so a tampered envelope
+    cannot smuggle in an inconsistent verdict.
+    """
+    from repro.core.solution import SpeedAssignment
+
+    envelope: dict[str, Any] = {
+        "solver": solution.solver,
+        "energy": float(solution.energy),
+        "makespan": float(solution.makespan),
+        "optimal": bool(solution.optimal),
+        "lower_bound": (float(solution.lower_bound)
+                        if solution.lower_bound is not None else None),
+        "metadata": {k: _jsonable(v) for k, v in solution.metadata.items()
+                     if k != "cache_hit"},
+    }
+    assignment = solution.assignment
+    if isinstance(assignment, SpeedAssignment):
+        envelope["speeds"] = {n: float(s) for n, s in assignment.speeds.items()}
+    else:
+        envelope["segments"] = {
+            n: [[float(s), float(t)] for s, t in segs]
+            for n, segs in assignment.segments.items()
+        }
+    return envelope
+
+
+def solution_from_envelope(problem: "MinEnergyProblem",
+                           envelope: dict[str, Any]) -> "Solution":
+    """Rebuild a :class:`Solution` for ``problem`` from a cached envelope.
+
+    The schedule and energy are recomputed from the stored assignment via
+    :func:`repro.core.solution.make_solution`, and the result carries
+    ``metadata["cache_hit"] = True``.
+    """
+    from repro.core.solution import (
+        HoppingAssignment,
+        SpeedAssignment,
+        make_solution,
+    )
+
+    if "segments" in envelope:
+        assignment: Any = HoppingAssignment(segments={
+            n: [(float(s), float(t)) for s, t in segs]
+            for n, segs in envelope["segments"].items()
+        })
+    else:
+        assignment = SpeedAssignment(speeds={
+            n: float(s) for n, s in envelope["speeds"].items()
+        })
+    metadata = dict(envelope.get("metadata") or {})
+    metadata["cache_hit"] = True
+    return make_solution(
+        problem, assignment,
+        solver=envelope["solver"],
+        lower_bound=envelope.get("lower_bound"),
+        optimal=bool(envelope.get("optimal", False)),
+        metadata=metadata,
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/insert counters of a :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts,
+                "hit_rate": self.hit_rate}
+
+
+@dataclass
+class ResultCache:
+    """Thread-safe facade over a cache store, with hit/miss counters.
+
+    ``store`` may be a :class:`~repro.cache.store.MemoryLRUStore`, a
+    :class:`~repro.cache.store.DiskJSONStore`, or anything with the same
+    ``get``/``put``/``clear``/``__len__`` surface.
+    """
+
+    store: Any = field(default_factory=MemoryLRUStore)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Look up an envelope; counts a hit or a miss."""
+        with self._lock:
+            envelope = self.store.get(key)
+            if envelope is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        return envelope
+
+    def peek(self, key: str) -> dict[str, Any] | None:
+        """Look up without touching the hit/miss counters.
+
+        For content introspection (tests, debugging, store comparisons) —
+        every solving code path goes through :meth:`get` so the stats stay
+        an honest account of cache effectiveness.
+        """
+        with self._lock:
+            return self.store.get(key)
+
+    def put(self, key: str, envelope: dict[str, Any]) -> None:
+        with self._lock:
+            self.store.put(key, envelope)
+            self.stats.puts += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.store)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.store.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.stats = CacheStats()
+
+
+def memory_cache(maxsize: int = 4096) -> ResultCache:
+    """An in-process LRU result cache bounded to ``maxsize`` envelopes."""
+    return ResultCache(store=MemoryLRUStore(maxsize=maxsize))
+
+
+def disk_cache(directory) -> ResultCache:
+    """A result cache persisted as one JSON file per key under ``directory``."""
+    return ResultCache(store=DiskJSONStore(directory))
+
+
+__all__ = [
+    "CacheStats",
+    "DiskJSONStore",
+    "MemoryLRUStore",
+    "ResultCache",
+    "disk_cache",
+    "memory_cache",
+    "solution_envelope",
+    "solution_from_envelope",
+]

@@ -1,0 +1,115 @@
+"""Cache stores: in-process LRU and on-disk JSON.
+
+Both stores map hex cache keys (see
+:meth:`repro.core.problem.MinEnergyProblem.cache_key`) to JSON-serialisable
+*result envelopes* (see :func:`repro.cache.solution_envelope`), so a value
+written by either store can be read by the other and the two always agree on
+content.  Stores are deliberately dumb — eviction, counters and solution
+reconstruction live in :class:`repro.cache.ResultCache`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Iterator
+
+_KEY_RE = re.compile(r"^[0-9a-f]{16,128}$")
+
+
+def _check_key(key: str) -> str:
+    """Keys become file names, so only hex digests are accepted."""
+    if not isinstance(key, str) or not _KEY_RE.match(key):
+        raise ValueError(f"cache keys must be hex digests, got {key!r}")
+    return key
+
+
+class MemoryLRUStore:
+    """In-process LRU store bounded to ``maxsize`` entries.
+
+    Lookups refresh recency; inserting past the bound evicts the least
+    recently used entry.  Not thread-safe on its own — the
+    :class:`repro.cache.ResultCache` facade serialises access.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        entry = self._data.get(_check_key(key))
+        if entry is None:
+            return None
+        self._data.move_to_end(key)
+        return entry
+
+    def put(self, key: str, value: dict[str, Any]) -> None:
+        self._data[_check_key(key)] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        return _check_key(key) in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(list(self._data))
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class DiskJSONStore:
+    """One JSON file per key under a directory.
+
+    Writes are atomic (temp file + ``os.replace``) so a crashed writer never
+    leaves a truncated envelope behind; a corrupt or unreadable file reads as
+    a miss rather than an error.  Suitable for sharing warm results between
+    processes or across runs (e.g. repeated benchmark sweeps).
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{_check_key(key)}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                value = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return value if isinstance(value, dict) else None
+
+    def put(self, key: str, value: dict[str, Any]) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(value, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __iter__(self) -> Iterator[str]:
+        return (p.stem for p in self.directory.glob("*.json"))
+
+    def clear(self) -> None:
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent clear
+                pass

@@ -28,13 +28,22 @@ worker processes, emitting CSV::
 
     python -m repro sweep --classes chain,tree --sizes 100,1000 \
         --slacks 1.2,2.0 --workers 4 --csv
+
+Submit the same grid as an asynchronous job to the solver service (results
+and a job record land in ``--jobs-dir``), then list recorded jobs::
+
+    python -m repro submit --classes chain,tree --sizes 100,1000 \
+        --slacks 1.2,2.0 --workers 4
+    python -m repro jobs
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
+import time
 from typing import Sequence
 
 from repro.core.models import (
@@ -93,7 +102,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         deadline = args.slack * longest_path_length(
             graph, weight=lambda n: graph.work(n) / s_max)
     problem = MinEnergyProblem(graph=graph, deadline=deadline, model=model)
-    solution = solve(problem, exact=args.exact or None)
+    solution = solve(problem, method=args.method or None, exact=args.exact or None)
     check_solution(solution)
     payload = {
         "graph": graph.name,
@@ -153,10 +162,9 @@ def _parse_ints(text: str, *, flag: str) -> tuple[int, ...]:
     return values
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.batch import sweep, sweep_failures
-
-    table = sweep(
+def _grid_kwargs(args: argparse.Namespace) -> dict:
+    """Sweep-grid keyword arguments shared by ``sweep`` and ``submit``."""
+    return dict(
         graph_classes=tuple(c.strip() for c in args.classes.split(",") if c.strip()),
         sizes=_parse_ints(args.sizes, flag="--sizes"),
         slacks=_parse_floats(args.slacks, flag="--slacks"),
@@ -166,17 +174,108 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         s_max=args.s_max,
         repetitions=args.repetitions,
         seed=args.seed,
+    )
+
+
+def _make_cache(args: argparse.Namespace):
+    if getattr(args, "cache_dir", None):
+        from repro.cache import disk_cache
+
+        return disk_cache(args.cache_dir)
+    return None
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.batch import sweep, sweep_cache_stats, sweep_failures
+
+    cache = _make_cache(args)
+    table = sweep(
+        **_grid_kwargs(args),
         workers=args.workers or None,
         chunk=args.chunk,
+        cache=cache,
     )
     if args.csv:
         print(table.to_csv(), end="")
     else:
         print(table.to_ascii(), end="")
+    if cache is not None:
+        stats = sweep_cache_stats(table)
+        print(f"cache: {stats['hits']} hits / {stats['misses']} misses "
+              f"(hit rate {stats['hit_rate']:.0%})", file=sys.stderr)
     failures = sweep_failures(table)
     if failures:
         print(f"{len(failures)} of {len(table)} instances failed "
               "(see the error column)", file=sys.stderr)
+    return 0
+
+
+def _job_record_path(jobs_dir: str, job_id: str) -> pathlib.Path:
+    return pathlib.Path(jobs_dir) / f"{job_id}.json"
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.batch import sweep_cache_stats
+    from repro.service import SolverService
+
+    cache = _make_cache(args)
+    # the context manager cancels pending instances on an exception (e.g.
+    # Ctrl+C mid-poll), so an interrupted submit does not sit out the grid
+    with SolverService(workers=max(1, args.workers), cache=cache) as service:
+        handle = service.submit_sweep(**_grid_kwargs(args), name=args.name or "")
+        print(f"submitted {handle.job_id}: {handle.total} instances "
+              f"on {max(1, args.workers)} workers", file=sys.stderr)
+        while not handle.done():
+            progress = handle.progress()
+            print(f"  {handle.status().value}: {progress.done}/{progress.total} "
+                  f"done, {progress.failed} failed", file=sys.stderr)
+            time.sleep(args.poll)
+        table = service.job_table(handle.job_id)
+
+    record = handle.describe()
+    record["columns"] = list(table.columns)
+    record["rows"] = table.rows
+    jobs_dir = pathlib.Path(args.jobs_dir)
+    jobs_dir.mkdir(parents=True, exist_ok=True)
+    path = _job_record_path(args.jobs_dir, handle.job_id)
+    path.write_text(json.dumps(record, indent=2, default=repr) + "\n",
+                    encoding="utf-8")
+
+    if args.csv:
+        print(table.to_csv(), end="")
+    else:
+        print(table.to_ascii(), end="")
+    progress = handle.progress()
+    stats = sweep_cache_stats(table)
+    print(f"{handle.job_id}: done ({progress.done}/{progress.total}, "
+          f"{progress.failed} failed, {stats['hits']} cache hits); "
+          f"record: {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    jobs_dir = pathlib.Path(args.jobs_dir)
+    records = []
+    if jobs_dir.is_dir():
+        for path in sorted(jobs_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict) and "job_id" in record:
+                records.append(record)
+    if not records:
+        print(f"no job records under {jobs_dir}")
+        return 0
+    records.sort(key=lambda r: r.get("created_at") or 0.0)
+    print(f"{'job_id':<28} {'status':<10} {'done':>6} {'failed':>6} "
+          f"{'hits':>5}  name")
+    for record in records:
+        done = f"{record.get('done', '?')}/{record.get('total', '?')}"
+        print(f"{record.get('job_id', '?'):<28} "
+              f"{record.get('status', '?'):<10} {done:>6} "
+              f"{record.get('failed', 0):>6} "
+              f"{record.get('cache_hits', 0):>5}  {record.get('name', '')}")
     return 0
 
 
@@ -203,6 +302,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="deadline as a multiple of the minimum makespan (default 1.5)")
     solve_parser.add_argument("--exact", action="store_true",
                               help="force exact resolution for the NP-complete models")
+    solve_parser.add_argument("--method", default="",
+                              help="registered solver method (e.g. gp-slsqp, lp, "
+                                   "heuristic); default: the model's default backend")
     solve_parser.set_defaults(handler=_cmd_solve)
 
     exp_parser = sub.add_parser("experiment", help="regenerate an experiment table (E1-E10)")
@@ -212,32 +314,57 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
     exp_parser.set_defaults(handler=_cmd_experiment)
 
+    def add_grid_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--classes", default="chain,tree,layered",
+                       help="comma-separated graph classes (default chain,tree,layered)")
+        p.add_argument("--sizes", default="32",
+                       help="comma-separated task counts (default 32)")
+        p.add_argument("--slacks", default="1.5",
+                       help="comma-separated deadline slack factors (default 1.5)")
+        p.add_argument("--alphas", default="3.0",
+                       help="comma-separated power-law exponents (default 3.0)")
+        p.add_argument("--model", choices=("continuous", "discrete", "vdd", "incremental"),
+                       default="continuous")
+        p.add_argument("--n-modes", type=int, default=5,
+                       help="mode count for the mode-based models (default 5)")
+        p.add_argument("--s-max", type=float, default=1.0,
+                       help="continuous speed cap; pass inf for the uncapped "
+                            "Theorem-2 regime (default 1.0)")
+        p.add_argument("--repetitions", type=int, default=1,
+                       help="random repetitions per grid cell (default 1)")
+        p.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+        p.add_argument("--cache-dir", default="",
+                       help="directory of an on-disk result cache; repeated "
+                            "runs are served from it (hit rate on stderr)")
+        p.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
+
     sweep_parser = sub.add_parser(
         "sweep", help="run a batch sweep over graph-class/size/deadline/alpha grids")
-    sweep_parser.add_argument("--classes", default="chain,tree,layered",
-                              help="comma-separated graph classes (default chain,tree,layered)")
-    sweep_parser.add_argument("--sizes", default="32",
-                              help="comma-separated task counts (default 32)")
-    sweep_parser.add_argument("--slacks", default="1.5",
-                              help="comma-separated deadline slack factors (default 1.5)")
-    sweep_parser.add_argument("--alphas", default="3.0",
-                              help="comma-separated power-law exponents (default 3.0)")
-    sweep_parser.add_argument("--model", choices=("continuous", "discrete", "vdd", "incremental"),
-                              default="continuous")
-    sweep_parser.add_argument("--n-modes", type=int, default=5,
-                              help="mode count for the mode-based models (default 5)")
-    sweep_parser.add_argument("--s-max", type=float, default=1.0,
-                              help="continuous speed cap; pass inf for the uncapped "
-                                   "Theorem-2 regime (default 1.0)")
-    sweep_parser.add_argument("--repetitions", type=int, default=1,
-                              help="random repetitions per grid cell (default 1)")
-    sweep_parser.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    add_grid_arguments(sweep_parser)
     sweep_parser.add_argument("--workers", type=int, default=0,
                               help="worker processes; 0 or 1 solves serially (default 0)")
     sweep_parser.add_argument("--chunk", type=int, default=1,
                               help="instances per worker dispatch (default 1)")
-    sweep_parser.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a sweep grid to the async solver service and "
+                       "record the job under --jobs-dir")
+    add_grid_arguments(submit_parser)
+    submit_parser.add_argument("--workers", type=int, default=2,
+                               help="service worker processes (default 2)")
+    submit_parser.add_argument("--name", default="", help="job display name")
+    submit_parser.add_argument("--poll", type=float, default=0.2,
+                               help="progress poll interval in seconds (default 0.2)")
+    submit_parser.add_argument("--jobs-dir", default=".repro-jobs",
+                               help="directory for job records (default .repro-jobs)")
+    submit_parser.set_defaults(handler=_cmd_submit)
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list job records written by 'repro submit'")
+    jobs_parser.add_argument("--jobs-dir", default=".repro-jobs",
+                             help="directory of job records (default .repro-jobs)")
+    jobs_parser.set_defaults(handler=_cmd_jobs)
     return parser
 
 

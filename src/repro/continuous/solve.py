@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.core.models import ContinuousModel
 from repro.core.problem import MinEnergyProblem
+from repro.core.registry import REGISTRY, OptionSpec
 from repro.core.solution import Solution
 from repro.continuous.closed_forms import (
     solve_chain,
@@ -88,6 +89,43 @@ def solve_continuous(problem: MinEnergyProblem, *, force_method: str | None = No
 
     # 3. general convex program
     return solve_general_convex(problem)
+
+
+# --------------------------------------------------------------------------- #
+# registered backends (repro.solve resolves these through the SolverRegistry)
+# --------------------------------------------------------------------------- #
+REGISTRY.register(
+    "continuous", "auto", default=True,
+    doc="Cheapest applicable exact method (closed form, tree/SP, convex).",
+)(solve_continuous)
+
+REGISTRY.register(
+    "continuous", "closed-form",
+    doc="Theorem 1 closed forms (single task, chain, fork, join).",
+)(lambda problem: solve_continuous(problem, force_method="closed-form"))
+
+REGISTRY.register(
+    "continuous", "tree",
+    doc="Theorem 2 equivalent-load pass for in/out-trees (O(n)).",
+)(lambda problem: solve_continuous(problem, force_method="tree"))
+
+REGISTRY.register(
+    "continuous", "series-parallel", aliases=("sp",),
+    doc="Theorem 2 series-parallel decomposition algorithm.",
+)(lambda problem: solve_continuous(problem, force_method="series-parallel"))
+
+REGISTRY.register(
+    "continuous", "gp-slsqp", aliases=("convex",),
+    options=(
+        OptionSpec("max_iterations", (int,), default=800,
+                   doc="SLSQP iteration cap"),
+        OptionSpec("tolerance", (int, float), default=1e-12,
+                   doc="relative objective tolerance"),
+        OptionSpec("max_dense_tasks", (int,), default=2000,
+                   doc="hard task-count ceiling of the dense stages"),
+    ),
+    doc="General convex program (log-space GP stage + SLSQP polish).",
+)(solve_general_convex)
 
 
 def _closed_form(problem: MinEnergyProblem) -> Solution:

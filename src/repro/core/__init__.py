@@ -20,6 +20,12 @@ from repro.core.models import (
     IncrementalModel,
 )
 from repro.core.problem import MinEnergyProblem
+from repro.core.registry import (
+    REGISTRY,
+    OptionSpec,
+    SolverBackend,
+    SolverRegistry,
+)
 from repro.core.solution import (
     SpeedAssignment,
     HoppingAssignment,
@@ -38,6 +44,10 @@ __all__ = [
     "VddHoppingModel",
     "IncrementalModel",
     "MinEnergyProblem",
+    "REGISTRY",
+    "OptionSpec",
+    "SolverBackend",
+    "SolverRegistry",
     "SpeedAssignment",
     "HoppingAssignment",
     "Schedule",

@@ -83,6 +83,21 @@ class EnergyModel:
         """Whether the model has a finite set of modes."""
         return False
 
+    def cache_token(self) -> tuple:
+        """Canonical, hashable identity of the model for cache keys.
+
+        Folds the concrete class name and every dataclass field (including
+        the mode tuples and the Incremental ``(s_min, s_max, delta)``
+        triple), so two model instances produce the same token exactly when
+        they constrain speeds identically.
+        """
+        import dataclasses
+
+        values = tuple(
+            (f.name, getattr(self, f.name)) for f in dataclasses.fields(self)
+        )
+        return (type(self).__name__, values)
+
 
 @dataclass(frozen=True)
 class ContinuousModel(EnergyModel):

@@ -168,6 +168,41 @@ class MinEnergyProblem:
         return {n: self.graph.work(n) / speeds[n] for n in self.graph.task_names()}
 
     # ------------------------------------------------------------------ #
+    # content addressing
+    # ------------------------------------------------------------------ #
+    def cache_key(self, *, method: str | None = None,
+                  options: "dict | None" = None,
+                  exact: bool | None = None) -> str:
+        """Stable content hash identifying this solve request (hex SHA-256).
+
+        The key covers everything that determines the solver's answer: the
+        graph structure hash (names, weights, edges — see
+        :meth:`repro.graphs.taskgraph.TaskGraph.structure_hash`), the
+        deadline, the energy model's full parameterisation, the power-law
+        exponent, and the resolved solver ``(method, options, exact)``
+        triple.  The display ``name`` of the problem/graph is deliberately
+        excluded: two identically-posed instances share a key.
+
+        Mutating the graph invalidates its cached index, so a later
+        ``cache_key()`` on the same problem object reflects the new
+        structure — stale cache hits cannot happen.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "graph": self.graph.structure_hash(),
+            "deadline": float(self.deadline).hex(),
+            "model": self.model.cache_token(),
+            "alpha": float(self.power.alpha).hex(),
+            "method": method,
+            "options": sorted((options or {}).items()),
+            "exact": exact,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
     # derived instances
     # ------------------------------------------------------------------ #
     def with_model(self, model: EnergyModel) -> "MinEnergyProblem":

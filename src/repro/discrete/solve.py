@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.core.models import DiscreteModel, IncrementalModel
 from repro.core.problem import MinEnergyProblem
+from repro.core.registry import REGISTRY, OptionSpec
 from repro.core.solution import Solution
 from repro.discrete.exact import solve_discrete_exact
 from repro.discrete.heuristics import solve_discrete_best_heuristic
@@ -84,3 +85,38 @@ def solve_discrete(problem: MinEnergyProblem, *, exact: bool | None = None,
         except SolverError:
             pass
     return solve_discrete_best_heuristic(problem)
+
+
+# --------------------------------------------------------------------------- #
+# registered backends (repro.solve resolves these through the SolverRegistry)
+# --------------------------------------------------------------------------- #
+REGISTRY.register(
+    "discrete", "auto", default=True, supports_exact=True,
+    options=(
+        OptionSpec("exact_threshold", (int,), default=14,
+                   doc="max task count for automatic exact branch and bound"),
+        OptionSpec("chain_dp_threshold", (int,), default=1024,
+                   doc="max task count for the automatic chain Pareto DP"),
+        OptionSpec("max_nodes", (int,), default=2_000_000,
+                   doc="node cap of the branch and bound"),
+    ),
+    doc="Size/structure-aware dispatch (exact where cheap, else heuristics).",
+)(solve_discrete)
+
+REGISTRY.register(
+    "discrete", "exact",
+    options=(
+        OptionSpec("max_nodes", (int,), default=2_000_000,
+                   doc="node cap of the branch and bound"),
+    ),
+    doc="Exact resolution (chain Pareto DP, else branch and bound).",
+)(lambda problem, **opts: solve_discrete(problem, exact=True, **opts))
+
+REGISTRY.register(
+    "discrete", "heuristic",
+    options=(
+        OptionSpec("greedy_threshold", (int,), default=512,
+                   doc="size guard of the greedy slack-reclamation pass"),
+    ),
+    doc="Best of the two polynomial heuristics (round-up, greedy reclaim).",
+)(solve_discrete_best_heuristic)

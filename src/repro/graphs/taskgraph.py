@@ -18,7 +18,9 @@ its generators in tests.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Iterator, Mapping
 
 import networkx as nx
@@ -81,6 +83,26 @@ class GraphIndex:
     def successors_of(self, i: int) -> np.ndarray:
         """Successor indices of task ``i``."""
         return self.succ_idx[self.succ_ptr[i]:self.succ_ptr[i + 1]]
+
+    @cached_property
+    def structure_hash(self) -> str:
+        """Content hash of the graph structure and weights (hex SHA-256).
+
+        Covers the task names (in index order), the work vector and the CSR
+        successor arrays — i.e. exactly the data the solvers read — but not
+        the display name, so two identically-shaped graphs hash equally.
+        Because a :class:`GraphIndex` is an immutable snapshot invalidated on
+        every mutation, the hash can be cached on the index and used as the
+        graph component of a solve-result cache key (see
+        :meth:`repro.core.problem.MinEnergyProblem.cache_key`).
+        """
+        digest = hashlib.sha256()
+        digest.update(str(len(self.names)).encode("utf-8"))
+        digest.update(b"\x00".join(name.encode("utf-8") for name in self.names))
+        digest.update(self.works.tobytes())
+        digest.update(self.succ_ptr.tobytes())
+        digest.update(self.succ_idx.tobytes())
+        return digest.hexdigest()
 
     def vector_of(self, mapping: Mapping[str, float]) -> np.ndarray:
         """Dense float vector of a per-task mapping, in index order."""
@@ -386,6 +408,16 @@ class TaskGraph:
         if self._index is None:
             self._index = _build_index(self)
         return self._index
+
+    def structure_hash(self) -> str:
+        """Content hash of the structure and weights (see :class:`GraphIndex`).
+
+        Mutating the graph invalidates the cached index and therefore yields
+        a fresh hash on the next call.  Hashing a graph that has not been
+        indexed yet builds the index (O(n + m), the same view every solver
+        needs anyway), so the cost is paid at most once per graph version.
+        """
+        return self.index().structure_hash
 
     # ------------------------------------------------------------------ #
     # validation / transformation

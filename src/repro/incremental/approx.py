@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 from repro.core.models import ContinuousModel, IncrementalModel
 from repro.core.problem import MinEnergyProblem
+from repro.core.registry import REGISTRY, OptionSpec
 from repro.core.solution import SpeedAssignment, Solution, make_solution
 from repro.utils.errors import InvalidModelError
 
@@ -158,6 +159,29 @@ def solve_incremental_exact(problem: MinEnergyProblem, *, max_nodes: int = 2_000
             f"solve_incremental_exact expects an IncrementalModel, got {model.name}"
         )
     return solve_discrete(problem, exact=True, max_nodes=max_nodes)
+
+
+# --------------------------------------------------------------------------- #
+# registered backends (repro.solve resolves these through the SolverRegistry)
+# --------------------------------------------------------------------------- #
+REGISTRY.register(
+    "incremental", "theorem5", default=True, aliases=("approx", "round-up"),
+    options=(
+        OptionSpec("k", (int,), default=1000,
+                   doc="Theorem 5 accuracy parameter K (relaxation solved "
+                       "to relative accuracy 1/K)"),
+    ),
+    doc="Theorem 5 round-up from the Continuous relaxation.",
+)(solve_incremental_approx)
+
+REGISTRY.register(
+    "incremental", "exact",
+    options=(
+        OptionSpec("max_nodes", (int,), default=2_000_000,
+                   doc="node cap of the branch and bound"),
+    ),
+    doc="Exact Incremental optimum via the Discrete machinery (NP-hard).",
+)(solve_incremental_exact)
 
 
 def incremental_certificate(problem: MinEnergyProblem, achieved_energy: float,

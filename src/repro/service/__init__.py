@@ -1,0 +1,26 @@
+"""Async solver-service front-end: submit grids, poll jobs, await results.
+
+This subsystem turns the batch engine into a concurrent service:
+:class:`SolverService` accepts submissions (problem lists or sweep grids),
+runs them on a worker pool behind :class:`~repro.service.jobs.JobHandle`
+objects, and exposes completion synchronously (``handle.results()``) and
+asynchronously (``await handle``).  Per-instance failures are captured as
+``ok=False`` rows — a job never dies half way — and a shared
+:class:`repro.cache.ResultCache` answers repeated instances without
+touching the pool.
+
+From the command line::
+
+    python -m repro submit --classes chain,tree --sizes 64 --workers 4
+    python -m repro jobs
+"""
+
+from repro.service.jobs import JobHandle, JobProgress, JobStatus
+from repro.service.service import SolverService
+
+__all__ = [
+    "JobHandle",
+    "JobProgress",
+    "JobStatus",
+    "SolverService",
+]

@@ -1,0 +1,256 @@
+"""The asynchronous solver-service front-end.
+
+:class:`SolverService` turns the batch layer into a job queue: clients
+submit a list of problems (or a sweep grid) and get a
+:class:`~repro.service.jobs.JobHandle` back immediately; instances run on a
+process pool (or a thread pool for in-process testing), failures are
+captured per instance, and completion can be polled, blocked on, or
+awaited.  Submissions flow through the same registry dispatch and
+content-addressed cache as direct :func:`repro.solve.solve` calls, so a
+warm cache answers repeated grids without touching the pool at all.
+
+Quickstart
+----------
+>>> from repro.service import SolverService
+>>> with SolverService(workers=4) as service:            # doctest: +SKIP
+...     handle = service.submit_sweep(graph_classes=("chain",), sizes=(64,),
+...                                   slacks=(1.2, 2.0), repetitions=3)
+...     print(handle.status(), handle.progress().fraction)
+...     rows = handle.results(timeout=120)               # or: await handle
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.batch.engine import _WorkItem, _result_from_envelope, _solve_one
+from repro.batch.sweep import build_sweep_problems, sweep_table
+from repro.core.problem import MinEnergyProblem
+from repro.service.jobs import JobHandle, JobStatus
+from repro.utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import ResultCache
+
+
+class SolverService:
+    """A concurrent solve-job front-end over the process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes of the underlying pool (default 2).
+    use_threads:
+        Run instances on a thread pool instead (no pickling, shared memory);
+        useful for tests and for serving from an environment where
+        subprocesses are unwelcome.  NumPy/SciPy release the GIL in the
+        heavy kernels, so threads still overlap useful work.
+    cache:
+        Optional :class:`repro.cache.ResultCache` consulted at submission
+        time (hits never reach the pool) and populated as instances finish.
+    validate:
+        Re-check every solution with
+        :func:`repro.core.validation.check_solution` in the worker.
+    keep_speeds:
+        Include per-task speeds in every result.
+    """
+
+    def __init__(self, *, workers: int = 2, use_threads: bool = False,
+                 cache: "ResultCache | None" = None,
+                 validate: bool = True, keep_speeds: bool = False) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cache = cache
+        self.validate = validate
+        self.keep_speeds = keep_speeds
+        if use_threads:
+            self._pool: Any = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-service")
+        else:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        self._jobs: dict[str, JobHandle] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, work: "Sequence[MinEnergyProblem] | Mapping[str, Any]", *,
+               method: str | None = None, exact: bool | None = None,
+               options: dict[str, Any] | None = None,
+               seeds: Sequence[int | None] | None = None,
+               name: str = "") -> JobHandle:
+        """Submit problems (or a sweep-grid mapping) and return immediately.
+
+        ``work`` is either a sequence of :class:`MinEnergyProblem` or a
+        mapping of :func:`repro.batch.build_sweep_problems` keyword
+        arguments (``{"graph_classes": ..., "sizes": ..., ...}``), which is
+        expanded exactly like :func:`repro.batch.sweep` and additionally
+        attaches the grid coordinates to the handle for table rendering.
+        """
+        if isinstance(work, Mapping):
+            if seeds is not None:
+                raise ValueError(
+                    "seeds cannot be combined with a sweep-grid mapping: the "
+                    "grid derives one seed per cell from its base seed"
+                )
+            reserved = {"method", "exact", "options", "name"} & set(work)
+            if reserved:
+                raise ValueError(
+                    f"grid mapping must not contain {sorted(reserved)}; pass "
+                    "them as keyword arguments of submit() instead"
+                )
+            return self.submit_sweep(**dict(work), method=method, exact=exact,
+                                     options=options, name=name)
+        return self._submit_problems(list(work), method=method, exact=exact,
+                                     options=options, seeds=seeds, name=name,
+                                     coords=None, params={"kind": "problems"})
+
+    def submit_sweep(self, *, method: str | None = None,
+                     exact: bool | None = None,
+                     options: dict[str, Any] | None = None,
+                     name: str = "", **grid: Any) -> JobHandle:
+        """Expand a sweep grid and submit every cell as one job."""
+        problems, coords = build_sweep_problems(**grid)
+        params = {"kind": "sweep", **{k: repr(v) for k, v in sorted(grid.items())}}
+        return self._submit_problems(
+            problems, method=method, exact=exact, options=options,
+            seeds=[coord[-1] for coord in coords], name=name,
+            coords=coords, params=params)
+
+    def _submit_problems(self, problems: list[MinEnergyProblem], *,
+                         method: str | None, exact: bool | None,
+                         options: dict[str, Any] | None,
+                         seeds: Sequence[int | None] | None,
+                         name: str, coords: Sequence[tuple] | None,
+                         params: dict[str, Any]) -> JobHandle:
+        if self._closed:
+            raise RuntimeError("SolverService is shut down")
+        if seeds is not None and len(seeds) != len(problems):
+            raise ValueError("seeds must align with problems")
+        opts = dict(options or {})
+        job_id = f"job-{next(self._counter)}-{uuid.uuid4().hex[:8]}"
+
+        items = [
+            _WorkItem(index=i, problem=p, method=method, exact=exact,
+                      validate=self.validate, keep_speeds=self.keep_speeds,
+                      options=opts,
+                      seed=None if seeds is None else seeds[i],
+                      want_envelope=self.cache is not None)
+            for i, p in enumerate(problems)
+        ]
+
+        preresolved: dict[int, Any] = {}
+        pending: list[_WorkItem] = []
+        keys: dict[int, str] = {}
+        if self.cache is not None:
+            from repro.solve import cache_key_for
+
+            for item in items:
+                try:
+                    key = cache_key_for(item.problem, method,
+                                        options=opts, exact=exact)
+                except Exception:
+                    pending.append(item)  # surface as a per-instance failure
+                    continue
+                keys[item.index] = key
+                envelope = self.cache.get(key)
+                if envelope is not None:
+                    preresolved[item.index] = _result_from_envelope(
+                        item, envelope, 0.0)
+                else:
+                    pending.append(item)
+        else:
+            pending = items
+
+        futures: list[Future] = []
+        indices: list[int] = []
+        for item in pending:
+            future = self._pool.submit(_solve_one, item)
+            if self.cache is not None and item.index in keys:
+                future.add_done_callback(
+                    self._cache_writer(keys[item.index]))
+            futures.append(future)
+            indices.append(item.index)
+
+        handle = JobHandle(job_id, name=name, futures=futures,
+                           future_indices=indices, preresolved=preresolved,
+                           total=len(problems), coords=coords, params=params,
+                           instance_meta=[(p.name, p.n_tasks) for p in problems])
+        with self._lock:
+            self._jobs[job_id] = handle
+        return handle
+
+    def _cache_writer(self, key: str):
+        """Done-callback inserting a finished instance's envelope."""
+
+        def write(future: Future) -> None:
+            if future.cancelled():
+                return
+            try:
+                _result, envelope = future.result(timeout=0)
+            except Exception:
+                return  # worker death: nothing to cache
+            if envelope is not None and self.cache is not None:
+                self.cache.put(key, envelope)
+
+        return write
+
+    # ------------------------------------------------------------------ #
+    # job book-keeping
+    # ------------------------------------------------------------------ #
+    def job(self, job_id: str) -> JobHandle:
+        """Look a job up by id (raises ``KeyError`` for unknown ids)."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def jobs(self) -> list[JobHandle]:
+        """All jobs of this service, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def status(self, job_id: str) -> JobStatus:
+        """Status of one job."""
+        return self.job(job_id).status()
+
+    def results(self, job_id: str, timeout: float | None = None):
+        """Block for one job's results (see :meth:`JobHandle.results`)."""
+        return self.job(job_id).results(timeout=timeout)
+
+    def cancel(self, job_id: str) -> int:
+        """Cancel a job's not-yet-started instances."""
+        return self.job(job_id).cancel()
+
+    def job_table(self, job_id: str, *, timeout: float | None = None) -> Table:
+        """Sweep-style table of a finished job.
+
+        Jobs submitted from a grid get their coordinates back as columns
+        (identical rows to :func:`repro.batch.sweep`); plain problem lists
+        fall back to synthetic coordinates.
+        """
+        handle = self.job(job_id)
+        results = handle.results(timeout=timeout)
+        if handle.coords is not None:
+            return sweep_table(handle.coords, results,
+                               title=f"job {handle.name}")
+        coords = [("-", r.n_tasks, None, None, None) for r in results]
+        return sweep_table(coords, results, title=f"job {handle.name}")
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Shut the pool down; optionally cancel not-yet-started instances."""
+        self._closed = True
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_pending)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None, cancel_pending=exc_type is not None)

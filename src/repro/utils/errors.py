@@ -54,3 +54,33 @@ class SolverError(ReproError):
     The message carries the backend name and the diagnostic returned by the
     underlying routine so that experiment logs remain actionable.
     """
+
+
+class UnknownSolverError(InvalidModelError):
+    """No registered solver backend matches the requested (model, method).
+
+    Raised by :class:`repro.core.registry.SolverRegistry` when ``solve`` is
+    called with a ``method`` that no backend of the problem's energy model
+    declared (or with a model no package registered for — hence the
+    :class:`InvalidModelError` parentage, which pre-registry callers catch).
+    The message lists the methods that *are* registered so that a typo is a
+    one-line fix.
+    """
+
+
+class InvalidOptionError(ReproError):
+    """A solver option has the wrong type or an out-of-range value.
+
+    Raised by the option validation of a registered backend, e.g. passing a
+    string where an integer threshold is expected, or an LP backend name
+    outside the declared choices.
+    """
+
+
+class UnknownOptionError(InvalidOptionError):
+    """A solver option name is not declared by the selected backend.
+
+    This replaces the pre-registry behaviour of silently swallowing
+    misspelled ``**kwargs``: every option must appear in the backend's
+    declared schema.  The message lists the valid option names.
+    """

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.problem import MinEnergyProblem
+from repro.core.registry import REGISTRY, OptionSpec
 from repro.core.solution import Solution
 from repro.utils.errors import InvalidModelError
 from repro.vdd.lp import solve_vdd_lp
@@ -28,3 +29,22 @@ def solve_vdd_hopping(problem: MinEnergyProblem, *, method: str = "lp",
     if method == "mixing":
         return solve_vdd_mixing(problem)
     raise InvalidModelError(f"unknown Vdd-Hopping method {method!r} (use 'lp' or 'mixing')")
+
+
+# --------------------------------------------------------------------------- #
+# registered backends (repro.solve resolves these through the SolverRegistry)
+# --------------------------------------------------------------------------- #
+REGISTRY.register(
+    "vdd-hopping", "lp", default=True,
+    options=(
+        OptionSpec("backend", (str,), default="highs",
+                   choices=("highs", "simplex"),
+                   doc="LP backend: SciPy HiGHS or the library simplex"),
+    ),
+    doc="Optimal Vdd-Hopping via the Theorem 3 linear program.",
+)(solve_vdd_lp)
+
+REGISTRY.register(
+    "vdd-hopping", "mixing",
+    doc="Two-adjacent-mode mixing built on the Continuous optimum.",
+)(solve_vdd_mixing)
