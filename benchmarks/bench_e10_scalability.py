@@ -14,6 +14,12 @@ recursion limit around 1,000 tasks).
 A third case runs the same grid twice through a shared result cache: the
 emitted rows are the warm pass, so the ``cache_hit`` column (and the solve
 times collapsing to lookups) records the cache's effect in the BENCH JSON.
+
+A fourth case shards one grid three ways (cost-weighted partitioning),
+merges the per-shard tables, and records per-shard and merged wall time
+against the unsharded baseline — the single-machine proxy for the CI
+shard matrix: the slowest shard bounds the distributed wall time, and the
+merge itself must cost (near) nothing.
 """
 
 import time
@@ -21,6 +27,7 @@ import time
 from conftest import run_once
 
 from repro.experiments.drivers import experiment_batch_sweep, experiment_e10_scalability
+from repro.utils.tables import Table
 
 
 def test_e10_scalability(benchmark):
@@ -68,3 +75,54 @@ def test_e10_cached_resweep(benchmark):
                      repetitions=2, seed=10)
     assert all(table.column("ok"))
     assert all(table.column("cache_hit"))  # the emitted pass is fully warm
+
+
+def _sharded_sweep(*, shards=3, **kwargs):
+    """One grid: unsharded baseline, then N shard legs, then the merge."""
+    from repro.batch import (ShardDump, dump_payload, merge_shard_dumps,
+                             rows_signature)
+
+    table = Table(
+        columns=["stage", "shard", "rows", "seconds", "vs_unsharded"],
+        title="E10 sharded sweep - per-shard and merged wall time",
+    )
+    start = time.perf_counter()
+    full = experiment_batch_sweep(**kwargs)
+    baseline = time.perf_counter() - start
+    table.add_row("unsharded", "-", len(full), baseline, 1.0)
+
+    dumps = []
+    slowest = 0.0
+    for i in range(1, shards + 1):
+        start = time.perf_counter()
+        leg = experiment_batch_sweep(shard=f"{i}/{shards}", **kwargs)
+        seconds = time.perf_counter() - start
+        slowest = max(slowest, seconds)
+        table.add_row("shard", f"{i}/{shards}", len(leg), seconds,
+                      seconds / baseline)
+        dumps.append(ShardDump.from_payload(dump_payload(leg),
+                                            path=f"<shard {i}/{shards}>"))
+    start = time.perf_counter()
+    merged = merge_shard_dumps(dumps)
+    merge_seconds = time.perf_counter() - start
+    table.add_row("merge", "-", len(merged), merge_seconds,
+                  merge_seconds / baseline)
+    assert rows_signature(merged) == rows_signature(full)
+    table.title += (f" [slowest shard {slowest:.3f}s vs unsharded "
+                    f"{baseline:.3f}s]")
+    return table
+
+
+def test_e10_sharded_sweep(benchmark):
+    table = run_once(benchmark, _sharded_sweep, case="e10_sharded_sweep",
+                     graph_classes=("chain", "tree", "layered"),
+                     sizes=(16, 48), slacks=(1.2, 2.0), alphas=(3.0,),
+                     model="continuous", repetitions=2, seed=10)
+    rows = {r[0]: r for r in table.rows if r[0] != "shard"}
+    shard_rows = [r for r in table.rows if r[0] == "shard"]
+    assert len(shard_rows) == 3
+    # shards partition the grid exactly
+    assert sum(r[2] for r in shard_rows) == rows["unsharded"][2]
+    assert rows["merge"][2] == rows["unsharded"][2]
+    # the merge is bookkeeping, not solving
+    assert rows["merge"][3] < rows["unsharded"][3]

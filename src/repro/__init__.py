@@ -56,7 +56,7 @@ from repro.baselines.naive import solve_no_reclaim, solve_uniform_scaling
 from repro.simulation.engine import simulate, simulate_solution
 from repro.solve import solve, solver_methods
 from repro.cache import ResultCache, disk_cache, memory_cache
-from repro.batch import solve_many, sweep
+from repro.batch import ShardSpec, merge_shard_dumps, solve_many, sweep
 from repro.service import JobHandle, JobStatus, SolverService
 from repro.utils.errors import (
     InfeasibleProblemError,
@@ -113,6 +113,8 @@ __all__ = [
     # batch / cache / service
     "solve_many",
     "sweep",
+    "ShardSpec",
+    "merge_shard_dumps",
     "ResultCache",
     "memory_cache",
     "disk_cache",

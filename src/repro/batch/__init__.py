@@ -44,12 +44,42 @@ From the command line::
 
     python -m repro sweep --classes chain,tree --sizes 100,1000 \\
         --slacks 1.2,2.0 --workers 4 --csv
+
+Sharded sweeps split one grid across machines with no coordinator: every
+leg re-derives the full grid from the base seed and solves only its
+deterministic slice (:class:`~repro.batch.shard.ShardSpec`), writes a
+fingerprinted JSON dump, and :func:`~repro.batch.merge.merge_shard_dumps`
+reassembles the dumps into the exact unsharded table — refusing mismatched
+grids, gaps and overlaps::
+
+    shard = sweep(sizes=(100, 1000), shard="2/3", seed=7)   # leg 2 of 3
+    merged = merge_shard_dumps(["s1.json", "s2.json", "s3.json"])
 """
 
 from repro.batch.engine import BatchResult, failed, solve_many, summarize
+from repro.batch.merge import (
+    ShardDump,
+    dump_payload,
+    load_shard_dump,
+    merge_report,
+    merge_shard_dumps,
+    rows_signature,
+    write_shard_dump,
+)
+from repro.batch.shard import (
+    SHARD_STRATEGIES,
+    ShardSpec,
+    assign_shards,
+    estimate_cost,
+    grid_fingerprint,
+)
 from repro.batch.sweep import (
+    COORD_COLUMNS,
     SWEEP_COLUMNS,
+    SweepPlan,
+    build_sweep_coords,
     build_sweep_problems,
+    plan_sweep,
     sweep,
     sweep_cache_stats,
     sweep_failures,
@@ -58,9 +88,24 @@ from repro.batch.sweep import (
 
 __all__ = [
     "BatchResult",
+    "COORD_COLUMNS",
+    "SHARD_STRATEGIES",
     "SWEEP_COLUMNS",
+    "ShardDump",
+    "ShardSpec",
+    "SweepPlan",
+    "assign_shards",
+    "build_sweep_coords",
     "build_sweep_problems",
+    "dump_payload",
+    "estimate_cost",
     "failed",
+    "grid_fingerprint",
+    "load_shard_dump",
+    "merge_report",
+    "merge_shard_dumps",
+    "plan_sweep",
+    "rows_signature",
     "solve_many",
     "summarize",
     "sweep",

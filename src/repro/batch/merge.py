@@ -1,0 +1,302 @@
+"""Merging per-shard sweep dumps back into the canonical full-grid table.
+
+The counterpart of :mod:`repro.batch.shard`: each leg of a sharded sweep
+writes a JSON *shard dump* (its rows plus a header carrying the grid
+fingerprint, the shard identity and the full-grid coordinates), and this
+module reassembles ``N`` such dumps into the exact table the unsharded
+sweep would have produced — same coordinates, same results, canonical grid
+order.
+
+Merging is deliberately paranoid; each check raises a dedicated
+:class:`~repro.utils.errors.MergeError` subclass so a CI merge job fails
+loudly and precisely:
+
+- **fingerprints** must agree across dumps
+  (:class:`~repro.utils.errors.FingerprintMismatchError`: the dumps came
+  from different grids, seeds, models or solver methods);
+- **coverage** must be exact — every grid coordinate appears in exactly one
+  dump (:class:`~repro.utils.errors.ShardGapError` for uncovered
+  coordinates, :class:`~repro.utils.errors.ShardOverlapError` for
+  duplicated or foreign rows);
+- **shape** must be consistent — same columns, same shard count, same
+  partitioning strategy, no duplicated shard index
+  (:class:`~repro.utils.errors.MergeError`).
+
+Cache awareness comes for free: shard legs that share a result-cache
+directory (``repro sweep --shard I/N --cache-dir X``) populate one
+content-addressed store, so re-running the merged grid against that store
+is served entirely warm — the merge itself never re-solves anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.utils.errors import (
+    FingerprintMismatchError,
+    MergeError,
+    ShardGapError,
+    ShardOverlapError,
+)
+from repro.utils.tables import Table
+from repro.batch.sweep import COORD_COLUMNS
+
+#: ``kind`` marker of a shard-dump JSON document.
+SHARD_DUMP_KIND = "repro-sweep-shard"
+
+#: Dump format version, bumped on incompatible schema changes.
+SHARD_DUMP_VERSION = 1
+
+
+@dataclass
+class ShardDump:
+    """One shard's row dump plus the header identifying its grid."""
+
+    fingerprint: str
+    shard_index: int
+    shard_count: int
+    strategy: str
+    columns: list[str]
+    rows: list[list[Any]]
+    grid: list[tuple]
+    params: dict[str, Any] = field(default_factory=dict)
+    title: str = ""
+    path: str = "<memory>"
+
+    @classmethod
+    def from_payload(cls, payload: Any, *, path: str = "<memory>") -> "ShardDump":
+        """Validate a parsed JSON document into a :class:`ShardDump`."""
+        if not isinstance(payload, dict):
+            raise MergeError(f"{path}: not a shard dump (expected a JSON object)")
+        if payload.get("kind") != SHARD_DUMP_KIND:
+            raise MergeError(
+                f"{path}: not a shard dump (kind={payload.get('kind')!r}, "
+                f"expected {SHARD_DUMP_KIND!r})"
+            )
+        missing = [k for k in ("fingerprint", "shard_index", "shard_count",
+                               "strategy", "columns", "rows", "grid")
+                   if k not in payload]
+        if missing:
+            raise MergeError(f"{path}: shard dump is missing {missing}")
+        try:
+            dump = cls(
+                fingerprint=str(payload["fingerprint"]),
+                shard_index=int(payload["shard_index"]),
+                shard_count=int(payload["shard_count"]),
+                strategy=str(payload["strategy"]),
+                columns=[str(c) for c in payload["columns"]],
+                rows=[list(r) for r in payload["rows"]],
+                grid=[tuple(c) for c in payload["grid"]],
+                params=dict(payload.get("params") or {}),
+                title=str(payload.get("title", "")),
+                path=path,
+            )
+        except (TypeError, ValueError) as exc:
+            raise MergeError(f"{path}: malformed shard dump: {exc}") from exc
+        if not 0 <= dump.shard_index < max(dump.shard_count, 1):
+            raise MergeError(
+                f"{path}: shard_index {dump.shard_index} out of range for "
+                f"shard_count {dump.shard_count}"
+            )
+        n_cols = len(dump.columns)
+        bad = [i for i, row in enumerate(dump.rows) if len(row) != n_cols]
+        if bad:
+            raise MergeError(
+                f"{path}: rows {bad[:5]} do not match the {n_cols}-column header"
+            )
+        return dump
+
+    @property
+    def spelling(self) -> str:
+        """1-based ``I/N`` spelling of this dump's shard."""
+        return f"{self.shard_index + 1}/{self.shard_count}"
+
+
+def dump_payload(table: Table) -> dict[str, Any]:
+    """Shard-dump JSON document for a table produced by :func:`repro.batch.sweep`.
+
+    Requires the table's ``manifest`` attribute (set by ``sweep()``) — the
+    full-grid coordinates, fingerprint and parameters that make the dump
+    self-contained and mergeable.
+    """
+    manifest = getattr(table, "manifest", None)
+    if not isinstance(manifest, dict):
+        raise MergeError(
+            "table has no sweep manifest; only tables returned by "
+            "repro.batch.sweep(...) can be dumped as shards"
+        )
+    return {
+        "kind": SHARD_DUMP_KIND,
+        "version": SHARD_DUMP_VERSION,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        **manifest,
+    }
+
+
+def write_shard_dump(path: "str | os.PathLike", table: Table) -> Path:
+    """Write a sweep table (and its manifest) as a shard-dump JSON file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(dump_payload(table), indent=2, default=repr)
+                      + "\n", encoding="utf-8")
+    return target
+
+
+def load_shard_dump(path: "str | os.PathLike") -> ShardDump:
+    """Read and validate one shard-dump JSON file."""
+    p = Path(path)
+    try:
+        payload = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise MergeError(f"{p}: cannot read shard dump: {exc}") from exc
+    except ValueError as exc:
+        raise MergeError(f"{p}: corrupt shard dump (invalid JSON): {exc}") from exc
+    return ShardDump.from_payload(payload, path=str(p))
+
+
+def _coord_of(row: Sequence[Any], coord_slots: Sequence[int]) -> tuple:
+    return tuple(row[i] for i in coord_slots)
+
+
+def merge_shard_dumps(dumps: Iterable["ShardDump | str | os.PathLike"], *,
+                      title: str = "merged sweep") -> Table:
+    """Reassemble shard dumps into the canonical full-grid sweep table.
+
+    Accepts :class:`ShardDump` objects or paths (mixed freely).  Rows come
+    back in grid order — the exact order the unsharded sweep emits — with
+    each row keeping the ``shard_index`` of the leg that produced it, so
+    provenance survives the merge.  See the module docstring for the
+    validation performed and the errors raised.
+    """
+    loaded = [d if isinstance(d, ShardDump) else load_shard_dump(d)
+              for d in dumps]
+    if not loaded:
+        raise MergeError("no shard dumps to merge")
+    loaded.sort(key=lambda d: (d.shard_index, d.path))
+    first = loaded[0]
+
+    fingerprints = {d.fingerprint for d in loaded}
+    if len(fingerprints) > 1:
+        detail = ", ".join(f"{d.path}={d.fingerprint}" for d in loaded)
+        raise FingerprintMismatchError(
+            f"shard dumps disagree on the grid fingerprint ({detail}); they "
+            "were produced from different grids, seeds, models or methods"
+        )
+    for d in loaded[1:]:
+        if d.columns != first.columns:
+            raise MergeError(
+                f"{d.path}: columns differ from {first.path}: "
+                f"{d.columns} != {first.columns}"
+            )
+        if d.shard_count != first.shard_count:
+            raise MergeError(
+                f"{d.path}: shard_count {d.shard_count} != "
+                f"{first.shard_count} of {first.path}"
+            )
+        if d.strategy != first.strategy:
+            raise MergeError(
+                f"{d.path}: partitioning strategy {d.strategy!r} != "
+                f"{first.strategy!r} of {first.path}; all legs of one sweep "
+                "must shard the same way"
+            )
+    seen_indices: dict[int, str] = {}
+    for d in loaded:
+        if d.shard_index in seen_indices:
+            raise ShardOverlapError(
+                f"shard {d.spelling} appears twice: "
+                f"{seen_indices[d.shard_index]} and {d.path}"
+            )
+        seen_indices[d.shard_index] = d.path
+
+    try:
+        coord_slots = [first.columns.index(c) for c in COORD_COLUMNS]
+    except ValueError as exc:
+        raise MergeError(
+            f"{first.path}: dump lacks the coordinate columns "
+            f"{COORD_COLUMNS}: {exc}"
+        ) from exc
+
+    expected = Counter(first.grid)
+    got: Counter = Counter()
+    by_coord: dict[tuple, deque] = {}
+    sources: dict[tuple, list[str]] = {}
+    for d in loaded:
+        for row in d.rows:
+            coord = _coord_of(row, coord_slots)
+            got[coord] += 1
+            by_coord.setdefault(coord, deque()).append(row)
+            sources.setdefault(coord, []).append(d.spelling)
+
+    extras = got - expected
+    if extras:
+        detail = "; ".join(
+            f"{coord} x{n} (from shard {', '.join(sources[coord])})"
+            for coord, n in list(extras.items())[:5])
+        raise ShardOverlapError(
+            f"{sum(extras.values())} duplicate or foreign row(s) across "
+            f"{len(loaded)} dump(s): {detail}"
+        )
+    missing = expected - got
+    if missing:
+        detail = "; ".join(str(coord) for coord in list(missing)[:5])
+        raise ShardGapError(
+            f"{sum(missing.values())} grid coordinate(s) uncovered by the "
+            f"{len(loaded)} dump(s) (shard leg missing or truncated?): {detail}"
+        )
+
+    merged = Table(columns=list(first.columns),
+                   title=f"{title} [{len(loaded)} shards, "
+                         f"fingerprint {first.fingerprint}]")
+    for coord in first.grid:
+        merged.rows.append(list(by_coord[coord].popleft()))
+    merged.manifest = {
+        "fingerprint": first.fingerprint,
+        "shard_index": 0,
+        "shard_count": 1,
+        "strategy": "merged",
+        "params": dict(first.params),
+        "grid": [list(coord) for coord in first.grid],
+    }
+    return merged
+
+
+def merge_report(dumps: Sequence[ShardDump], merged: Table) -> dict[str, Any]:
+    """Human-oriented summary counters of a completed merge."""
+    return {
+        "fingerprint": dumps[0].fingerprint if dumps else "",
+        "n_shards": len(dumps),
+        "shard_rows": {d.spelling: len(d.rows)
+                       for d in sorted(dumps, key=lambda d: d.shard_index)},
+        "total_rows": len(merged),
+    }
+
+
+def rows_signature(table: Table, *, digits: int = 9) -> list[tuple]:
+    """Order-independent signature of a sweep table's result content.
+
+    One tuple per row: the grid coordinates plus the result columns that are
+    deterministic across machines (``ok``, ``solver``, ``energy``,
+    ``makespan`` — rounded to ``digits`` — and ``error``), excluding
+    wall-clock, cache and shard provenance columns.  Two tables describe the
+    same sweep outcome exactly when their signatures match — the acceptance
+    check for "sharded + merged == unsharded".
+    """
+    keep = list(COORD_COLUMNS) + ["ok", "solver", "energy", "makespan", "error"]
+    slots = [list(table.columns).index(c) for c in keep]
+    signature = []
+    for row in table.rows:
+        values = []
+        for c, i in zip(keep, slots):
+            v = row[i]
+            if c in ("energy", "makespan") and isinstance(v, float):
+                v = round(v, digits)
+            values.append(v)
+        signature.append(tuple(values))
+    return sorted(signature, key=repr)

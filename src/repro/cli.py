@@ -35,6 +35,13 @@ and a job record land in ``--jobs-dir``), then list recorded jobs::
     python -m repro submit --classes chain,tree --sizes 100,1000 \
         --slacks 1.2,2.0 --workers 4
     python -m repro jobs
+
+Shard the sweep across three machines (every leg derives the same
+deterministic partition from the base seed) and merge the dumps::
+
+    python -m repro sweep --sizes 100,1000 --seed 7 --shard 1/3 \
+        --cache-dir .repro-cache --out shard1.json     # ... 2/3, 3/3 elsewhere
+    python -m repro merge shard1.json shard2.json shard3.json --csv
 """
 
 from __future__ import annotations
@@ -185,6 +192,15 @@ def _make_cache(args: argparse.Namespace):
     return None
 
 
+def _parse_shard(args: argparse.Namespace):
+    """Resolve --shard/--shard-strategy into a ShardSpec (or None)."""
+    if not getattr(args, "shard", ""):
+        return None
+    from repro.batch import ShardSpec
+
+    return ShardSpec.parse(args.shard, strategy=args.shard_strategy)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.batch import sweep, sweep_cache_stats, sweep_failures
 
@@ -194,7 +210,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers or None,
         chunk=args.chunk,
         cache=cache,
+        shard=_parse_shard(args),
     )
+    if args.out:
+        from repro.batch import write_shard_dump
+
+        path = write_shard_dump(args.out, table)
+        print(f"wrote {len(table)} rows (fingerprint "
+              f"{table.manifest['fingerprint']}) to {path}", file=sys.stderr)
     if args.csv:
         print(table.to_csv(), end="")
     else:
@@ -222,7 +245,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     # the context manager cancels pending instances on an exception (e.g.
     # Ctrl+C mid-poll), so an interrupted submit does not sit out the grid
     with SolverService(workers=max(1, args.workers), cache=cache) as service:
-        handle = service.submit_sweep(**_grid_kwargs(args), name=args.name or "")
+        handle = service.submit_sweep(**_grid_kwargs(args), name=args.name or "",
+                                      shard=_parse_shard(args))
         print(f"submitted {handle.job_id}: {handle.total} instances "
               f"on {max(1, args.workers)} workers", file=sys.stderr)
         while not handle.done():
@@ -253,29 +277,70 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.batch import (
+        load_shard_dump,
+        merge_report,
+        merge_shard_dumps,
+        write_shard_dump,
+    )
+
+    dumps = [load_shard_dump(path) for path in args.dumps]
+    table = merge_shard_dumps(dumps)
+    if args.out:
+        path = write_shard_dump(args.out, table)
+        print(f"wrote merged table to {path}", file=sys.stderr)
+    if args.csv:
+        print(table.to_csv(), end="")
+    else:
+        print(table.to_ascii(), end="")
+    report = merge_report(dumps, table)
+    per_shard = ", ".join(f"{spelling}: {n} rows"
+                          for spelling, n in report["shard_rows"].items())
+    print(f"merged {report['n_shards']} shard dump(s) -> "
+          f"{report['total_rows']} rows, fingerprint "
+          f"{report['fingerprint']} ({per_shard})", file=sys.stderr)
+    return 0
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     jobs_dir = pathlib.Path(args.jobs_dir)
     records = []
     if jobs_dir.is_dir():
         for path in sorted(jobs_dir.glob("*.json")):
+            # a truncated/corrupt record must not take the whole listing
+            # down: skip it with a warning and keep listing the rest
             try:
                 record = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
+            except (OSError, ValueError) as exc:
+                print(f"warning: skipping unreadable job record {path.name}: "
+                      f"{exc}", file=sys.stderr)
                 continue
-            if isinstance(record, dict) and "job_id" in record:
-                records.append(record)
+            if not (isinstance(record, dict) and "job_id" in record):
+                print(f"warning: skipping {path.name}: not a job record",
+                      file=sys.stderr)
+                continue
+            records.append(record)
     if not records:
         print(f"no job records under {jobs_dir}")
         return 0
-    records.sort(key=lambda r: r.get("created_at") or 0.0)
+
+    def _created_at(record: dict) -> float:
+        try:
+            return float(record.get("created_at") or 0.0)
+        except (TypeError, ValueError):
+            return 0.0
+
+    records.sort(key=_created_at)
     print(f"{'job_id':<28} {'status':<10} {'done':>6} {'failed':>6} "
           f"{'hits':>5}  name")
     for record in records:
         done = f"{record.get('done', '?')}/{record.get('total', '?')}"
-        print(f"{record.get('job_id', '?'):<28} "
-              f"{record.get('status', '?'):<10} {done:>6} "
-              f"{record.get('failed', 0):>6} "
-              f"{record.get('cache_hits', 0):>5}  {record.get('name', '')}")
+        print(f"{str(record.get('job_id', '?')):<28} "
+              f"{str(record.get('status', '?')):<10} {done:>6} "
+              f"{str(record.get('failed') or 0):>6} "
+              f"{str(record.get('cache_hits') or 0):>5}  "
+              f"{record.get('name') or ''}")
     return 0
 
 
@@ -335,7 +400,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
         p.add_argument("--cache-dir", default="",
                        help="directory of an on-disk result cache; repeated "
-                            "runs are served from it (hit rate on stderr)")
+                            "runs are served from it (hit rate on stderr), "
+                            "and shard legs sharing it reuse each other's "
+                            "warm results")
+        p.add_argument("--shard", default="",
+                       help="solve only shard I/N of the grid (1-based, e.g. "
+                            "1/3); every leg derives the same deterministic "
+                            "partition from the base seed")
+        p.add_argument("--shard-strategy", default="cost-weighted",
+                       choices=("cost-weighted", "round-robin"),
+                       help="grid partitioning strategy (default "
+                            "cost-weighted: timing-prior-balanced shards)")
         p.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
 
     sweep_parser = sub.add_parser(
@@ -345,7 +420,23 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes; 0 or 1 solves serially (default 0)")
     sweep_parser.add_argument("--chunk", type=int, default=1,
                               help="instances per worker dispatch (default 1)")
+    sweep_parser.add_argument("--out", default="",
+                              help="also write the rows as a fingerprinted "
+                                   "JSON shard dump for 'repro merge'")
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    merge_parser = sub.add_parser(
+        "merge", help="merge per-shard sweep dumps back into the full-grid "
+                      "table (fails on gaps, overlaps or fingerprint "
+                      "mismatches)")
+    merge_parser.add_argument("dumps", nargs="+",
+                              help="shard dump files written by "
+                                   "'repro sweep --shard I/N --out ...'")
+    merge_parser.add_argument("--out", default="",
+                              help="write the merged table as a JSON dump")
+    merge_parser.add_argument("--csv", action="store_true",
+                              help="emit CSV instead of ASCII")
+    merge_parser.set_defaults(handler=_cmd_merge)
 
     submit_parser = sub.add_parser(
         "submit", help="submit a sweep grid to the async solver service and "

@@ -486,22 +486,25 @@ def experiment_batch_sweep(*, graph_classes: Sequence[str] = ("chain", "fork", "
                            s_max: float = 1.0,
                            repetitions: int = 2, seed: int = 11,
                            workers: int | None = None, chunk: int = 1,
-                           cache=None) -> Table:
+                           cache=None, shard=None) -> Table:
     """Batch sweep over graph class / size / deadline / alpha grids.
 
     One row per solved instance (failures captured in the ``error`` column,
     result-cache hits flagged in the ``cache_hit`` column); the fan-out runs
     through :func:`repro.batch.solve_many`, so ``workers`` turns the sweep
     into a process-pool run and ``cache`` (a
-    :class:`repro.cache.ResultCache`) makes repeated grids near-free.  This
-    is the driver behind the ``repro sweep`` CLI subcommand.
+    :class:`repro.cache.ResultCache`) makes repeated grids near-free.
+    ``shard`` (``"I/N"`` or a :class:`repro.batch.ShardSpec`) restricts the
+    run to one deterministic slice of the grid.  This is the driver behind
+    the ``repro sweep`` CLI subcommand.
     """
     from repro.batch import sweep
 
     return sweep(graph_classes=graph_classes, sizes=sizes, slacks=slacks,
                  alphas=alphas, model=model, n_modes=n_modes, s_max=s_max,
                  repetitions=repetitions, seed=seed, workers=workers,
-                 chunk=chunk, cache=cache, title="SWEEP - batch sweep engine grid")
+                 chunk=chunk, cache=cache, shard=shard,
+                 title="SWEEP - batch sweep engine grid")
 
 
 #: Registry used by the benchmark harness and the documentation generator.

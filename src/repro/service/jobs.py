@@ -21,9 +21,12 @@ import time
 from concurrent.futures import Future, wait as futures_wait
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.batch.engine import BatchResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.batch.shard import ShardSpec
 
 
 class JobStatus(str, Enum):
@@ -70,7 +73,9 @@ class JobHandle:
                  total: int = 0,
                  coords: Sequence[tuple] | None = None,
                  params: dict[str, Any] | None = None,
-                 instance_meta: Sequence[tuple[str, int]] | None = None) -> None:
+                 instance_meta: Sequence[tuple[str, int]] | None = None,
+                 shard: "ShardSpec | None" = None,
+                 fingerprint: str = "") -> None:
         if len(futures) != len(future_indices):
             raise ValueError("futures and future_indices must align")
         if instance_meta is not None and len(instance_meta) != total:
@@ -83,6 +88,9 @@ class JobHandle:
         self.coords = list(coords) if coords is not None else None
         #: submission parameters (grid axes, workers, ...) for job records
         self.params = dict(params or {})
+        #: shard identity / grid fingerprint of a sharded sweep submission
+        self.shard = shard
+        self.fingerprint = fingerprint
         self._futures = list(futures)
         self._indices = list(future_indices)
         self._preresolved = dict(preresolved or {})
@@ -238,6 +246,8 @@ class JobHandle:
             "done": progress.done,
             "failed": progress.failed,
             "cache_hits": progress.cache_hits,
+            "shard": self.shard.spelling if self.shard is not None else None,
+            "grid_fingerprint": self.fingerprint,
             "params": self.params,
         }
 

@@ -28,7 +28,8 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.batch.engine import _WorkItem, _result_from_envelope, _solve_one
-from repro.batch.sweep import build_sweep_problems, sweep_table
+from repro.batch.shard import ShardSpec
+from repro.batch.sweep import plan_sweep, sweep_table
 from repro.core.problem import MinEnergyProblem
 from repro.service.jobs import JobHandle, JobStatus
 from repro.utils.tables import Table
@@ -114,21 +115,37 @@ class SolverService:
     def submit_sweep(self, *, method: str | None = None,
                      exact: bool | None = None,
                      options: dict[str, Any] | None = None,
-                     name: str = "", **grid: Any) -> JobHandle:
-        """Expand a sweep grid and submit every cell as one job."""
-        problems, coords = build_sweep_problems(**grid)
+                     name: str = "",
+                     shard: "ShardSpec | str | None" = None,
+                     **grid: Any) -> JobHandle:
+        """Expand a sweep grid and submit every cell as one job.
+
+        ``shard`` (a :class:`~repro.batch.shard.ShardSpec` or its ``"I/N"``
+        spelling) submits only that deterministic slice of the grid — the
+        service-side counterpart of ``repro sweep --shard``.  The handle
+        carries the grid fingerprint and shard identity, so
+        :meth:`job_table` emits rows mergeable with the other shards' dumps.
+        """
+        plan = plan_sweep(shard=shard, method=method, exact=exact, **grid)
         params = {"kind": "sweep", **{k: repr(v) for k, v in sorted(grid.items())}}
+        if plan.shard is not None:
+            params["shard"] = plan.shard.spelling
+            params["shard_strategy"] = plan.shard.strategy
+        params["grid_fingerprint"] = plan.fingerprint
         return self._submit_problems(
-            problems, method=method, exact=exact, options=options,
-            seeds=[coord[-1] for coord in coords], name=name,
-            coords=coords, params=params)
+            plan.problems, method=method, exact=exact, options=options,
+            seeds=[coord[-1] for coord in plan.coords], name=name,
+            coords=plan.coords, params=params, shard=plan.shard,
+            fingerprint=plan.fingerprint)
 
     def _submit_problems(self, problems: list[MinEnergyProblem], *,
                          method: str | None, exact: bool | None,
                          options: dict[str, Any] | None,
                          seeds: Sequence[int | None] | None,
                          name: str, coords: Sequence[tuple] | None,
-                         params: dict[str, Any]) -> JobHandle:
+                         params: dict[str, Any],
+                         shard: ShardSpec | None = None,
+                         fingerprint: str = "") -> JobHandle:
         if self._closed:
             raise RuntimeError("SolverService is shut down")
         if seeds is not None and len(seeds) != len(problems):
@@ -181,7 +198,8 @@ class SolverService:
         handle = JobHandle(job_id, name=name, futures=futures,
                            future_indices=indices, preresolved=preresolved,
                            total=len(problems), coords=coords, params=params,
-                           instance_meta=[(p.name, p.n_tasks) for p in problems])
+                           instance_meta=[(p.name, p.n_tasks) for p in problems],
+                           shard=shard, fingerprint=fingerprint)
         with self._lock:
             self._jobs[job_id] = handle
         return handle
@@ -237,7 +255,9 @@ class SolverService:
         results = handle.results(timeout=timeout)
         if handle.coords is not None:
             return sweep_table(handle.coords, results,
-                               title=f"job {handle.name}")
+                               title=f"job {handle.name}",
+                               shard=handle.shard,
+                               fingerprint=handle.fingerprint)
         coords = [("-", r.n_tasks, None, None, None) for r in results]
         return sweep_table(coords, results, title=f"job {handle.name}")
 

@@ -84,3 +84,47 @@ class UnknownOptionError(InvalidOptionError):
     misspelled ``**kwargs``: every option must appear in the backend's
     declared schema.  The message lists the valid option names.
     """
+
+
+class ShardError(ReproError):
+    """A shard specification is malformed.
+
+    Raised for out-of-range shard indices, a non-positive shard count, an
+    unknown partitioning strategy, or an unparsable ``I/N`` spelling.
+    """
+
+
+class MergeError(ReproError):
+    """A set of shard dumps cannot be merged into one sweep table.
+
+    Base class of the specific merge failures below; also raised directly
+    for malformed dump files, mismatched columns, inconsistent shard counts
+    or mixed partitioning strategies.
+    """
+
+
+class FingerprintMismatchError(MergeError):
+    """Shard dumps carry different grid fingerprints.
+
+    The dumps were produced from different sweep grids (different axes,
+    base seed, model or solver method) and merging them would silently mix
+    incomparable rows.  The message lists each dump's fingerprint.
+    """
+
+
+class ShardGapError(MergeError):
+    """The merged shard dumps do not cover the full sweep grid.
+
+    One or more grid coordinates have no row in any dump — a shard leg is
+    missing, was truncated, or was produced with a different partitioning.
+    The message lists the uncovered coordinates.
+    """
+
+
+class ShardOverlapError(MergeError):
+    """Shard dumps contain duplicate or foreign rows.
+
+    A grid coordinate appears in more than one dump (the same shard was
+    uploaded twice, or legs were partitioned inconsistently), or a dump
+    contains rows whose coordinates are not part of the declared grid.
+    """

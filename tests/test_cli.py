@@ -91,3 +91,45 @@ class TestExperimentCommand:
         args = parser.parse_args(["experiment", "E3", "--csv"])
         assert args.experiment_id == "E3"
         assert args.csv
+        args = parser.parse_args(["sweep", "--shard", "2/3", "--out", "s.json"])
+        assert args.shard == "2/3" and args.out == "s.json"
+        args = parser.parse_args(["merge", "a.json", "b.json", "--csv"])
+        assert args.dumps == ["a.json", "b.json"]
+
+
+class TestJobsCommand:
+    def _record(self, jobs_dir, job_id, **extra):
+        record = {"job_id": job_id, "status": "done", "created_at": 1.0,
+                  "total": 2, "done": 2, "failed": 0, "cache_hits": 0,
+                  "name": job_id, **extra}
+        (jobs_dir / f"{job_id}.json").write_text(json.dumps(record))
+
+    def test_listing_survives_truncated_and_corrupt_records(self, tmp_path, capsys):
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        self._record(jobs_dir, "job-good")
+        (jobs_dir / "truncated.json").write_text('{"job_id": "job-tr')
+        (jobs_dir / "not-a-record.json").write_text("[1, 2, 3]")
+        code = main(["jobs", "--jobs-dir", str(jobs_dir)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "job-good" in captured.out
+        assert captured.err.count("warning: skipping") == 2
+        assert "truncated.json" in captured.err
+        assert "not-a-record.json" in captured.err
+
+    def test_listing_survives_badly_typed_fields(self, tmp_path, capsys):
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        self._record(jobs_dir, "job-good")
+        self._record(jobs_dir, "job-bad", created_at="not-a-number",
+                     failed=None, cache_hits=None, name=None)
+        code = main(["jobs", "--jobs-dir", str(jobs_dir)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "job-good" in captured.out and "job-bad" in captured.out
+
+    def test_empty_dir_reports_no_records(self, tmp_path, capsys):
+        code = main(["jobs", "--jobs-dir", str(tmp_path / "missing")])
+        assert code == 0
+        assert "no job records" in capsys.readouterr().out
