@@ -26,7 +26,11 @@ import time
 
 from conftest import run_once
 
-from repro.experiments.drivers import experiment_batch_sweep, experiment_e10_scalability
+from repro.experiments.drivers import (
+    experiment_batch_sweep,
+    experiment_e10_scalability,
+    experiment_e10_sparse_scaling,
+)
 from repro.utils.tables import Table
 
 
@@ -47,6 +51,43 @@ def test_e10_deep_graph_batch(benchmark):
     assert all(table.column("ok"))
     # deep graphs must route through the O(n) structured solvers
     assert set(table.column("solver")) <= {"continuous-chain", "continuous-tree"}
+
+
+def test_e10_sparse_scaling(benchmark):
+    """Sparse solver paths at 1k/5k/10k-task general DAGs (PR 4 tentpole).
+
+    The 1k/5k/10k rows sit beyond the dense pipeline's historical
+    ``max_dense_tasks`` cap; the small sizes give the dense-vs-sparse
+    head-to-head the acceptance criteria ask for.
+    """
+    table = run_once(benchmark, experiment_e10_sparse_scaling,
+                     sizes=(1000, 5000, 10_000), small_sizes=(40, 80, 160),
+                     n_modes=5, slack=1.5, seed=10)
+    assert table.column("n_tasks") == [40, 80, 160, 1000, 5000, 10_000]
+    assert all(v > 0 for v in table.column("convex_sparse_seconds"))
+    assert all(v > 0 for v in table.column("discrete_heuristic_seconds"))
+    for n, sparse_s, dense_s, sparse_e, dense_e in zip(
+            table.column("n_tasks"), table.column("convex_sparse_seconds"),
+            table.column("gp_slsqp_seconds"), table.column("convex_sparse_energy"),
+            table.column("gp_slsqp_energy")):
+        if dense_s is None:
+            continue
+        # the sparse path must beat the dense one at every overlapping size
+        # without giving up solution quality
+        assert sparse_s < dense_s, (n, sparse_s, dense_s)
+        assert sparse_e <= dense_e * (1.0 + 1e-4), (n, sparse_e, dense_e)
+
+
+def test_e10_sparse_smoke(benchmark):
+    """CI-sized variant of the sparse scaling case (sub-second sizes)."""
+    table = run_once(benchmark, experiment_e10_sparse_scaling,
+                     case="e10_sparse_smoke",
+                     sizes=(500,), small_sizes=(40, 80),
+                     n_modes=5, slack=1.5, seed=10)
+    assert all(v > 0 for v in table.column("convex_sparse_seconds"))
+    dense_over_sparse = [r for r in table.column("dense_over_sparse")
+                         if r is not None]
+    assert dense_over_sparse and all(r > 1.0 for r in dense_over_sparse)
 
 
 def _cached_resweep(**kwargs):

@@ -71,6 +71,7 @@ from repro.batch.shard import (
     ShardSpec,
     assign_shards,
     estimate_cost,
+    priors_from_rows,
     grid_fingerprint,
 )
 from repro.batch.sweep import (
@@ -95,6 +96,7 @@ __all__ = [
     "ShardSpec",
     "SweepPlan",
     "assign_shards",
+    "priors_from_rows",
     "build_sweep_coords",
     "build_sweep_problems",
     "dump_payload",

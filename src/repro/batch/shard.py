@@ -34,9 +34,10 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
+import math
 import re
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.utils.errors import ShardError
 
@@ -78,6 +79,89 @@ def estimate_cost(graph_class: str, n_tasks: int, *, model: str = "continuous",
         table.update(priors)
     coeff, exponent = table.get(graph_class, table.get(None, (1.0, 2.0)))
     return float(coeff) * (max(int(n_tasks), 1) / 100.0) ** float(exponent)
+
+
+def priors_from_rows(rows: Any, *, model: str = "continuous",
+                     min_seconds: float = 1e-6
+                     ) -> dict[str | None, tuple[float, float]]:
+    """Fit per-graph-class timing priors from measured sweep/BENCH rows.
+
+    The cost-weighted partitioner ships static priors calibrated once
+    against the BENCH baselines; as solver performance shifts (a sparse
+    backend lands, a cap is lifted) those drift and shard balance decays.
+    This closes the loop: feed the measured ``seconds`` of a previous run
+    back in and get a priors mapping for
+    :func:`estimate_cost`/:func:`assign_shards`/``sweep(priors=...)``
+    (and the ``repro sweep --priors-from dump.json`` CLI hook).
+
+    ``rows`` may be anything row-shaped that carries ``graph_class``,
+    ``n_tasks`` and ``seconds`` columns: a sweep :class:`~repro.utils.
+    tables.Table`, a :class:`~repro.batch.merge.ShardDump`, or an iterable
+    of dicts (e.g. parsed ``BENCH_*.json`` rows).  Rows that failed
+    (``ok`` falsy), were served from the result cache (``cache_hit``
+    truthy — their ``seconds`` measure a lookup, not a solve) or ran
+    faster than ``min_seconds`` are ignored.
+
+    For every graph class the model ``seconds ~ coeff * (n/100)**exp`` is
+    fitted log-linearly over the per-size median timings; classes measured
+    at a single size keep the built-in exponent of ``model`` and only
+    recalibrate the coefficient.  The ``None`` key (the fallback for
+    classes the partitioner has no entry for) is fitted over all rows
+    pooled.  Classes with no usable rows are simply absent — the built-in
+    table still covers them.
+    """
+    if hasattr(rows, "columns") and hasattr(rows, "rows"):
+        columns = list(rows.columns)
+        dict_rows: Iterable[Mapping[str, Any]] = (
+            dict(zip(columns, row)) for row in rows.rows)
+    else:
+        dict_rows = rows
+
+    samples: dict[str | None, dict[int, list[float]]] = {}
+    for row in dict_rows:
+        if not row.get("ok", True) or row.get("cache_hit"):
+            continue
+        try:
+            graph_class = str(row["graph_class"])
+            n_tasks = int(row["n_tasks"])
+            seconds = float(row["seconds"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if n_tasks < 1 or not (seconds >= min_seconds):
+            continue
+        for key in (graph_class, None):
+            samples.setdefault(key, {}).setdefault(n_tasks, []).append(seconds)
+
+    fallback_table = _COST_PRIORS.get(model, _COST_PRIORS["continuous"])
+    priors: dict[str | None, tuple[float, float]] = {}
+    for key, by_size in samples.items():
+        # per-size median in log space tames repetition noise and outliers
+        points = []
+        for n_tasks, secs in sorted(by_size.items()):
+            logs = sorted(math.log(s) for s in secs)
+            mid = len(logs) // 2
+            median = (logs[mid] if len(logs) % 2
+                      else 0.5 * (logs[mid - 1] + logs[mid]))
+            points.append((math.log(n_tasks / 100.0), median))
+        if len(points) >= 2:
+            mean_x = sum(x for x, _ in points) / len(points)
+            mean_y = sum(y for _, y in points) / len(points)
+            var_x = sum((x - mean_x) ** 2 for x, _ in points)
+            if var_x > 0:
+                exponent = (sum((x - mean_x) * (y - mean_y)
+                                for x, y in points) / var_x)
+            else:
+                exponent = fallback_table.get(key, fallback_table.get(None, (1.0, 2.0)))[1]
+            # a measured exponent outside this band is noise, not physics
+            exponent = min(max(exponent, 0.25), 4.0)
+            coeff = math.exp(mean_y - exponent * mean_x)
+        else:
+            exponent = float(fallback_table.get(
+                key, fallback_table.get(None, (1.0, 2.0)))[1])
+            x, y = points[0]
+            coeff = math.exp(y - exponent * x)
+        priors[key] = (coeff, exponent)
+    return priors
 
 
 def assign_shards(coords: Sequence[tuple], count: int, *,

@@ -273,6 +273,7 @@ def sweep(*, graph_classes: Sequence[str] = ("chain", "tree", "layered"),
           exact: bool | None = None, validate: bool = True,
           cache: "ResultCache | None" = None,
           shard: "ShardSpec | str | None" = None,
+          priors: Mapping[str, tuple[float, float]] | None = None,
           title: str = "batch sweep") -> Table:
     """Run a deadline/alpha/graph-size grid and return one row per instance.
 
@@ -288,9 +289,15 @@ def sweep(*, graph_classes: Sequence[str] = ("chain", "tree", "layered"),
     table's ``manifest`` attribute carries the full-grid coordinates,
     fingerprint and parameters needed to write a mergeable shard dump (see
     :func:`repro.batch.merge.write_shard_dump`).
+
+    ``priors`` overrides the static per-graph-class timing priors of the
+    cost-weighted partitioner — typically the output of
+    :func:`repro.batch.shard.priors_from_rows` fitted on a previous run's
+    measured ``seconds`` (the ``repro sweep --priors-from`` hook).  Every
+    shard leg must pass the same priors or the partitions will disagree.
     """
     plan = plan_sweep(
-        shard=shard, method=method, exact=exact,
+        shard=shard, method=method, exact=exact, priors=priors,
         graph_classes=graph_classes, sizes=sizes, slacks=slacks, alphas=alphas,
         model=model, n_modes=n_modes, s_max=s_max, n_processors=n_processors,
         mapping=mapping, repetitions=repetitions, seed=seed,

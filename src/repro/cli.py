@@ -201,6 +201,33 @@ def _parse_shard(args: argparse.Namespace):
     return ShardSpec.parse(args.shard, strategy=args.shard_strategy)
 
 
+def _load_priors(args: argparse.Namespace):
+    """Fit timing priors from a previous run's dump for --priors-from."""
+    if not getattr(args, "priors_from", ""):
+        return None
+    from repro.batch import load_shard_dump, priors_from_rows
+    from repro.utils.tables import Table
+
+    dump = load_shard_dump(args.priors_from)
+    dump_model = dump.params.get("model")
+    if dump_model and dump_model != args.model:
+        print(f"warning: {args.priors_from} was swept with model "
+              f"{dump_model!r} but this sweep uses {args.model!r}; the "
+              "fitted timing curve may not transfer", file=sys.stderr)
+    table = Table(columns=dump.columns, rows=dump.rows)
+    priors = priors_from_rows(table, model=args.model)
+    if not priors:
+        print(f"warning: {args.priors_from} has no usable timing rows; "
+              "using the built-in priors", file=sys.stderr)
+        return None
+    fitted = ", ".join(f"{cls or '<fallback>'}: {c:.3g}*(n/100)^{e:.2f}"
+                       for cls, (c, e) in sorted(
+                           priors.items(), key=lambda kv: kv[0] or ""))
+    print(f"calibrated shard priors from {args.priors_from}: {fitted}",
+          file=sys.stderr)
+    return priors
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.batch import sweep, sweep_cache_stats, sweep_failures
 
@@ -211,6 +238,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         chunk=args.chunk,
         cache=cache,
         shard=_parse_shard(args),
+        priors=_load_priors(args),
     )
     if args.out:
         from repro.batch import write_shard_dump
@@ -246,7 +274,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     # Ctrl+C mid-poll), so an interrupted submit does not sit out the grid
     with SolverService(workers=max(1, args.workers), cache=cache) as service:
         handle = service.submit_sweep(**_grid_kwargs(args), name=args.name or "",
-                                      shard=_parse_shard(args))
+                                      shard=_parse_shard(args),
+                                      priors=_load_priors(args))
         print(f"submitted {handle.job_id}: {handle.total} instances "
               f"on {max(1, args.workers)} workers", file=sys.stderr)
         while not handle.done():
@@ -411,6 +440,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("cost-weighted", "round-robin"),
                        help="grid partitioning strategy (default "
                             "cost-weighted: timing-prior-balanced shards)")
+        p.add_argument("--priors-from", default="",
+                       help="calibrate the cost-weighted partitioner from "
+                            "the measured seconds of a previous run's dump "
+                            "(a 'repro sweep --out' JSON); every shard leg "
+                            "must pass the same dump")
         p.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
 
     sweep_parser = sub.add_parser(

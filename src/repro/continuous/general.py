@@ -161,10 +161,14 @@ def solve_general_convex(problem: MinEnergyProblem, *, max_iterations: int = 800
     names = graph.task_names()
     n = len(names)
     if n > max_dense_tasks:
+        n_edges = graph.n_edges
         raise SolverError(
-            f"general convex solver got {n} tasks, above its dense-matrix "
-            f"ceiling of {max_dense_tasks}; use the structured solvers "
-            "(tree/series-parallel/chain) or loosen the speed cap so they apply"
+            f"backend 'gp-slsqp' got a {n}-task, {n_edges}-edge instance, above "
+            f"its max_dense_tasks ceiling of {max_dense_tasks}: its SLSQP stages "
+            f"factorise a dense {n_edges + n} x {2 * n} constraint system "
+            "(O(n^3) per iteration).  Use method='convex-sparse' (the sparse "
+            "interior-point backend, no task-count cap) or the structured "
+            "tree/series-parallel solvers when they apply"
         )
     index = {name: i for i, name in enumerate(names)}
     works_raw = np.array([graph.work(name) for name in names], dtype=float)

@@ -8,7 +8,10 @@
    algorithm (Theorem 2), provided the resulting speeds respect a finite
    ``s_max``;
 3. everything else (or capped instances the closed forms cannot handle) —
-   the general convex solver.
+   the general convex program: the dense SLSQP pipeline up to
+   ``SPARSE_DISPATCH_THRESHOLD`` tasks, the sparse interior-point backend
+   (``convex-sparse``) beyond it, so general DAGs no longer hit a
+   task-count cap on the automatic path.
 
 The chosen method is recorded in the returned solution's ``solver`` field so
 that experiments can report which path was taken.
@@ -27,10 +30,17 @@ from repro.continuous.closed_forms import (
     solve_single_task,
 )
 from repro.continuous.general import solve_general_convex
+from repro.continuous.sparse import solve_general_convex_sparse
 from repro.continuous.series_parallel import solve_series_parallel
 from repro.continuous.tree import is_tree, solve_tree
 from repro.graphs.sp_decomposition import NotSeriesParallelError
 from repro.utils.errors import InvalidGraphError, InvalidModelError, SolverError
+
+#: General DAGs above this task count are dispatched to the sparse
+#: interior-point backend instead of the dense SLSQP pipeline on the
+#: automatic path (the dense stages are O(n³)/iteration and already ~50x
+#: slower by n=40; the sparse solver has no cap of its own).
+SPARSE_DISPATCH_THRESHOLD = 64
 
 
 def solve_continuous(problem: MinEnergyProblem, *, force_method: str | None = None) -> Solution:
@@ -42,7 +52,8 @@ def solve_continuous(problem: MinEnergyProblem, *, force_method: str | None = No
         The instance; its model must be a :class:`ContinuousModel`.
     force_method:
         Override the dispatch: one of ``"closed-form"``, ``"tree"``,
-        ``"series-parallel"``, ``"convex"`` or ``None`` (automatic).
+        ``"series-parallel"``, ``"convex"``, ``"convex-sparse"`` or
+        ``None`` (automatic).
 
     Raises
     ------
@@ -59,6 +70,8 @@ def solve_continuous(problem: MinEnergyProblem, *, force_method: str | None = No
 
     if force_method == "convex":
         return solve_general_convex(problem)
+    if force_method == "convex-sparse":
+        return solve_general_convex_sparse(problem)
     if force_method == "tree":
         return solve_tree(problem)
     if force_method == "series-parallel":
@@ -87,7 +100,10 @@ def solve_continuous(problem: MinEnergyProblem, *, force_method: str | None = No
     except (SolverError, NotSeriesParallelError):
         pass
 
-    # 3. general convex program
+    # 3. general convex program: dense pipeline while it is competitive,
+    # sparse interior point beyond (no task-count cap)
+    if problem.graph.n_tasks > SPARSE_DISPATCH_THRESHOLD:
+        return solve_general_convex_sparse(problem)
     return solve_general_convex(problem)
 
 
@@ -126,6 +142,24 @@ REGISTRY.register(
     ),
     doc="General convex program (log-space GP stage + SLSQP polish).",
 )(solve_general_convex)
+
+REGISTRY.register(
+    "continuous", "convex-sparse", aliases=("sparse", "ipm"),
+    options=(
+        OptionSpec("max_iterations", (int,), default=200,
+                   doc="interior-point iteration cap (one sparse "
+                       "factorisation each)"),
+        OptionSpec("tolerance", (int, float), default=1e-9,
+                   doc="relative duality-gap stopping target"),
+        OptionSpec("prune", (bool,), default=True,
+                   doc="drop transitively redundant precedence rows first"),
+        OptionSpec("warm_start", (str,), default="forest",
+                   choices=("forest", "uniform"),
+                   doc="critical-forest tree projection or uniform scaling"),
+    ),
+    doc="Sparse primal-dual interior point over the CSR precedence "
+        "polytope; no task-count cap (10k-task general DAGs).",
+)(solve_general_convex_sparse)
 
 
 def _closed_form(problem: MinEnergyProblem) -> Solution:

@@ -113,8 +113,9 @@ class SolverBackend:
             if key not in known:
                 valid = ", ".join(sorted(known)) or "<none>"
                 raise UnknownOptionError(
-                    f"method {self.method!r} of the {self.model!r} model does "
-                    f"not declare an option {key!r} (valid options: {valid})"
+                    f"backend {self.model}/{self.method} rejected option "
+                    f"{key!r}: not in its declared schema "
+                    f"(valid options: {valid})"
                 )
             clean[key] = known[key].validate(options[key], method=self.method)
         return clean

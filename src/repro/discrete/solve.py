@@ -115,8 +115,12 @@ REGISTRY.register(
 REGISTRY.register(
     "discrete", "heuristic",
     options=(
-        OptionSpec("greedy_threshold", (int,), default=512,
-                   doc="size guard of the greedy slack-reclamation pass"),
+        OptionSpec("greedy_threshold", (int,), default=10_000,
+                   doc="size guard of the (incremental) greedy "
+                       "slack-reclamation pass"),
+        OptionSpec("greedy_depth_threshold", (int,), default=2048,
+                   doc="level-count guard of the greedy pass (path-shaped "
+                       "graphs degenerate its cone updates)"),
     ),
     doc="Best of the two polynomial heuristics (round-up, greedy reclaim).",
 )(solve_discrete_best_heuristic)

@@ -104,6 +104,96 @@ class GraphIndex:
         digest.update(self.succ_idx.tobytes())
         return digest.hexdigest()
 
+    @cached_property
+    def topo_position(self) -> np.ndarray:
+        """Position of every task in the topological order (its inverse)."""
+        position = np.empty(self.n_tasks, dtype=np.int64)
+        position[self.topo_order] = np.arange(self.n_tasks, dtype=np.int64)
+        position.setflags(write=False)
+        return position
+
+    def asap_update(self, durations: np.ndarray, start: np.ndarray,
+                    finish: np.ndarray, changed: int,
+                    max_visits: int | None = None) -> list[int] | None:
+        """Propagate one task's duration change through its descendant cone.
+
+        Incrementally repairs ASAP ``start``/``finish`` arrays (as produced
+        by :func:`repro.core.solution.asap_times` for ``durations``) **in
+        place** after ``durations[changed]`` was modified, visiting only
+        the affected cone: the changed task and those descendants whose
+        times actually move.  Nodes are processed in topological order (a
+        heap over cached topo positions), and propagation stops early on
+        every branch where the recomputed times equal the stored ones — a
+        mode flip near the sink of a 10k-task graph touches a handful of
+        nodes instead of re-running the full O(n + m) pass.
+
+        The recomputed values are bit-identical to a full
+        :func:`~repro.core.solution.asap_times` recompute (the update
+        performs the same max/add operations on the same operands), so the
+        routine also *reverts* exactly: restoring ``durations[changed]``
+        and calling it again reproduces the original arrays.  This is what
+        lets the greedy reclamation loop probe a move in O(cone) and undo
+        it at the same cost.
+
+        Parameters
+        ----------
+        durations:
+            Current duration vector (index order), already holding the new
+            value at ``changed``.
+        start, finish:
+            Writable ASAP time arrays to repair in place; they must be
+            consistent with the *previous* duration vector.
+        changed:
+            Index of the task whose duration changed (works for increases
+            and decreases alike).
+        max_visits:
+            Optional cap on processed cone nodes.  When the cone exceeds
+            it, the update aborts and returns ``None`` — the arrays are
+            then *partially updated* and the caller must rebuild them with
+            a full (vectorised) :func:`asap_times` pass, which for cones
+            of that size costs about the same anyway.
+
+        Returns
+        -------
+        list[int] | None
+            Indices whose ``(start, finish)`` entries changed, in the
+            order they were processed (empty when the change was a no-op);
+            ``None`` when ``max_visits`` was exceeded.
+        """
+        import heapq
+
+        pred_ptr = self.pred_ptr
+        pred_idx = self.pred_idx
+        succ_ptr = self.succ_ptr
+        succ_idx = self.succ_idx
+        position = self.topo_position
+        heap: list[tuple[int, int]] = [(int(position[changed]), changed)]
+        pending = {changed}
+        touched: list[int] = []
+        visits = 0
+        while heap:
+            _, u = heapq.heappop(heap)
+            pending.discard(u)
+            visits += 1
+            if max_visits is not None and visits > max_visits:
+                return None
+            new_start = 0.0
+            for p in pred_idx[pred_ptr[u]:pred_ptr[u + 1]]:
+                fp = finish[p]
+                if fp > new_start:
+                    new_start = fp
+            new_finish = new_start + durations[u]
+            if new_start == start[u] and new_finish == finish[u]:
+                continue
+            start[u] = new_start
+            finish[u] = new_finish
+            touched.append(int(u))
+            for v in succ_idx[succ_ptr[u]:succ_ptr[u + 1]]:
+                if v not in pending:
+                    pending.add(v)
+                    heapq.heappush(heap, (int(position[v]), int(v)))
+        return touched
+
     def vector_of(self, mapping: Mapping[str, float]) -> np.ndarray:
         """Dense float vector of a per-task mapping, in index order."""
         return np.fromiter((mapping[name] for name in self.names),

@@ -117,6 +117,7 @@ class SolverService:
                      options: dict[str, Any] | None = None,
                      name: str = "",
                      shard: "ShardSpec | str | None" = None,
+                     priors: Any = None,
                      **grid: Any) -> JobHandle:
         """Expand a sweep grid and submit every cell as one job.
 
@@ -126,7 +127,8 @@ class SolverService:
         carries the grid fingerprint and shard identity, so
         :meth:`job_table` emits rows mergeable with the other shards' dumps.
         """
-        plan = plan_sweep(shard=shard, method=method, exact=exact, **grid)
+        plan = plan_sweep(shard=shard, method=method, exact=exact,
+                          priors=priors, **grid)
         params = {"kind": "sweep", **{k: repr(v) for k, v in sorted(grid.items())}}
         if plan.shard is not None:
             params["shard"] = plan.shard.spelling

@@ -1,0 +1,456 @@
+"""Sparse/incremental large-n paths: equivalence and regression suites.
+
+PR 4 acceptance tests: the sparse Vdd LP assembly equals the dense one,
+the ``convex-sparse`` interior point matches the dense SLSQP objective,
+``GraphIndex.asap_update`` cone repairs equal full recomputes, the
+incremental greedy reproduces the classical rescan loop move for move,
+and the calibrated shard priors fit measured timings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.batch.shard import estimate_cost, priors_from_rows
+from repro.continuous.general import solve_general_convex
+from repro.continuous.solve import SPARSE_DISPATCH_THRESHOLD, solve_continuous
+from repro.continuous.sparse import (
+    build_sparse_constraints,
+    prune_redundant_edges,
+    solve_general_convex_sparse,
+)
+from repro.core.models import ContinuousModel, DiscreteModel, VddHoppingModel
+from repro.core.power import PowerLaw
+from repro.core.problem import MinEnergyProblem
+from repro.core.solution import asap_times, compute_makespan
+from repro.core.validation import check_solution
+from repro.graphs import generators
+from repro.graphs.analysis import longest_path_length
+from repro.solve import solve
+from repro.utils.errors import SolverError, UnknownOptionError
+from repro.utils.numerics import leq_with_tol
+from repro.utils.tables import Table
+from repro.vdd.lp import SIMPLEX_MAX_VARIABLES, build_vdd_lp, solve_vdd_lp
+
+
+def _problem(graph, slack=1.5, alpha=3.0, s_max=1.0, model=None):
+    deadline = slack * longest_path_length(
+        graph, weight=lambda n: graph.work(n) / (s_max if math.isfinite(s_max) else 1.0))
+    return MinEnergyProblem(
+        graph=graph, deadline=deadline,
+        model=model or ContinuousModel(s_max=s_max),
+        power=PowerLaw(alpha=alpha))
+
+
+# --------------------------------------------------------------------------- #
+# sparse LP assembly == dense assembly
+# --------------------------------------------------------------------------- #
+class TestSparseVddLP:
+    def _dense_reference(self, problem):
+        """The former dense assembly, row semantics unchanged."""
+        graph = problem.graph
+        idx = graph.index()
+        names = list(idx.names)
+        n = len(names)
+        modes = problem.model.modes
+        m = len(modes)
+        n_vars = n * m + n
+        c = np.zeros(n_vars)
+        for i in range(n):
+            for k, s in enumerate(modes):
+                c[i * m + k] = problem.power.power(s)
+        a_eq = np.zeros((n, n_vars))
+        b_eq = np.zeros(n)
+        for i, name in enumerate(names):
+            for k, s in enumerate(modes):
+                a_eq[i, i * m + k] = s
+            b_eq[i] = graph.work(name)
+        rows = []
+        for u, v in zip(idx.edge_src, idx.edge_dst):
+            row = np.zeros(n_vars)
+            row[n * m + u] = 1.0
+            row[n * m + v] = -1.0
+            for k in range(m):
+                row[v * m + k] = 1.0
+            rows.append(row)
+        for i in range(n):
+            row = np.zeros(n_vars)
+            row[n * m + i] = -1.0
+            for k in range(m):
+                row[i * m + k] = 1.0
+            rows.append(row)
+        a_ub = np.vstack(rows) if rows else np.zeros((0, n_vars))
+        return c, a_ub, a_eq, b_eq
+
+    @pytest.mark.parametrize("cls,n", [("layered", 24), ("chain", 10),
+                                       ("fork", 7), ("erdos", 30)])
+    def test_sparse_matrices_equal_dense(self, cls, n):
+        gen = {"layered": generators.layered_dag, "chain": generators.chain,
+               "fork": generators.fork, "erdos": generators.erdos_dag}[cls]
+        graph = gen(n, seed=17)
+        problem = _problem(graph, model=VddHoppingModel(modes=(0.4, 0.7, 1.0)))
+        lp = build_vdd_lp(problem)
+        c, a_ub, a_eq, b_eq = self._dense_reference(problem)
+        np.testing.assert_array_equal(lp.c, c)
+        np.testing.assert_array_equal(lp.a_ub.toarray(), a_ub)
+        np.testing.assert_array_equal(lp.a_eq.toarray(), a_eq)
+        np.testing.assert_array_equal(lp.b_eq, b_eq)
+        np.testing.assert_array_equal(lp.b_ub, np.zeros(a_ub.shape[0]))
+
+    def test_constraint_memory_ratio(self):
+        graph = generators.layered_dag(300, seed=5)
+        problem = _problem(graph, model=VddHoppingModel(modes=(0.2, 0.4, 0.6, 0.8, 1.0)))
+        memory = build_vdd_lp(problem).constraint_memory()
+        assert memory["dense_equivalent_bytes"] >= 50 * memory["sparse_bytes"]
+
+    def test_highs_solves_the_sparse_lp(self, small_sp_graph=None):
+        graph = generators.layered_dag(40, seed=11)
+        problem = _problem(graph, model=VddHoppingModel(modes=(0.4, 0.7, 1.0)))
+        solution = solve_vdd_lp(problem)
+        check_solution(solution)
+        assert solution.metadata["sparse_bytes"] > 0
+        assert solution.metadata["dense_equivalent_bytes"] > \
+            solution.metadata["sparse_bytes"]
+
+    def test_simplex_backend_matches_highs_on_small_instances(self):
+        graph = generators.layered_dag(12, seed=13)
+        problem = _problem(graph, model=VddHoppingModel(modes=(0.5, 1.0)))
+        highs = solve_vdd_lp(problem, backend="highs")
+        simplex = solve_vdd_lp(problem, backend="simplex")
+        assert simplex.energy == pytest.approx(highs.energy, rel=1e-6)
+
+    def test_simplex_backend_size_guard(self):
+        graph = generators.chain(SIMPLEX_MAX_VARIABLES, seed=1)
+        problem = _problem(graph, model=VddHoppingModel(modes=(0.5, 1.0)))
+        with pytest.raises(SolverError, match="highs"):
+            solve_vdd_lp(problem, backend="simplex")
+
+
+# --------------------------------------------------------------------------- #
+# convex-sparse == gp-slsqp on small instances
+# --------------------------------------------------------------------------- #
+class TestConvexSparse:
+    @pytest.mark.parametrize("cls,n,slack,alpha", [
+        ("layered", 40, 1.2, 3.0), ("layered", 100, 2.0, 2.0),
+        ("erdos", 60, 1.5, 3.0), ("diamond", 52, 1.3, 3.0),
+    ])
+    def test_matches_dense_objective(self, cls, n, slack, alpha):
+        if cls == "diamond":
+            graph = generators.diamond(10, 5, seed=7)
+        else:
+            gen = {"layered": generators.layered_dag,
+                   "erdos": generators.erdos_dag}[cls]
+            graph = gen(n, seed=7)
+        problem = _problem(graph, slack=slack, alpha=alpha)
+        sparse_solution = solve_general_convex_sparse(problem)
+        dense_solution = solve_general_convex(problem)
+        check_solution(sparse_solution)
+        # the interior point may legitimately land *below* the dense
+        # pipeline (whose SLSQP stage can stall and fall back to a repaired
+        # point); it must never be meaningfully above it
+        assert sparse_solution.energy <= dense_solution.energy * (1.0 + 2e-4)
+
+    def test_uncapped_speeds(self):
+        graph = generators.layered_dag(50, seed=3)
+        problem = _problem(graph, slack=0.5, s_max=math.inf)
+        sparse_solution = solve_general_convex_sparse(problem)
+        dense_solution = solve_general_convex(problem)
+        check_solution(sparse_solution)
+        assert sparse_solution.energy <= dense_solution.energy * (1.0 + 2e-4)
+
+    def test_single_task_and_tight_deadline(self):
+        single = _problem(generators.chain(1, seed=1))
+        solution = solve_general_convex_sparse(single)
+        assert solution.solver == "continuous-convex-sparse"
+        graph = generators.layered_dag(30, seed=9)
+        tight = MinEnergyProblem(graph=graph, deadline=longest_path_length(graph),
+                                 model=ContinuousModel(s_max=1.0))
+        solution = solve_general_convex_sparse(tight)
+        check_solution(solution)
+        assert solution.metadata["stage"] == "speed-cap-saturated"
+
+    def test_metadata_records_the_iteration(self):
+        problem = _problem(generators.layered_dag(60, seed=21))
+        solution = solve_general_convex_sparse(problem)
+        assert solution.metadata["converged"]
+        assert solution.metadata["iterations"] > 0
+        assert solution.metadata["n_constraints"] > 0
+
+    def test_registered_backend_and_aliases(self):
+        problem = _problem(generators.layered_dag(40, seed=2))
+        by_method = solve(problem, method="convex-sparse")
+        assert by_method.solver == "continuous-convex-sparse"
+        assert solve(problem, method="sparse").solver == "continuous-convex-sparse"
+        assert solve(problem, method="ipm").solver == "continuous-convex-sparse"
+        from repro.utils.errors import InvalidOptionError
+        # the registry's declared choices catch it before the solver runs
+        with pytest.raises(InvalidOptionError, match="forest"):
+            solve(problem, method="convex-sparse", options={"warm_start": "x"})
+        # the solver's own guard covers direct calls
+        with pytest.raises(SolverError, match="forest"):
+            solve_general_convex_sparse(problem, warm_start="x")
+
+    def test_unknown_option_names_the_backend(self):
+        problem = _problem(generators.layered_dag(20, seed=2))
+        with pytest.raises(UnknownOptionError,
+                           match=r"continuous/convex-sparse"):
+            solve(problem, method="convex-sparse", options={"bogus": 1})
+
+    def test_auto_dispatch_routes_large_general_dags_to_sparse(self):
+        large = _problem(generators.layered_dag(SPARSE_DISPATCH_THRESHOLD + 44,
+                                                seed=31), slack=1.4)
+        assert solve_continuous(large).solver == "continuous-convex-sparse"
+        small = _problem(generators.layered_dag(40, seed=31), slack=1.4)
+        assert solve_continuous(small).solver == "continuous-convex"
+
+    def test_dense_cap_error_names_backend_and_dimensions(self):
+        graph = generators.chain(40, seed=1)
+        problem = _problem(graph)
+        with pytest.raises(SolverError) as excinfo:
+            solve_general_convex(problem, max_dense_tasks=10)
+        message = str(excinfo.value)
+        assert "gp-slsqp" in message
+        assert "40-task" in message and "39-edge" in message
+        assert "convex-sparse" in message
+
+    def test_edge_pruning_preserves_reachability_constraints(self):
+        graph = generators.erdos_dag(80, seed=19, edge_probability=0.3)
+        idx = graph.index()
+        esrc, edst = prune_redundant_edges(idx)
+        assert len(esrc) < idx.n_edges  # dense random DAGs shed most edges
+        # every pruned edge must still be implied: identical ASAP times
+        durations = idx.works / 0.7
+        _, full_finish = asap_times(idx, durations)
+        g_pruned, _h = build_sparse_constraints(idx.n_tasks, esrc, edst,
+                                                np.full(idx.n_tasks, 1e-9))
+        # rebuild a graph from the surviving edges and compare schedules
+        from repro.graphs.taskgraph import TaskGraph
+        pruned_graph = TaskGraph(
+            tasks=[(name, graph.work(name)) for name in idx.names],
+            edges=[(idx.names[u], idx.names[v]) for u, v in zip(esrc, edst)])
+        _, pruned_finish = asap_times(pruned_graph.index(), durations)
+        np.testing.assert_allclose(pruned_finish, full_finish, rtol=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# asap_update cone repairs == full recomputes
+# --------------------------------------------------------------------------- #
+class TestAsapUpdate:
+    @pytest.mark.parametrize("cls", ["layered", "erdos", "tree", "chain"])
+    def test_randomized_flips_match_full_recompute(self, cls):
+        gen = {"layered": generators.layered_dag, "erdos": generators.erdos_dag,
+               "tree": generators.random_tree, "chain": generators.chain}[cls]
+        graph = gen(60, seed=23)
+        idx = graph.index()
+        rng = np.random.default_rng(23)
+        modes = np.array([0.25, 0.5, 0.75, 1.0])
+        speed_of = rng.integers(0, len(modes), size=idx.n_tasks)
+        durations = idx.works / modes[speed_of]
+        start, finish = asap_times(idx, durations)
+        for _ in range(200):
+            task = int(rng.integers(0, idx.n_tasks))
+            speed_of[task] = int(rng.integers(0, len(modes)))  # up or down
+            durations[task] = idx.works[task] / modes[speed_of[task]]
+            touched = idx.asap_update(durations, start, finish, task)
+            assert touched is not None
+            ref_start, ref_finish = asap_times(idx, durations)
+            np.testing.assert_array_equal(start, ref_start)
+            np.testing.assert_array_equal(finish, ref_finish)
+
+    def test_noop_change_touches_nothing(self):
+        graph = generators.layered_dag(40, seed=5)
+        idx = graph.index()
+        durations = idx.works / 1.0
+        start, finish = asap_times(idx, durations)
+        assert idx.asap_update(durations, start, finish, 7) == []
+
+    def test_revert_restores_exactly(self):
+        graph = generators.layered_dag(50, seed=29)
+        idx = graph.index()
+        durations = idx.works / 1.0
+        start, finish = asap_times(idx, durations)
+        before = (start.copy(), finish.copy())
+        old = durations[3]
+        durations[3] *= 2.5
+        assert idx.asap_update(durations, start, finish, 3)
+        durations[3] = old
+        idx.asap_update(durations, start, finish, 3)
+        np.testing.assert_array_equal(start, before[0])
+        np.testing.assert_array_equal(finish, before[1])
+
+    def test_visit_budget_aborts(self):
+        graph = generators.chain(100, seed=1)
+        idx = graph.index()
+        durations = idx.works / 1.0
+        start, finish = asap_times(idx, durations)
+        durations[0] *= 2.0
+        assert idx.asap_update(durations, start, finish, 0, max_visits=5) is None
+        # caller contract: rebuild fully after an aborted update
+        start, finish = asap_times(idx, durations)
+        assert finish[-1] == pytest.approx(float(np.sum(durations)))
+
+
+# --------------------------------------------------------------------------- #
+# incremental greedy == classical rescan greedy
+# --------------------------------------------------------------------------- #
+class TestIncrementalGreedy:
+    @staticmethod
+    def _reference_greedy(problem):
+        """The seed formulation: full rescan, full makespan per probe."""
+        model = problem.model
+        graph = problem.graph
+        idx = graph.index()
+        works = idx.works
+        modes = list(model.modes)
+        power = problem.power
+        deadline = problem.deadline
+        mode_of = [len(modes) - 1] * idx.n_tasks
+        durations = (works / modes[-1]).copy()
+        while True:
+            best_i = None
+            best_saving = 0.0
+            for i in range(idx.n_tasks):
+                m = mode_of[i]
+                if m == 0:
+                    continue
+                saving = (power.energy_for_work(works[i], modes[m])
+                          - power.energy_for_work(works[i], modes[m - 1]))
+                if saving <= best_saving:
+                    continue
+                old = durations[i]
+                durations[i] = works[i] / modes[m - 1]
+                feasible = leq_with_tol(compute_makespan(graph, durations), deadline)
+                durations[i] = old
+                if feasible:
+                    best_i, best_saving = i, saving
+            if best_i is None:
+                break
+            mode_of[best_i] -= 1
+            durations[best_i] = works[best_i] / modes[mode_of[best_i]]
+        return {idx.names[i]: modes[m] for i, m in enumerate(mode_of)}
+
+    @pytest.mark.parametrize("cls,n,slack", [
+        ("layered", 40, 1.3), ("tree", 60, 1.8), ("chain", 25, 1.2),
+        ("erdos", 50, 1.6), ("fork", 30, 2.5),
+    ])
+    def test_matches_reference_move_for_move(self, cls, n, slack):
+        from repro.discrete.heuristics import solve_discrete_greedy_reclaim
+
+        gen = {"layered": generators.layered_dag, "tree": generators.random_tree,
+               "chain": generators.chain, "erdos": generators.erdos_dag,
+               "fork": generators.fork}[cls]
+        graph = gen(n, seed=37)
+        problem = _problem(graph, slack=slack,
+                           model=DiscreteModel(modes=(0.3, 0.55, 0.8, 1.0)))
+        incremental = solve_discrete_greedy_reclaim(problem)
+        check_solution(incremental)
+        reference = self._reference_greedy(problem)
+        assert incremental.speeds() == pytest.approx(reference)
+
+    def test_all_slowest_shortcut(self):
+        from repro.discrete.heuristics import solve_discrete_greedy_reclaim
+
+        graph = generators.layered_dag(30, seed=41)
+        problem = _problem(graph, slack=50.0,
+                           model=DiscreteModel(modes=(0.5, 1.0)))
+        solution = solve_discrete_greedy_reclaim(problem)
+        assert solution.metadata.get("all_slowest_shortcut")
+        assert set(solution.speeds().values()) == {0.5}
+
+    def test_best_heuristic_accepts_large_wide_graphs(self):
+        from repro.discrete.heuristics import solve_discrete_best_heuristic
+
+        graph = generators.layered_dag(600, seed=43)
+        problem = _problem(graph, slack=1.4,
+                           model=DiscreteModel(modes=(0.25, 0.5, 0.75, 1.0)))
+        solution = solve_discrete_best_heuristic(problem)
+        check_solution(solution)
+        # above the retired 512 cap the greedy now actually runs
+        assert "greedy_skipped" not in solution.metadata
+        assert "greedy_energy" in solution.metadata
+
+    def test_best_heuristic_depth_guard(self):
+        from repro.discrete.heuristics import solve_discrete_best_heuristic
+
+        graph = generators.chain(2100, seed=47)
+        problem = _problem(graph, slack=1.4,
+                           model=DiscreteModel(modes=(0.5, 1.0)))
+        solution = solve_discrete_best_heuristic(problem)
+        assert "greedy_depth_threshold" in solution.metadata["greedy_skipped"]
+
+
+# --------------------------------------------------------------------------- #
+# calibrated shard priors
+# --------------------------------------------------------------------------- #
+class TestPriorsFromRows:
+    @staticmethod
+    def _rows(coeff, exponent, sizes, cls="layered", reps=3, noise=0.0):
+        rng = np.random.default_rng(53)
+        rows = []
+        for n in sizes:
+            for _ in range(reps):
+                seconds = coeff * (n / 100.0) ** exponent
+                if noise:
+                    seconds *= float(np.exp(rng.normal(0.0, noise)))
+                rows.append({"graph_class": cls, "n_tasks": n,
+                             "seconds": seconds, "ok": True, "cache_hit": False})
+        return rows
+
+    def test_fit_recovers_synthetic_power_law(self):
+        rows = self._rows(0.05, 1.7, (100, 400, 1600))
+        priors = priors_from_rows(rows)
+        coeff, exponent = priors["layered"]
+        assert exponent == pytest.approx(1.7, abs=1e-9)
+        assert coeff == pytest.approx(0.05, rel=1e-9)
+        # the fitted priors drive estimate_cost verbatim
+        assert estimate_cost("layered", 400, priors=priors) == \
+            pytest.approx(0.05 * 4.0 ** 1.7, rel=1e-9)
+
+    def test_fit_is_robust_to_noise_and_pools_the_fallback(self):
+        rows = (self._rows(0.05, 1.7, (100, 400, 1600), noise=0.2)
+                + self._rows(0.002, 1.0, (100, 400, 1600), cls="chain", noise=0.2))
+        priors = priors_from_rows(rows)
+        assert priors["layered"][1] == pytest.approx(1.7, abs=0.35)
+        assert priors["chain"][1] == pytest.approx(1.0, abs=0.35)
+        assert None in priors  # pooled fallback for unknown classes
+
+    def test_failed_and_cached_rows_are_ignored(self):
+        rows = self._rows(0.05, 1.7, (100, 400))
+        rows.append({"graph_class": "layered", "n_tasks": 400,
+                     "seconds": 1e-5, "ok": True, "cache_hit": True})
+        rows.append({"graph_class": "layered", "n_tasks": 400,
+                     "seconds": 99.0, "ok": False, "cache_hit": False})
+        priors = priors_from_rows(rows)
+        assert priors["layered"][1] == pytest.approx(1.7, abs=1e-9)
+
+    def test_single_size_keeps_builtin_exponent(self):
+        rows = self._rows(0.05, 1.7, (400,), cls="chain")
+        priors = priors_from_rows(rows, model="continuous")
+        coeff, exponent = priors["chain"]
+        assert exponent == 1.0  # the built-in chain exponent
+        assert coeff == pytest.approx(0.05 * 4.0 ** 1.7 / 4.0 ** 1.0, rel=1e-9)
+
+    def test_accepts_sweep_tables(self):
+        table = Table(columns=["graph_class", "n_tasks", "slack", "seconds",
+                               "ok", "cache_hit"],
+                      title="t")
+        for n in (64, 256):
+            table.add_row("layered", n, 1.5, 0.01 * (n / 100.0) ** 2.0, True, False)
+        priors = priors_from_rows(table)
+        assert priors["layered"][1] == pytest.approx(2.0, abs=1e-9)
+
+    def test_sweep_accepts_calibrated_priors(self):
+        from repro.batch import sweep
+
+        priors = {"layered": (5.0, 2.0), "chain": (0.001, 1.0), None: (1.0, 2.0)}
+        legs = [sweep(graph_classes=("chain", "layered"), sizes=(8, 12),
+                      slacks=(1.5,), repetitions=2, seed=3,
+                      shard=f"{i}/2", priors=priors)
+                for i in (1, 2)]
+        total = sum(len(leg) for leg in legs)
+        full = sweep(graph_classes=("chain", "layered"), sizes=(8, 12),
+                     slacks=(1.5,), repetitions=2, seed=3)
+        assert total == len(full)
