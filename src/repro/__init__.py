@@ -58,6 +58,14 @@ from repro.solve import solve, solver_methods
 from repro.cache import ResultCache, disk_cache, memory_cache
 from repro.batch import ShardSpec, merge_shard_dumps, solve_many, sweep
 from repro.service import JobHandle, JobStatus, SolverService
+from repro.api import (
+    DiskTransport,
+    HTTPTransport,
+    JobRecord,
+    LocalTransport,
+    SolverClient,
+    SweepRequest,
+)
 from repro.utils.errors import (
     InfeasibleProblemError,
     InvalidGraphError,
@@ -121,6 +129,13 @@ __all__ = [
     "SolverService",
     "JobHandle",
     "JobStatus",
+    # transport-agnostic client API
+    "SolverClient",
+    "SweepRequest",
+    "JobRecord",
+    "LocalTransport",
+    "DiskTransport",
+    "HTTPTransport",
     # simulation
     "simulate",
     "simulate_solution",

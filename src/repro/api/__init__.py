@@ -1,0 +1,73 @@
+"""Transport-agnostic solver-client API.
+
+One typed protocol (:mod:`repro.api.protocol`), one client
+(:class:`SolverClient`), three interchangeable transports:
+
+- :class:`LocalTransport` — an in-process worker pool (wraps
+  :class:`repro.service.SolverService`);
+- :class:`DiskTransport` — a durable job store under ``.repro-jobs/``
+  with atomic state transitions, re-attach by job id and cache-backed
+  resume of interrupted sweeps;
+- :class:`HTTPTransport` — the ``repro serve`` backend over the ``/v1``
+  JSON wire protocol, with a chunked progress-event stream.
+
+The CLI verbs (``repro submit/status/results/cancel/attach/jobs``) are
+thin wrappers over this module, so the same job can be submitted from one
+machine, watched from a second and collected from a third::
+
+    from repro.api import HTTPTransport, SolverClient, SweepRequest
+
+    client = SolverClient(HTTPTransport("http://solver:8731"))
+    record = client.submit(SweepRequest(graph_classes=("chain",), sizes=(64,)))
+    for event in client.events(record.job_id):
+        print(event.status, f"{event.done}/{event.total}")
+    table = client.results(record.job_id, timeout=600)
+"""
+
+from repro.api.client import (
+    DiskTransport,
+    HTTPTransport,
+    LocalTransport,
+    SolverClient,
+    Transport,
+    backoff_intervals,
+)
+from repro.api.jobstore import JOB_RECORD_KIND, JobStore, new_job_id
+from repro.api.protocol import (
+    JOB_STATUSES,
+    PROTOCOL_PREFIX,
+    SCHEMA_VERSION,
+    TERMINAL_STATUSES,
+    JobRecord,
+    ProgressEvent,
+    SweepRequest,
+    check_schema_version,
+    error_to_wire,
+    raise_wire_error,
+    table_from_wire,
+    table_to_wire,
+)
+
+__all__ = [
+    "JOB_RECORD_KIND",
+    "JOB_STATUSES",
+    "PROTOCOL_PREFIX",
+    "SCHEMA_VERSION",
+    "TERMINAL_STATUSES",
+    "DiskTransport",
+    "HTTPTransport",
+    "JobRecord",
+    "JobStore",
+    "LocalTransport",
+    "ProgressEvent",
+    "SolverClient",
+    "SweepRequest",
+    "Transport",
+    "backoff_intervals",
+    "check_schema_version",
+    "error_to_wire",
+    "new_job_id",
+    "raise_wire_error",
+    "table_from_wire",
+    "table_to_wire",
+]

@@ -1,0 +1,666 @@
+"""The transport-agnostic solver client.
+
+:class:`SolverClient` is the one programmatic surface for submitting
+sweeps and following jobs; everything it does is expressed in the typed
+envelopes of :mod:`repro.api.protocol` and executed by an interchangeable
+:class:`Transport`:
+
+:class:`LocalTransport`
+    Wraps an in-process :class:`repro.service.SolverService` pool — the
+    fastest path, nothing persisted.
+:class:`DiskTransport`
+    A durable job queue over :class:`repro.api.jobstore.JobStore`: records
+    survive the submitting process, any later process can re-attach by job
+    id, and an orphaned (pending or crashed-mid-run) job is *resumed* by
+    re-running its stored request through the shared result cache — cells
+    that already finished are served warm, only the remainder is solved.
+:class:`HTTPTransport`
+    Talks the ``/v1`` JSON protocol to a ``repro serve`` backend
+    (:mod:`repro.server`), including the chunked progress-event stream.
+
+All polling paths (``results``, ``wait``, ``events``, ``repro attach``)
+share one exponential-backoff schedule (:func:`backoff_intervals`) so a
+just-submitted job is noticed in milliseconds while a long sweep is polled
+a couple of times a minute instead of in a tight loop.
+
+Quickstart
+----------
+>>> from repro.api import DiskTransport, SolverClient, SweepRequest
+>>> client = SolverClient(DiskTransport(".repro-jobs"))      # doctest: +SKIP
+>>> record = client.submit(SweepRequest(sizes=(64,)))        # doctest: +SKIP
+>>> table = client.results(record.job_id, timeout=300)       # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import http.client as httpclient
+import json
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Iterator
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from repro.api.jobstore import JobStore, new_job_id
+from repro.api.protocol import (
+    PROTOCOL_PREFIX,
+    JobRecord,
+    ProgressEvent,
+    SweepRequest,
+    raise_wire_error,
+    table_from_wire,
+)
+from repro.utils.errors import (
+    JobStateError,
+    TransportError,
+    UnknownJobError,
+)
+from repro.utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache import ResultCache
+    from repro.service import SolverService
+
+
+def backoff_intervals(initial: float = 0.05, *, factor: float = 1.6,
+                      maximum: float = 2.0) -> Iterator[float]:
+    """Yield an unbounded exponential backoff schedule of sleep intervals.
+
+    Starts at ``initial`` seconds and multiplies by ``factor`` until
+    ``maximum`` is reached, then stays there — the shared schedule of every
+    polling path (``repro submit``/``attach``/``status --watch`` and the
+    transports' ``results``), replacing the old fixed-interval tight loop.
+    """
+    if initial <= 0:
+        raise ValueError(f"initial poll interval must be > 0, got {initial}")
+    if factor < 1.0:
+        raise ValueError(f"backoff factor must be >= 1, got {factor}")
+    interval = initial
+    while True:
+        yield min(interval, maximum)
+        interval = min(interval * factor, maximum)
+
+
+class Transport:
+    """Base transport: the verb surface plus shared polling helpers.
+
+    Subclasses implement ``submit`` / ``status`` / ``fetch_results`` /
+    ``cancel`` / ``jobs`` (and may override ``attach``/``events``); the
+    base class provides backoff-polled ``wait``, ``results`` and a
+    poll-derived ``events`` stream so every transport behaves identically
+    from the client's point of view.
+    """
+
+    def submit(self, request: SweepRequest) -> JobRecord:
+        raise NotImplementedError
+
+    def status(self, job_id: str) -> JobRecord:
+        raise NotImplementedError
+
+    def fetch_results(self, job_id: str) -> Table:
+        """Results of a job already known to be terminal."""
+        raise NotImplementedError
+
+    def cancel(self, job_id: str) -> JobRecord:
+        raise NotImplementedError
+
+    def jobs(self) -> list[JobRecord]:
+        raise NotImplementedError
+
+    def scan_jobs(self) -> tuple[list[JobRecord], list[tuple[str, str]]]:
+        """Job listing plus ``(name, reason)`` pairs for unreadable records.
+
+        Backends without a notion of corrupt records (the local pool)
+        report an empty skip list; the disk store and the HTTP server
+        surface theirs so ``repro jobs --strict`` audits every transport.
+        """
+        return self.jobs(), []
+
+    def attach(self, job_id: str) -> JobRecord:
+        """Re-attach to an existing job (a no-op status check by default;
+        the disk transport additionally resumes orphaned work)."""
+        return self.status(job_id)
+
+    def close(self) -> None:
+        """Release transport resources (pools, sockets)."""
+
+    # ------------------------------------------------------------------ #
+    # shared polling
+    # ------------------------------------------------------------------ #
+    def wait(self, job_id: str, *, timeout: float | None = None,
+             poll_interval: float = 0.05) -> JobRecord:
+        """Poll with exponential backoff until the job is terminal."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for interval in backoff_intervals(poll_interval):
+            record = self.status(job_id)
+            if record.terminal:
+                return record
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id}: still {record.status} "
+                        f"({record.done}/{record.total} done) after {timeout}s"
+                    )
+                interval = min(interval, remaining)
+            time.sleep(interval)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def results(self, job_id: str, *, timeout: float | None = None,
+                poll_interval: float = 0.05) -> Table:
+        """Block (with backoff) for completion, then fetch the table."""
+        record = self.wait(job_id, timeout=timeout,
+                           poll_interval=poll_interval)
+        if record.status == "failed":
+            raise TransportError(
+                f"job {job_id} failed before producing results: "
+                f"{record.error or 'unknown error'}"
+            )
+        return self.fetch_results(job_id)
+
+    def events(self, job_id: str, *, poll_interval: float = 0.05,
+               timeout: float | None = None) -> Iterator[ProgressEvent]:
+        """Progress events derived from status polling (backoff-paced).
+
+        Emits an event whenever the (status, done, failed) triple changes,
+        and always emits the terminal event last.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        seq = 0
+        last: tuple | None = None
+        for interval in backoff_intervals(poll_interval):
+            record = self.status(job_id)
+            key = (record.status, record.done, record.failed)
+            if key != last:
+                last = key
+                event = ProgressEvent.from_record(record, seq)
+                seq += 1
+                yield event
+                if event.terminal:
+                    return
+            elif record.terminal:  # pragma: no cover - first poll terminal
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id}: event stream timed out after {timeout}s")
+            time.sleep(interval)
+
+
+class SolverClient:
+    """Typed facade over one transport — the one client every entry point
+    (CLI verbs, tests, user code) goes through.
+
+    Context-manageable: ``with SolverClient(DiskTransport(...)) as c: ...``
+    closes the transport (and any pool it owns) on exit.
+    """
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+
+    def submit(self, request: "SweepRequest | None" = None,
+               **grid: Any) -> JobRecord:
+        """Submit a sweep request (or build one from keyword arguments)."""
+        if request is None:
+            request = SweepRequest(**grid)
+        elif grid:
+            raise ValueError(
+                "pass either a SweepRequest or grid keyword arguments, not both")
+        return self.transport.submit(request)
+
+    def status(self, job_id: str) -> JobRecord:
+        return self.transport.status(job_id)
+
+    def results(self, job_id: str, *, timeout: float | None = None,
+                poll_interval: float = 0.05) -> Table:
+        return self.transport.results(job_id, timeout=timeout,
+                                      poll_interval=poll_interval)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return self.transport.cancel(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        return self.transport.jobs()
+
+    def scan_jobs(self) -> tuple[list[JobRecord], list[tuple[str, str]]]:
+        return self.transport.scan_jobs()
+
+    def attach(self, job_id: str) -> JobRecord:
+        return self.transport.attach(job_id)
+
+    def wait(self, job_id: str, *, timeout: float | None = None,
+             poll_interval: float = 0.05) -> JobRecord:
+        return self.transport.wait(job_id, timeout=timeout,
+                                   poll_interval=poll_interval)
+
+    def events(self, job_id: str, *, poll_interval: float = 0.05,
+               timeout: float | None = None) -> Iterator[ProgressEvent]:
+        return self.transport.events(job_id, poll_interval=poll_interval,
+                                     timeout=timeout)
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "SolverClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# local (in-process) transport
+# --------------------------------------------------------------------- #
+class LocalTransport(Transport):
+    """In-process transport over a :class:`repro.service.SolverService`.
+
+    The service pool may be shared (pass one in) or owned (created lazily
+    and shut down by :meth:`close`).  Nothing is persisted: job ids are
+    only resolvable inside this process — exactly the old
+    ``SolverService`` contract, behind the client protocol.
+    """
+
+    def __init__(self, service: "SolverService | None" = None, *,
+                 workers: int = 2, use_threads: bool = False,
+                 cache: "ResultCache | None" = None) -> None:
+        self._service = service
+        self._owns_service = service is None
+        self._workers = workers
+        self._use_threads = use_threads
+        self._cache = cache
+
+    def service(self) -> "SolverService":
+        if self._service is None:
+            from repro.service import SolverService
+
+            self._service = SolverService(workers=self._workers,
+                                          use_threads=self._use_threads,
+                                          cache=self._cache)
+        return self._service
+
+    def submit(self, request: SweepRequest) -> JobRecord:
+        handle = self.service().submit_sweep(
+            **request.grid_kwargs(), method=request.method,
+            exact=request.exact, options=request.options or None,
+            name=request.name, shard=request.shard_spec(),
+            priors=request.fit_priors())
+        return JobRecord.from_handle(handle)
+
+    def _handle(self, job_id: str):
+        try:
+            return self.service().job(job_id)
+        except KeyError:
+            raise UnknownJobError(
+                f"no job {job_id!r} in this process (local jobs do not "
+                "survive a restart; use a disk or HTTP transport for that)"
+            ) from None
+
+    def status(self, job_id: str) -> JobRecord:
+        return JobRecord.from_handle(self._handle(job_id))
+
+    def fetch_results(self, job_id: str) -> Table:
+        return self.service().job_table(job_id)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        handle = self._handle(job_id)
+        handle.cancel()
+        return JobRecord.from_handle(handle)
+
+    def jobs(self) -> list[JobRecord]:
+        return [JobRecord.from_handle(h) for h in self.service().jobs()]
+
+    def close(self) -> None:
+        if self._owns_service and self._service is not None:
+            self._service.shutdown()
+            self._service = None
+
+
+# --------------------------------------------------------------------- #
+# durable disk transport
+# --------------------------------------------------------------------- #
+#: A ``running`` record whose runner heartbeat is older than this is
+#: considered orphaned (its process died) and may be resumed on attach.
+STALE_RUNNER_SECONDS = 10.0
+
+#: The runner refreshes its record heartbeat at least this often.
+_HEARTBEAT_SECONDS = 2.0
+
+
+class DiskTransport(Transport):
+    """Durable jobs over a :class:`~repro.api.jobstore.JobStore`.
+
+    ``submit`` persists the record first and then executes it on a
+    background runner (daemon) thread, streaming progress counters into
+    the record with atomic replaces; if the process dies mid-job the
+    record survives as ``pending``/``running`` and **any later process**
+    can :meth:`attach`, which resumes the stored request — with a shared
+    ``cache_dir`` the already-finished cells come back as warm hits and
+    only the remainder is re-solved.
+
+    Ownership is heartbeat-based: the runner stamps ``runner_pid`` and a
+    ``runner_heartbeat`` timestamp into the record every couple of
+    seconds, and :meth:`attach` only resumes a ``running`` record whose
+    heartbeat has gone stale (:data:`STALE_RUNNER_SECONDS`) — attaching
+    to a job that is alive in another process just follows it, it never
+    duplicates the execution.
+
+    ``start=False`` submits without executing (the CLI's ``--detach``
+    against a plain directory): the record waits on disk until someone
+    attaches.
+    """
+
+    def __init__(self, jobs_dir: "str | Any", *,
+                 cache_dir: "str | None" = None,
+                 cache: "ResultCache | None" = None,
+                 workers: int = 2, use_threads: bool = False) -> None:
+        self.store = JobStore(jobs_dir)
+        self._cache = cache
+        # default the cache next to the records so resume-after-crash works
+        # out of the box; "cache/" does not match the store's *.json scan.
+        # Created lazily so read-only verbs (status, jobs) touch nothing.
+        self._cache_dir = cache_dir or str(self.store.directory / "cache")
+        self._workers = workers
+        self._use_threads = use_threads
+        self._runners: dict[str, threading.Thread] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def cache(self) -> "ResultCache":
+        if self._cache is None:
+            from repro.cache import disk_cache
+
+            self._cache = disk_cache(self._cache_dir)
+        return self._cache
+
+    def submit(self, request: SweepRequest, *, start: bool = True) -> JobRecord:
+        record = self.store.create(request, job_id=new_job_id())
+        if start:
+            self._start_runner(record["job_id"], request)
+        return JobRecord.from_wire(record)
+
+    def status(self, job_id: str) -> JobRecord:
+        return self.store.record(job_id)
+
+    def fetch_results(self, job_id: str) -> Table:
+        payload = self.store.load(job_id)
+        columns = payload.get("columns")
+        if not isinstance(columns, list):
+            from repro.batch.sweep import SWEEP_COLUMNS
+
+            # cancelled before anything ran: an empty sweep-shaped table
+            return Table(columns=list(SWEEP_COLUMNS),
+                         title=f"job {payload.get('name') or job_id}")
+        table = Table(columns=[str(c) for c in columns],
+                      rows=[list(r) for r in payload.get("rows") or []],
+                      title=str(payload.get("title") or f"job {job_id}"))
+        manifest = payload.get("manifest")
+        if isinstance(manifest, dict):
+            table.manifest = manifest
+        return table
+
+    def cancel(self, job_id: str) -> JobRecord:
+        payload = self.store.load(job_id)
+        status = payload.get("status")
+        if status in ("done", "cancelled", "failed"):
+            return JobRecord.from_wire(payload)  # terminal: nothing to do
+        with self._lock:
+            live = job_id in self._runners
+        try:
+            if live or not self._heartbeat_stale(payload):
+                # a runner (here or elsewhere) owns the record; it observes
+                # the flag at its next progress tick, cancels the pool
+                # futures and transitions
+                self.store.update(job_id, cancel_requested=True)
+            else:
+                self.store.transition(job_id, "cancelled")
+        except JobStateError:
+            pass  # the job reached a terminal state while we decided
+        return self.store.record(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        return self.scan_jobs()[0]
+
+    def scan_jobs(self) -> tuple[list[JobRecord], list[tuple[str, str]]]:
+        records, skipped = self.store.scan()
+        return [JobRecord.from_wire(r) for r in records], skipped
+
+    @staticmethod
+    def _heartbeat_stale(payload: dict) -> bool:
+        try:
+            heartbeat = float(payload.get("runner_heartbeat") or 0.0)
+        except (TypeError, ValueError):
+            heartbeat = 0.0
+        return time.time() - heartbeat > STALE_RUNNER_SECONDS
+
+    def attach(self, job_id: str) -> JobRecord:
+        """Re-attach by id; resume the stored request if it is orphaned.
+
+        A ``pending`` record (detached submit, or a submitter that died
+        before starting) is started; a ``running`` record is resumed only
+        when no runner in this process owns it **and** its heartbeat is
+        stale — a fresh heartbeat means another process is executing the
+        job, and attaching must follow it, not fork a duplicate run.
+        Resuming is idempotent through the result cache: finished cells
+        are warm hits.
+        """
+        payload = self.store.load(job_id)
+        status = payload.get("status")
+        with self._lock:
+            live = job_id in self._runners
+        if not live:
+            if status == "pending":
+                self._start_runner(job_id, self.store.request(job_id))
+            elif status == "running" and self._heartbeat_stale(payload):
+                request = self.store.request(job_id)
+                # the owning process died mid-run; take the record back to
+                # pending (the one sanctioned back-edge) and re-run it
+                self.store.reclaim(job_id)
+                self._start_runner(job_id, request)
+        return self.store.record(job_id)
+
+    def close(self) -> None:
+        with self._lock:
+            runners = list(self._runners.values())
+        for thread in runners:
+            thread.join(timeout=0.1)
+
+    # ------------------------------------------------------------------ #
+    # the runner
+    # ------------------------------------------------------------------ #
+    def _start_runner(self, job_id: str, request: SweepRequest) -> None:
+        thread = threading.Thread(target=self._run, args=(job_id, request),
+                                  name=f"repro-job-{job_id}", daemon=True)
+        with self._lock:
+            self._runners[job_id] = thread
+        thread.start()
+
+    def _run(self, job_id: str, request: SweepRequest) -> None:
+        from repro.service import SolverService
+
+        try:
+            self.store.transition(job_id, "running",
+                                  runner_pid=os.getpid(),
+                                  runner_heartbeat=time.time())
+            with SolverService(workers=self._workers,
+                               use_threads=self._use_threads,
+                               cache=self.cache) as service:
+                handle = service.submit_sweep(
+                    **request.grid_kwargs(), method=request.method,
+                    exact=request.exact, options=request.options or None,
+                    name=request.name or job_id, shard=request.shard_spec(),
+                    priors=request.fit_priors())
+                self.store.update(job_id, total=handle.total,
+                                  grid_fingerprint=handle.fingerprint,
+                                  params=dict(handle.params))
+                cancelled = self._poll_to_completion(job_id, handle)
+                table = service.job_table(handle.job_id, timeout=60)
+            progress = handle.progress()
+            self.store.transition(
+                job_id, "cancelled" if cancelled else "done",
+                done=progress.done, failed=progress.failed,
+                cache_hits=progress.cache_hits,
+                title=table.title, columns=list(table.columns),
+                rows=[list(row) for row in table.rows],
+                manifest=getattr(table, "manifest", None))
+        except Exception as exc:  # the record must reflect the blow-up
+            try:
+                self.store.transition(job_id, "failed",
+                                      error=f"{type(exc).__name__}: {exc}")
+            except JobStateError:  # pragma: no cover - cancel raced us
+                pass
+        finally:
+            with self._lock:
+                self._runners.pop(job_id, None)
+
+    def _poll_to_completion(self, job_id: str, handle) -> bool:
+        """Mirror live progress into the record; honour cancel requests.
+
+        Besides the counters, every write refreshes the runner heartbeat
+        (and one is forced at least every :data:`_HEARTBEAT_SECONDS`), so
+        observers can tell this job is owned by a live process.  A
+        :class:`JobStateError` from the store means another process
+        force-transitioned the record (external cancel) — it propagates,
+        the service context manager cancels the pending pool futures.
+        """
+        cancelled = False
+        last: tuple | None = None
+        last_beat = 0.0
+        for interval in backoff_intervals(0.02, maximum=0.5):
+            progress = handle.progress()
+            key = (progress.done, progress.failed, progress.cache_hits)
+            now = time.time()
+            if key != last or now - last_beat >= _HEARTBEAT_SECONDS:
+                last = key
+                last_beat = now
+                self.store.update(job_id, done=progress.done,
+                                  failed=progress.failed,
+                                  cache_hits=progress.cache_hits,
+                                  runner_heartbeat=now)
+            if handle.done():
+                return cancelled
+            if not cancelled:
+                payload = self.store.load(job_id)
+                if payload.get("cancel_requested"):
+                    handle.cancel()
+                    cancelled = True
+            time.sleep(interval)
+        return cancelled  # pragma: no cover - unreachable
+
+
+# --------------------------------------------------------------------- #
+# HTTP transport
+# --------------------------------------------------------------------- #
+class HTTPTransport(Transport):
+    """Client of the ``repro serve`` HTTP backend (:mod:`repro.server`).
+
+    Speaks the ``/v1`` JSON protocol with stdlib ``urllib`` only.  Typed
+    error bodies re-raise as their library exception classes
+    (:class:`UnknownJobError` for 404s, :class:`SchemaVersionError` for
+    version mismatches, ...); connection-level failures raise
+    :class:`TransportError`.  ``events`` consumes the server's chunked
+    ndjson stream instead of polling.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise TransportError(
+                f"HTTP transport needs an http(s):// URL, got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _url(self, path: str) -> str:
+        return f"{self.base_url}{PROTOCOL_PREFIX}{path}"
+
+    def _call(self, method: str, path: str, *,
+              body: dict | None = None) -> Any:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        req = urlrequest.Request(self._url(path), data=data, method=method,
+                                 headers={"Content-Type": "application/json"})
+        try:
+            with urlrequest.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urlerror.HTTPError as exc:
+            self._raise_http_error(exc)
+        except urlerror.URLError as exc:
+            raise TransportError(
+                f"cannot reach {self.base_url}: {exc.reason}") from exc
+        except json.JSONDecodeError as exc:
+            raise TransportError(
+                f"{self.base_url} returned non-JSON output: {exc}") from exc
+
+    @staticmethod
+    def _raise_http_error(exc: urlerror.HTTPError) -> None:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            raise TransportError(
+                f"HTTP {exc.code} from {exc.url} (no typed error body)"
+            ) from exc
+        raise_wire_error(payload, fallback=f"HTTP {exc.code} from {exc.url}")
+
+    def submit(self, request: SweepRequest) -> JobRecord:
+        return JobRecord.from_wire(
+            self._call("POST", "/jobs", body=request.to_wire()))
+
+    def status(self, job_id: str) -> JobRecord:
+        return JobRecord.from_wire(self._call("GET", f"/jobs/{job_id}"))
+
+    def fetch_results(self, job_id: str) -> Table:
+        return table_from_wire(self._call("GET", f"/jobs/{job_id}/results"))
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return JobRecord.from_wire(
+            self._call("POST", f"/jobs/{job_id}/cancel"))
+
+    def jobs(self) -> list[JobRecord]:
+        return self.scan_jobs()[0]
+
+    def scan_jobs(self) -> tuple[list[JobRecord], list[tuple[str, str]]]:
+        payload = self._call("GET", "/jobs")
+        if not isinstance(payload, dict) or "jobs" not in payload:
+            raise TransportError("malformed job listing from the server")
+        skipped = [(str(name), str(reason))
+                   for name, reason in payload.get("skipped") or []]
+        return [JobRecord.from_wire(r) for r in payload["jobs"]], skipped
+
+    def events(self, job_id: str, *, poll_interval: float = 0.05,
+               timeout: float | None = None) -> Iterator[ProgressEvent]:
+        """Consume the server's chunked ndjson progress stream."""
+        req = urlrequest.Request(self._url(f"/jobs/{job_id}/events"))
+        stream_timeout = timeout if timeout is not None else 3600.0
+        try:
+            resp = urlrequest.urlopen(req, timeout=stream_timeout)
+        except urlerror.HTTPError as exc:
+            self._raise_http_error(exc)
+            raise AssertionError("unreachable")  # pragma: no cover
+        except urlerror.URLError as exc:
+            raise TransportError(
+                f"cannot reach {self.base_url}: {exc.reason}") from exc
+        with resp:
+            while True:
+                try:
+                    raw = resp.readline()
+                except (OSError, httpclient.HTTPException) as exc:
+                    # the server died or the socket timed out mid-stream:
+                    # keep the typed-error contract instead of leaking a
+                    # raw socket exception through the generator
+                    raise TransportError(
+                        f"event stream from {self.base_url} broke: {exc}"
+                    ) from exc
+                if not raw:
+                    return
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as exc:
+                    raise TransportError(
+                        f"malformed event-stream line: {line[:120]!r}"
+                    ) from exc
+                if isinstance(payload, dict) and "error" in payload:
+                    raise_wire_error(payload)
+                event = ProgressEvent.from_wire(payload)
+                yield event
+                if event.terminal:
+                    return

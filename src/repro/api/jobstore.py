@@ -1,0 +1,246 @@
+"""Durable on-disk job store under ``.repro-jobs/``.
+
+One JSON file per job, the record shape of
+:class:`repro.api.protocol.JobRecord` plus the submitted
+:class:`~repro.api.protocol.SweepRequest` (so an orphaned job can be
+resumed by any later process) and, once terminal, the full result rows.
+
+Writes are atomic (temp file + ``os.replace``), so a crashed writer never
+leaves a truncated record behind, and **state transitions are checked**: a
+terminal record (``done``/``cancelled``/``failed``) can never transition
+again, and only the legal lifecycle edges
+(``pending -> running|cancelled|failed``, ``running -> running|done|
+cancelled|failed``) are accepted — an illegal edge raises
+:class:`~repro.utils.errors.JobStateError` instead of silently clobbering
+a finished job.
+
+Every record carries ``schema_version``; :meth:`JobStore.load` rejects
+unknown versions with :class:`~repro.utils.errors.SchemaVersionError`, and
+:meth:`JobStore.scan` reports (rather than hides) unreadable files so
+``repro jobs --strict`` can fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any
+
+from repro.api.protocol import (
+    JOB_STATUSES,
+    SCHEMA_VERSION,
+    TERMINAL_STATUSES,
+    JobRecord,
+    SweepRequest,
+    check_schema_version,
+)
+from repro.utils.errors import (
+    JobStateError,
+    TransportError,
+    UnknownJobError,
+)
+
+#: ``kind`` marker of a job-record JSON document.
+JOB_RECORD_KIND = "repro-job"
+
+#: Legal lifecycle edges (``running -> running`` carries progress updates).
+_LEGAL_TRANSITIONS = {
+    "pending": ("running", "cancelled", "failed"),
+    "running": ("running", "done", "cancelled", "failed"),
+}
+
+
+def new_job_id() -> str:
+    """A fresh collision-resistant job id (sortable by creation time)."""
+    return f"job-{int(time.time())}-{uuid.uuid4().hex[:8]}"
+
+
+class JobStore:
+    """One JSON record per job under ``directory``, atomically updated."""
+
+    def __init__(self, directory: "str | os.PathLike") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def path(self, job_id: str) -> Path:
+        if not job_id or "/" in job_id or job_id.startswith("."):
+            raise UnknownJobError(f"invalid job id {job_id!r}")
+        return self.directory / f"{job_id}.json"
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def create(self, request: SweepRequest, *, job_id: str | None = None,
+               status: str = "pending") -> dict[str, Any]:
+        """Persist a fresh record for a submitted request; return it."""
+        job_id = job_id or new_job_id()
+        record: dict[str, Any] = {
+            "kind": JOB_RECORD_KIND,
+            "schema_version": SCHEMA_VERSION,
+            "job_id": job_id,
+            "name": request.name or job_id,
+            "status": status,
+            "created_at": time.time(),
+            "finished_at": None,
+            "total": 0,
+            "done": 0,
+            "failed": 0,
+            "cache_hits": 0,
+            "shard": request.shard,
+            "grid_fingerprint": "",
+            "params": {"kind": "sweep", "model": request.model},
+            "error": None,
+            "request": request.to_wire(),
+        }
+        with self._lock:
+            if self.path(job_id).exists():
+                raise JobStateError(f"job record {job_id} already exists")
+            self._write(record)
+        return record
+
+    def transition(self, job_id: str, status: str,
+                   **updates: Any) -> dict[str, Any]:
+        """Atomically move a record to ``status``, folding in ``updates``.
+
+        Raises :class:`JobStateError` for an edge the lifecycle does not
+        allow — in particular any transition out of a terminal state.
+        """
+        if status not in JOB_STATUSES:
+            raise JobStateError(f"unknown job status {status!r}")
+        with self._lock:
+            record = self._load_locked(job_id)
+            current = record.get("status", "pending")
+            if current in TERMINAL_STATUSES:
+                raise JobStateError(
+                    f"job {job_id} is already {current}; records in a "
+                    f"terminal state cannot transition (to {status!r})"
+                )
+            if status not in _LEGAL_TRANSITIONS.get(current, ()):
+                raise JobStateError(
+                    f"illegal job transition {current!r} -> {status!r} "
+                    f"for {job_id}"
+                )
+            record["status"] = status
+            if status in TERMINAL_STATUSES and record.get("finished_at") is None:
+                record["finished_at"] = time.time()
+            record.update(updates)
+            self._write(record)
+        return record
+
+    def update(self, job_id: str, **updates: Any) -> dict[str, Any]:
+        """Fold non-lifecycle updates (progress counters) into a record.
+
+        Refuses ``status`` (use :meth:`transition` / :meth:`reclaim`) and
+        refuses to touch a terminal record — the "terminal records never
+        change" invariant holds against every writer, so a runner whose
+        job was cancelled from another process gets a
+        :class:`JobStateError` on its next progress tick instead of
+        silently mutating a finished record.
+        """
+        if "status" in updates:
+            raise JobStateError(
+                "update() cannot change a record's status; use "
+                "transition() or reclaim()"
+            )
+        with self._lock:
+            record = self._load_locked(job_id)
+            if record.get("status") in TERMINAL_STATUSES:
+                raise JobStateError(
+                    f"job {job_id} is already {record.get('status')}; "
+                    "terminal records do not take updates"
+                )
+            record.update(updates)
+            self._write(record)
+        return record
+
+    def reclaim(self, job_id: str) -> dict[str, Any]:
+        """Take an orphaned ``running`` record back to ``pending``.
+
+        The one sanctioned back-edge in the lifecycle, used by
+        :meth:`repro.api.client.DiskTransport.attach` when the process
+        that owned a running job died (stale heartbeat).  Raises
+        :class:`JobStateError` for any other state.
+        """
+        with self._lock:
+            record = self._load_locked(job_id)
+            if record.get("status") != "running":
+                raise JobStateError(
+                    f"job {job_id} is {record.get('status')!r}, not "
+                    "'running'; only orphaned running records can be "
+                    "reclaimed"
+                )
+            record["status"] = "pending"
+            self._write(record)
+        return record
+
+    def _write(self, record: dict[str, Any]) -> None:
+        path = self.path(record["job_id"])
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, indent=2, default=repr) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def load(self, job_id: str) -> dict[str, Any]:
+        """Read one record; typed errors for missing/corrupt/newer files."""
+        with self._lock:
+            return self._load_locked(job_id)
+
+    def _load_locked(self, job_id: str) -> dict[str, Any]:
+        path = self.path(job_id)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise UnknownJobError(
+                f"no job {job_id!r} under {self.directory}") from None
+        except (OSError, ValueError) as exc:
+            raise TransportError(
+                f"corrupt job record {path.name}: {exc}") from exc
+        if not isinstance(payload, dict) or "job_id" not in payload:
+            raise TransportError(f"{path.name} is not a job record")
+        check_schema_version(payload, what=f"job record {path.name}")
+        return payload
+
+    def record(self, job_id: str) -> JobRecord:
+        """The typed :class:`JobRecord` view of one stored record."""
+        return JobRecord.from_wire(self.load(job_id))
+
+    def request(self, job_id: str) -> SweepRequest:
+        """The submitted request of a stored record (for resume)."""
+        payload = self.load(job_id)
+        wire = payload.get("request")
+        if not isinstance(wire, dict):
+            raise TransportError(
+                f"job record {job_id} carries no resumable request")
+        return SweepRequest.from_wire(wire)
+
+    def scan(self) -> tuple[list[dict[str, Any]], list[tuple[str, str]]]:
+        """All readable records plus ``(filename, reason)`` skip pairs.
+
+        Sorted by creation time.  Unreadable, mistyped and
+        version-mismatched files land in the skip list instead of being
+        silently dropped — the caller decides whether that is fatal
+        (``repro jobs --strict``).
+        """
+        records: list[dict[str, Any]] = []
+        skipped: list[tuple[str, str]] = []
+        for path in sorted(self.directory.glob("*.json")):
+            job_id = path.stem
+            try:
+                with self._lock:
+                    records.append(self._load_locked(job_id))
+            except (TransportError, UnknownJobError) as exc:
+                skipped.append((path.name, str(exc)))
+        records.sort(key=lambda r: float(r.get("created_at") or 0.0)
+                     if isinstance(r.get("created_at"), (int, float)) else 0.0)
+        return records, skipped
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

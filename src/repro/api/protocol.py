@@ -1,0 +1,449 @@
+"""Versioned request/response envelopes of the solver-client protocol.
+
+This module is the single definition of what travels between a
+:class:`repro.api.SolverClient` and any of its backends — in-process, the
+on-disk job store, or the ``repro serve`` HTTP server.  Everything on the
+wire is a JSON object stamped with ``schema_version``; loaders reject
+unknown versions with a typed
+:class:`~repro.utils.errors.SchemaVersionError` instead of failing
+obscurely downstream.
+
+The envelopes:
+
+:class:`SweepRequest`
+    A submittable sweep grid (the keyword surface of
+    :func:`repro.batch.sweep`) plus solver method/options, shard identity
+    and a display name.
+:class:`JobRecord`
+    The transport-independent snapshot of one job: lifecycle status,
+    progress counters, shard/fingerprint identity and timestamps.  The
+    same record shape is stored on disk, returned over HTTP and derived
+    from live :class:`~repro.service.jobs.JobHandle` objects, which is what
+    makes ``repro status`` behave identically against every transport.
+:class:`ProgressEvent`
+    One tick of a job's streaming progress feed (``repro attach``, the
+    HTTP chunked event stream).
+
+Result tables reuse the sweep row schema verbatim
+(:func:`table_to_wire` / :func:`table_from_wire`), and failures travel as
+typed error bodies (:func:`error_to_wire` / :func:`raise_wire_error`) so a
+server-side :class:`~repro.utils.errors.UnknownJobError` re-raises as
+exactly that class in the client process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
+
+from repro.utils.errors import (
+    InfeasibleProblemError,
+    InvalidModelError,
+    InvalidOptionError,
+    JobStateError,
+    MergeError,
+    ReproError,
+    SchemaVersionError,
+    SolverError,
+    TransportError,
+    UnknownJobError,
+    UnknownSolverError,
+)
+from repro.utils.tables import Table
+
+#: Version stamped on every wire envelope, job record and shard dump.
+SCHEMA_VERSION = 1
+
+#: URL prefix of the HTTP wire protocol (bumped with SCHEMA_VERSION).
+PROTOCOL_PREFIX = "/v1"
+
+#: Job lifecycle states a record may carry (superset of the in-process
+#: :class:`repro.service.jobs.JobStatus`: a durable record can also be
+#: ``failed`` when submission itself blew up before any instance ran).
+JOB_STATUSES = ("pending", "running", "done", "cancelled", "failed")
+
+#: Terminal states: a record in one of these never changes again.
+TERMINAL_STATUSES = ("done", "cancelled", "failed")
+
+_SWEEP_MODELS = ("continuous", "discrete", "vdd", "incremental")
+
+
+def check_schema_version(payload: Mapping[str, Any], *, what: str,
+                         supported: int = SCHEMA_VERSION) -> int:
+    """Validate a document's ``schema_version``; return it.
+
+    A missing field is read as version 1 (documents written before the
+    field existed); anything other than an integer in ``1..supported``
+    raises :class:`SchemaVersionError` naming the document and both
+    versions.  ``supported`` defaults to the wire protocol's version;
+    independently-versioned documents (shard dumps) pass their own.
+    """
+    version = payload.get("schema_version", 1)
+    if not isinstance(version, int) or isinstance(version, bool) \
+            or version < 1 or version > supported:
+        raise SchemaVersionError(
+            f"{what}: unsupported schema_version {version!r} (this build "
+            f"supports versions 1..{supported}); refusing to guess at "
+            "a newer or malformed layout"
+        )
+    return version
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A submittable sweep grid plus its solver and shard parameters.
+
+    Field-for-field the keyword surface of :func:`repro.batch.sweep`
+    (grid axes, model knobs, ``method``/``exact``/``options``), plus the
+    ``"I/N"`` shard spelling and a display ``name``.  ``priors`` carries a
+    cost-partitioner calibration (graph class -> ``(coeff, exponent)``;
+    the empty-string key is the fallback class) so sharded submissions
+    balance identically on every machine.
+    """
+
+    graph_classes: tuple[str, ...] = ("chain", "tree", "layered")
+    sizes: tuple[int, ...] = (32,)
+    slacks: tuple[float, ...] = (1.5,)
+    alphas: tuple[float, ...] = (3.0,)
+    model: str = "continuous"
+    n_modes: int = 5
+    s_max: float = 1.0
+    n_processors: int = 0
+    mapping: str = "none"
+    repetitions: int = 1
+    seed: int = 0
+    method: str | None = None
+    exact: bool | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+    shard: str | None = None
+    shard_strategy: str = "cost-weighted"
+    priors: dict[str, tuple[float, float]] | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.model not in _SWEEP_MODELS:
+            raise InvalidModelError(
+                f"unknown sweep model {self.model!r}; choose one of "
+                f"{', '.join(_SWEEP_MODELS)}"
+            )
+
+    def grid_kwargs(self) -> dict[str, Any]:
+        """The :func:`repro.batch.sweep` grid keyword arguments."""
+        return dict(
+            graph_classes=self.graph_classes, sizes=self.sizes,
+            slacks=self.slacks, alphas=self.alphas, model=self.model,
+            n_modes=self.n_modes, s_max=self.s_max,
+            n_processors=self.n_processors, mapping=self.mapping,
+            repetitions=self.repetitions, seed=self.seed,
+        )
+
+    def shard_spec(self):
+        """The parsed :class:`~repro.batch.shard.ShardSpec` (or ``None``)."""
+        if not self.shard:
+            return None
+        from repro.batch.shard import ShardSpec
+
+        return ShardSpec.parse(self.shard, strategy=self.shard_strategy)
+
+    def fit_priors(self) -> dict[str | None, tuple[float, float]] | None:
+        """Wire priors back in :func:`~repro.batch.shard.estimate_cost` form."""
+        if not self.priors:
+            return None
+        return {(cls or None): (float(c), float(e))
+                for cls, (c, e) in self.priors.items()}
+
+    def to_wire(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"schema_version": SCHEMA_VERSION}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[f.name] = value
+        if self.priors is not None:
+            payload["priors"] = {cls: list(ce)
+                                 for cls, ce in self.priors.items()}
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "SweepRequest":
+        """Decode and validate a wire payload into a request.
+
+        Raises :class:`SchemaVersionError` for unknown versions and
+        :class:`TransportError` for structurally malformed payloads, so
+        the HTTP server maps both to typed 4xx bodies.
+        """
+        if not isinstance(payload, Mapping):
+            raise TransportError(
+                f"malformed sweep request: expected a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        check_schema_version(payload, what="sweep request")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known - {"schema_version"}
+        if unknown:
+            raise TransportError(
+                f"malformed sweep request: unknown fields {sorted(unknown)}"
+            )
+        try:
+            priors = payload.get("priors")
+            return cls(
+                graph_classes=tuple(str(c) for c in payload.get(
+                    "graph_classes", cls.graph_classes)),
+                sizes=tuple(int(n) for n in payload.get("sizes", cls.sizes)),
+                slacks=tuple(float(s) for s in payload.get("slacks", cls.slacks)),
+                alphas=tuple(float(a) for a in payload.get("alphas", cls.alphas)),
+                model=str(payload.get("model", cls.model)),
+                n_modes=int(payload.get("n_modes", cls.n_modes)),
+                s_max=float(payload.get("s_max", cls.s_max)),
+                n_processors=int(payload.get("n_processors", cls.n_processors)),
+                mapping=str(payload.get("mapping", cls.mapping)),
+                repetitions=int(payload.get("repetitions", cls.repetitions)),
+                seed=int(payload.get("seed", cls.seed)),
+                method=(None if payload.get("method") is None
+                        else str(payload["method"])),
+                exact=(None if payload.get("exact") is None
+                       else bool(payload["exact"])),
+                options=dict(payload.get("options") or {}),
+                shard=(None if not payload.get("shard")
+                       else str(payload["shard"])),
+                shard_strategy=str(payload.get("shard_strategy",
+                                               cls.shard_strategy)),
+                priors=(None if priors is None else
+                        {str(k): (float(v[0]), float(v[1]))
+                         for k, v in dict(priors).items()}),
+                name=str(payload.get("name", "")),
+            )
+        except InvalidModelError:
+            raise
+        except (TypeError, ValueError, KeyError, IndexError) as exc:
+            raise TransportError(
+                f"malformed sweep request: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Transport-independent snapshot of one job's lifecycle and progress."""
+
+    job_id: str
+    name: str = ""
+    status: str = "pending"
+    created_at: float = 0.0
+    finished_at: float | None = None
+    total: int = 0
+    done: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    shard: str | None = None
+    fingerprint: str = ""
+    params: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def terminal(self) -> bool:
+        """Whether this record's status can never change again."""
+        return self.status in TERMINAL_STATUSES
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "name": self.name,
+            "status": self.status,
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "shard": self.shard,
+            "grid_fingerprint": self.fingerprint,
+            "params": dict(self.params),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Any, *, what: str = "job record") -> "JobRecord":
+        if not isinstance(payload, Mapping) or "job_id" not in payload:
+            raise TransportError(
+                f"malformed {what}: expected a JSON object with a job_id")
+        check_schema_version(payload, what=what)
+        status = str(payload.get("status", "pending"))
+        if status not in JOB_STATUSES:
+            raise TransportError(
+                f"malformed {what}: unknown status {status!r} (expected one "
+                f"of {', '.join(JOB_STATUSES)})"
+            )
+        try:
+            finished = payload.get("finished_at")
+            return cls(
+                job_id=str(payload["job_id"]),
+                name=str(payload.get("name") or ""),
+                status=status,
+                created_at=float(payload.get("created_at") or 0.0),
+                finished_at=None if finished is None else float(finished),
+                total=int(payload.get("total") or 0),
+                done=int(payload.get("done") or 0),
+                failed=int(payload.get("failed") or 0),
+                cache_hits=int(payload.get("cache_hits") or 0),
+                shard=(None if not payload.get("shard")
+                       else str(payload["shard"])),
+                fingerprint=str(payload.get("grid_fingerprint") or ""),
+                params=dict(payload.get("params") or {}),
+                error=(None if payload.get("error") is None
+                       else str(payload["error"])),
+            )
+        except (TypeError, ValueError) as exc:
+            raise TransportError(f"malformed {what}: {exc}") from exc
+
+    @classmethod
+    def from_handle(cls, handle) -> "JobRecord":
+        """Snapshot a live :class:`~repro.service.jobs.JobHandle`."""
+        described = handle.describe()
+        described.setdefault("schema_version", SCHEMA_VERSION)
+        return cls.from_wire(described, what="job handle snapshot")
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One tick of a job's streaming progress feed."""
+
+    job_id: str
+    seq: int
+    status: str
+    done: int
+    total: int
+    failed: int
+    cache_hits: int = 0
+    timestamp: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "status": self.status,
+            "done": self.done,
+            "total": self.total,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "ProgressEvent":
+        if not isinstance(payload, Mapping):
+            raise TransportError("malformed progress event: not a JSON object")
+        check_schema_version(payload, what="progress event")
+        try:
+            return cls(
+                job_id=str(payload["job_id"]),
+                seq=int(payload["seq"]),
+                status=str(payload["status"]),
+                done=int(payload.get("done") or 0),
+                total=int(payload.get("total") or 0),
+                failed=int(payload.get("failed") or 0),
+                cache_hits=int(payload.get("cache_hits") or 0),
+                timestamp=float(payload.get("timestamp") or 0.0),
+            )
+        except (TypeError, ValueError, KeyError) as exc:
+            raise TransportError(f"malformed progress event: {exc}") from exc
+
+    @classmethod
+    def from_record(cls, record: JobRecord, seq: int) -> "ProgressEvent":
+        return cls(job_id=record.job_id, seq=seq, status=record.status,
+                   done=record.done, total=record.total, failed=record.failed,
+                   cache_hits=record.cache_hits, timestamp=time.time())
+
+
+# --------------------------------------------------------------------- #
+# result tables
+# --------------------------------------------------------------------- #
+def table_to_wire(table: Table) -> dict[str, Any]:
+    """Serialise a sweep table (and its manifest, if any) for the wire."""
+    payload: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+    }
+    manifest = getattr(table, "manifest", None)
+    if isinstance(manifest, dict):
+        payload["manifest"] = manifest
+    return payload
+
+
+def table_from_wire(payload: Any, *, what: str = "result table") -> Table:
+    """Rebuild a :class:`~repro.utils.tables.Table` from its wire payload."""
+    if not isinstance(payload, Mapping) or "columns" not in payload:
+        raise TransportError(
+            f"malformed {what}: expected a JSON object with columns/rows")
+    check_schema_version(payload, what=what)
+    try:
+        table = Table(columns=[str(c) for c in payload["columns"]],
+                      title=str(payload.get("title", "")),
+                      rows=[list(r) for r in payload.get("rows") or []])
+    except (TypeError, ValueError) as exc:
+        raise TransportError(f"malformed {what}: {exc}") from exc
+    n_cols = len(table.columns)
+    bad = [i for i, row in enumerate(table.rows) if len(row) != n_cols]
+    if bad:
+        raise TransportError(
+            f"malformed {what}: rows {bad[:5]} do not match the "
+            f"{n_cols}-column header"
+        )
+    manifest = payload.get("manifest")
+    if isinstance(manifest, dict):
+        table.manifest = manifest
+    return table
+
+
+# --------------------------------------------------------------------- #
+# typed error bodies
+# --------------------------------------------------------------------- #
+#: Errors that survive a wire round-trip as their own class.  Anything
+#: else re-raises as TransportError carrying the original type name.
+_WIRE_ERRORS: dict[str, type[ReproError]] = {
+    cls.__name__: cls for cls in (
+        InfeasibleProblemError,
+        InvalidModelError,
+        InvalidOptionError,
+        JobStateError,
+        MergeError,
+        ReproError,
+        SchemaVersionError,
+        SolverError,
+        TransportError,
+        UnknownJobError,
+        UnknownSolverError,
+    )
+}
+
+
+def error_to_wire(exc: BaseException) -> dict[str, Any]:
+    """Typed error body of an exception (the 4xx/5xx HTTP payload)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def raise_wire_error(payload: Any, *, fallback: str = "backend error") -> None:
+    """Re-raise a typed error body as its library exception class.
+
+    Unknown types (and non-error payloads) raise
+    :class:`TransportError` so a client never swallows a failure body.
+    """
+    detail = payload.get("error") if isinstance(payload, Mapping) else None
+    if not isinstance(detail, Mapping):
+        raise TransportError(f"{fallback}: {payload!r}")
+    name = str(detail.get("type") or "")
+    message = str(detail.get("message") or fallback)
+    cls = _WIRE_ERRORS.get(name)
+    if cls is None:
+        raise TransportError(f"{name or 'unknown error'}: {message}")
+    raise cls(message)

@@ -49,7 +49,9 @@ from repro.batch.sweep import COORD_COLUMNS
 #: ``kind`` marker of a shard-dump JSON document.
 SHARD_DUMP_KIND = "repro-sweep-shard"
 
-#: Dump format version, bumped on incompatible schema changes.
+#: Dump format version, bumped on incompatible schema changes.  Written as
+#: ``schema_version`` (the repo-wide field name; the original ``version``
+#: key is kept for readers of older dumps) and validated on load.
 SHARD_DUMP_VERSION = 1
 
 
@@ -78,6 +80,12 @@ class ShardDump:
                 f"{path}: not a shard dump (kind={payload.get('kind')!r}, "
                 f"expected {SHARD_DUMP_KIND!r})"
             )
+        from repro.api.protocol import check_schema_version
+
+        versioned = dict(payload)
+        versioned.setdefault("schema_version", versioned.get("version", 1))
+        check_schema_version(versioned, what=f"{path} (shard dump)",
+                             supported=SHARD_DUMP_VERSION)
         missing = [k for k in ("fingerprint", "shard_index", "shard_count",
                                "strategy", "columns", "rows", "grid")
                    if k not in payload]
@@ -133,6 +141,7 @@ def dump_payload(table: Table) -> dict[str, Any]:
     return {
         "kind": SHARD_DUMP_KIND,
         "version": SHARD_DUMP_VERSION,
+        "schema_version": SHARD_DUMP_VERSION,
         "title": table.title,
         "columns": list(table.columns),
         "rows": [list(row) for row in table.rows],

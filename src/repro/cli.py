@@ -29,12 +29,23 @@ worker processes, emitting CSV::
     python -m repro sweep --classes chain,tree --sizes 100,1000 \
         --slacks 1.2,2.0 --workers 4 --csv
 
-Submit the same grid as an asynchronous job to the solver service (results
-and a job record land in ``--jobs-dir``), then list recorded jobs::
+Submit the same grid as a durable job (a re-attachable record lands in
+``--jobs-dir``), follow its progress, and list recorded jobs::
 
     python -m repro submit --classes chain,tree --sizes 100,1000 \
         --slacks 1.2,2.0 --workers 4
-    python -m repro jobs
+    python -m repro jobs --strict
+
+Run the solver as an HTTP service and drive it from another machine — the
+same verbs work against every transport, and a detached client can
+re-attach by job id after a restart::
+
+    python -m repro serve --port 8731 --jobs-dir .repro-jobs   # machine A
+    JOB=$(python -m repro submit --url http://a:8731 --sizes 64 --detach)
+    python -m repro status  "$JOB" --url http://a:8731
+    python -m repro attach  "$JOB" --url http://a:8731
+    python -m repro results "$JOB" --url http://a:8731 --csv
+    python -m repro cancel  "$JOB" --url http://a:8731
 
 Shard the sweep across three machines (every leg derives the same
 deterministic partition from the base seed) and merge the dumps::
@@ -50,7 +61,6 @@ import argparse
 import json
 import pathlib
 import sys
-import time
 from typing import Sequence
 
 from repro.core.models import (
@@ -261,48 +271,139 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _job_record_path(jobs_dir: str, job_id: str) -> pathlib.Path:
-    return pathlib.Path(jobs_dir) / f"{job_id}.json"
+def _make_transport(args: argparse.Namespace):
+    """Resolve --url / --jobs-dir into the matching client transport."""
+    if getattr(args, "url", ""):
+        from repro.api import HTTPTransport
+
+        return HTTPTransport(args.url)
+    from repro.api import DiskTransport
+
+    return DiskTransport(
+        args.jobs_dir,
+        cache_dir=getattr(args, "cache_dir", "") or None,
+        workers=max(1, getattr(args, "workers", 2)),
+    )
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.batch import sweep_cache_stats
-    from repro.service import SolverService
+def _build_request(args: argparse.Namespace):
+    """A :class:`repro.api.SweepRequest` from the grid/shard/name flags."""
+    from repro.api import SweepRequest
 
-    cache = _make_cache(args)
-    # the context manager cancels pending instances on an exception (e.g.
-    # Ctrl+C mid-poll), so an interrupted submit does not sit out the grid
-    with SolverService(workers=max(1, args.workers), cache=cache) as service:
-        handle = service.submit_sweep(**_grid_kwargs(args), name=args.name or "",
-                                      shard=_parse_shard(args),
-                                      priors=_load_priors(args))
-        print(f"submitted {handle.job_id}: {handle.total} instances "
-              f"on {max(1, args.workers)} workers", file=sys.stderr)
-        while not handle.done():
-            progress = handle.progress()
-            print(f"  {handle.status().value}: {progress.done}/{progress.total} "
-                  f"done, {progress.failed} failed", file=sys.stderr)
-            time.sleep(args.poll)
-        table = service.job_table(handle.job_id)
+    priors = _load_priors(args)
+    return SweepRequest(
+        **_grid_kwargs(args),
+        shard=args.shard or None,
+        shard_strategy=args.shard_strategy,
+        priors=(None if priors is None
+                else {cls or "": (c, e) for cls, (c, e) in priors.items()}),
+        name=getattr(args, "name", "") or "",
+    )
 
-    record = handle.describe()
-    record["columns"] = list(table.columns)
-    record["rows"] = table.rows
-    jobs_dir = pathlib.Path(args.jobs_dir)
-    jobs_dir.mkdir(parents=True, exist_ok=True)
-    path = _job_record_path(args.jobs_dir, handle.job_id)
-    path.write_text(json.dumps(record, indent=2, default=repr) + "\n",
-                    encoding="utf-8")
 
+def _print_table(table, args: argparse.Namespace) -> None:
     if args.csv:
         print(table.to_csv(), end="")
     else:
         print(table.to_ascii(), end="")
-    progress = handle.progress()
-    stats = sweep_cache_stats(table)
-    print(f"{handle.job_id}: done ({progress.done}/{progress.total}, "
-          f"{progress.failed} failed, {stats['hits']} cache hits); "
-          f"record: {path}", file=sys.stderr)
+
+
+def _stream_to_table(client, job_id: str, args: argparse.Namespace):
+    """Follow a job's progress events, then return its result table.
+
+    The shared tail of ``repro submit`` and ``repro attach``: progress
+    lines go to stderr (backoff-paced, never a tight loop), the table
+    comes back once the job is terminal.
+    """
+    for event in client.events(job_id, poll_interval=args.poll_interval):
+        print(f"  {event.status}: {event.done}/{event.total} done, "
+              f"{event.failed} failed", file=sys.stderr)
+    table = client.results(job_id, poll_interval=args.poll_interval)
+    record = client.status(job_id)
+    summary = (f"{record.job_id}: {record.status} "
+               f"({record.done}/{record.total}, {record.failed} failed, "
+               f"{record.cache_hits} cache hits)")
+    if hasattr(client.transport, "store"):
+        summary += f"; record: {client.transport.store.path(record.job_id)}"
+    print(summary, file=sys.stderr)
+    return table
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.api import DiskTransport, SolverClient
+
+    request = _build_request(args)
+    transport = _make_transport(args)
+    with SolverClient(transport) as client:
+        if args.detach:
+            if isinstance(transport, DiskTransport):
+                # durable record only; whoever attaches first executes it
+                record = transport.submit(request, start=False)
+            else:
+                record = client.submit(request)  # the server executes it
+            print(record.job_id)
+            print(f"submitted {record.job_id} (detached); follow up with "
+                  f"'repro attach {record.job_id}'", file=sys.stderr)
+            return 0
+        record = client.submit(request)
+        print(f"submitted {record.job_id}", file=sys.stderr)
+        table = _stream_to_table(client, record.job_id, args)
+    _print_table(table, args)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import serve
+
+    return serve(host=args.host, port=args.port, jobs_dir=args.jobs_dir,
+                 cache_dir=args.cache_dir or None,
+                 workers=max(1, args.workers), verbose=args.verbose)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.api import SolverClient
+
+    with SolverClient(_make_transport(args)) as client:
+        record = client.status(args.job_id)
+    if args.json:
+        print(json.dumps(record.to_wire(), indent=2, default=repr))
+        return 0
+    print(f"{record.job_id}: {record.status} "
+          f"({record.done}/{record.total} done, {record.failed} failed, "
+          f"{record.cache_hits} cache hits)"
+          + (f" [{record.error}]" if record.error else ""))
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    from repro.api import SolverClient
+
+    with SolverClient(_make_transport(args)) as client:
+        table = client.results(args.job_id, timeout=args.timeout,
+                               poll_interval=args.poll_interval)
+    _print_table(table, args)
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.api import SolverClient
+
+    with SolverClient(_make_transport(args)) as client:
+        record = client.cancel(args.job_id)
+    print(f"{record.job_id}: {record.status} "
+          f"({record.done}/{record.total} done)", file=sys.stderr)
+    return 0
+
+
+def _cmd_attach(args: argparse.Namespace) -> int:
+    from repro.api import SolverClient
+
+    with SolverClient(_make_transport(args)) as client:
+        record = client.attach(args.job_id)
+        print(f"attached to {record.job_id} ({record.status})",
+              file=sys.stderr)
+        table = _stream_to_table(client, record.job_id, args)
+    _print_table(table, args)
     return 0
 
 
@@ -333,43 +434,52 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
-    jobs_dir = pathlib.Path(args.jobs_dir)
-    records = []
-    if jobs_dir.is_dir():
-        for path in sorted(jobs_dir.glob("*.json")):
-            # a truncated/corrupt record must not take the whole listing
-            # down: skip it with a warning and keep listing the rest
-            try:
-                record = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError) as exc:
-                print(f"warning: skipping unreadable job record {path.name}: "
-                      f"{exc}", file=sys.stderr)
-                continue
-            if not (isinstance(record, dict) and "job_id" in record):
-                print(f"warning: skipping {path.name}: not a job record",
+    skipped: list[tuple[str, str]] = []
+    if args.url:
+        from repro.api import SolverClient
+
+        # scan_jobs carries the server-side skip list, so --strict audits
+        # a remote job store exactly like a local one
+        with SolverClient(_make_transport(args)) as client:
+            listed, skipped = client.scan_jobs()
+        records = [r.to_wire() for r in listed]
+        for name, reason in skipped:
+            print(f"warning: skipping job record {name}: {reason}",
+                  file=sys.stderr)
+        source = args.url
+    else:
+        jobs_dir = pathlib.Path(args.jobs_dir)
+        source = str(jobs_dir)
+        records = []
+        if jobs_dir.is_dir():
+            from repro.api import JobStore
+
+            # a truncated/corrupt/newer-versioned record must not take the
+            # whole listing down: it is skipped with a warning, counted in
+            # the footer, and turned into a non-zero exit under --strict
+            records, skipped = JobStore(jobs_dir).scan()
+            for name, reason in skipped:
+                print(f"warning: skipping job record {name}: {reason}",
                       file=sys.stderr)
-                continue
-            records.append(record)
-    if not records:
-        print(f"no job records under {jobs_dir}")
+    if not records and not skipped:
+        print(f"no job records under {source}")
         return 0
 
-    def _created_at(record: dict) -> float:
-        try:
-            return float(record.get("created_at") or 0.0)
-        except (TypeError, ValueError):
-            return 0.0
-
-    records.sort(key=_created_at)
-    print(f"{'job_id':<28} {'status':<10} {'done':>6} {'failed':>6} "
-          f"{'hits':>5}  name")
-    for record in records:
-        done = f"{record.get('done', '?')}/{record.get('total', '?')}"
-        print(f"{str(record.get('job_id', '?')):<28} "
-              f"{str(record.get('status', '?')):<10} {done:>6} "
-              f"{str(record.get('failed') or 0):>6} "
-              f"{str(record.get('cache_hits') or 0):>5}  "
-              f"{record.get('name') or ''}")
+    if records:
+        print(f"{'job_id':<28} {'status':<10} {'done':>6} {'failed':>6} "
+              f"{'hits':>5}  name")
+        for record in records:
+            done = f"{record.get('done', '?')}/{record.get('total', '?')}"
+            print(f"{str(record.get('job_id', '?')):<28} "
+                  f"{str(record.get('status', '?')):<10} {done:>6} "
+                  f"{str(record.get('failed') or 0):>6} "
+                  f"{str(record.get('cache_hits') or 0):>5}  "
+                  f"{record.get('name') or ''}")
+    print(f"{len(records)} job record(s), {len(skipped)} skipped")
+    if args.strict and skipped:
+        print(f"error: --strict and {len(skipped)} unreadable job record(s) "
+              f"under {source}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -472,23 +582,104 @@ def build_parser() -> argparse.ArgumentParser:
                               help="emit CSV instead of ASCII")
     merge_parser.set_defaults(handler=_cmd_merge)
 
+    def add_transport_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default="",
+                       help="base URL of a 'repro serve' backend; when "
+                            "omitted the verb works against the on-disk "
+                            "job store of --jobs-dir")
+        p.add_argument("--jobs-dir", default=".repro-jobs",
+                       help="directory of the durable job store "
+                            "(default .repro-jobs)")
+
+    def add_poll_argument(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--poll-interval", "--poll", dest="poll_interval",
+                       type=float, default=0.2,
+                       help="initial progress poll interval in seconds; "
+                            "every polling path backs off exponentially "
+                            "from it instead of looping tightly "
+                            "(default 0.2)")
+
     submit_parser = sub.add_parser(
-        "submit", help="submit a sweep grid to the async solver service and "
-                       "record the job under --jobs-dir")
+        "submit", help="submit a sweep grid as a job (to the on-disk job "
+                       "store, or to a 'repro serve' backend with --url)")
     add_grid_arguments(submit_parser)
+    add_transport_arguments(submit_parser)
+    add_poll_argument(submit_parser)
     submit_parser.add_argument("--workers", type=int, default=2,
-                               help="service worker processes (default 2)")
+                               help="job worker processes (default 2)")
     submit_parser.add_argument("--name", default="", help="job display name")
-    submit_parser.add_argument("--poll", type=float, default=0.2,
-                               help="progress poll interval in seconds (default 0.2)")
-    submit_parser.add_argument("--jobs-dir", default=".repro-jobs",
-                               help="directory for job records (default .repro-jobs)")
+    submit_parser.add_argument("--detach", action="store_true",
+                               help="print the job id and return without "
+                                    "waiting; follow up with 'repro attach'")
     submit_parser.set_defaults(handler=_cmd_submit)
 
+    serve_parser = sub.add_parser(
+        "serve", help="run the HTTP solver service (submit/status/results/"
+                      "cancel + streaming progress, durable job records)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8731,
+                              help="bind port (default 8731)")
+    serve_parser.add_argument("--jobs-dir", default=".repro-jobs",
+                              help="durable job store directory "
+                                   "(default .repro-jobs)")
+    serve_parser.add_argument("--cache-dir", default="",
+                              help="on-disk result cache (default: "
+                                   "<jobs-dir>/cache)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="worker processes per job (default 2)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log requests to stderr")
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    status_parser = sub.add_parser(
+        "status", help="show one job's lifecycle status and progress")
+    status_parser.add_argument("job_id", help="job id (from 'repro submit')")
+    add_transport_arguments(status_parser)
+    status_parser.add_argument("--json", action="store_true",
+                               help="emit the full job record as JSON")
+    status_parser.set_defaults(handler=_cmd_status)
+
+    results_parser = sub.add_parser(
+        "results", help="wait for a job and print its result table")
+    results_parser.add_argument("job_id", help="job id (from 'repro submit')")
+    add_transport_arguments(results_parser)
+    add_poll_argument(results_parser)
+    results_parser.add_argument("--timeout", type=float, default=None,
+                                help="give up after this many seconds "
+                                     "(default: wait indefinitely)")
+    results_parser.add_argument("--csv", action="store_true",
+                                help="emit CSV instead of ASCII")
+    results_parser.set_defaults(handler=_cmd_results)
+
+    cancel_parser = sub.add_parser(
+        "cancel", help="cancel a job's not-yet-started instances")
+    cancel_parser.add_argument("job_id", help="job id (from 'repro submit')")
+    add_transport_arguments(cancel_parser)
+    cancel_parser.set_defaults(handler=_cmd_cancel)
+
+    attach_parser = sub.add_parser(
+        "attach", help="re-attach to a job by id: resume it if orphaned, "
+                       "stream progress, print the results")
+    attach_parser.add_argument("job_id", help="job id (from 'repro submit')")
+    add_transport_arguments(attach_parser)
+    add_poll_argument(attach_parser)
+    attach_parser.add_argument("--workers", type=int, default=2,
+                               help="worker processes if this attach resumes "
+                                    "the job (default 2)")
+    attach_parser.add_argument("--cache-dir", default="",
+                               help="result cache a resumed job reuses "
+                                    "(default: <jobs-dir>/cache)")
+    attach_parser.add_argument("--csv", action="store_true",
+                               help="emit CSV instead of ASCII")
+    attach_parser.set_defaults(handler=_cmd_attach)
+
     jobs_parser = sub.add_parser(
-        "jobs", help="list job records written by 'repro submit'")
-    jobs_parser.add_argument("--jobs-dir", default=".repro-jobs",
-                             help="directory of job records (default .repro-jobs)")
+        "jobs", help="list the job records of a job store or server")
+    add_transport_arguments(jobs_parser)
+    jobs_parser.add_argument("--strict", action="store_true",
+                             help="exit non-zero when any record is "
+                                  "unreadable instead of only warning")
     jobs_parser.set_defaults(handler=_cmd_jobs)
     return parser
 
@@ -500,6 +691,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return args.handler(args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        # results/attach polling deadlines (builtin TimeoutError, not a
+        # ReproError) must exit like any other CLI failure, not traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,21 @@
+"""HTTP solver service: ``repro serve`` and its embeddable server class.
+
+The server is a thin JSON front (stdlib ``http.server``, no dependencies)
+over the transports of :mod:`repro.api` — by default the durable
+:class:`~repro.api.client.DiskTransport`, so submitted jobs are recorded
+under the server's ``--jobs-dir`` and clients can detach and re-attach
+across their own restarts.
+
+From the command line::
+
+    python -m repro serve --port 8731 --jobs-dir .repro-jobs --workers 4
+
+and from a second machine::
+
+    python -m repro submit --url http://solver:8731 --classes chain --sizes 64
+    python -m repro attach <job-id> --url http://solver:8731
+"""
+
+from repro.server.http import SolverHTTPServer, serve
+
+__all__ = ["SolverHTTPServer", "serve"]

@@ -1,0 +1,298 @@
+"""The ``repro serve`` HTTP solver service (stdlib ``http.server`` only).
+
+A thin JSON front over any :class:`repro.api.client.Transport` — by
+default a :class:`~repro.api.client.DiskTransport`, so every job the
+server runs is durably recorded and clients can detach, die and re-attach
+at will.  Routes (all under :data:`repro.api.protocol.PROTOCOL_PREFIX`):
+
+=======  ==========================  ===========================================
+Method   Path                        Body / response
+=======  ==========================  ===========================================
+POST     ``/v1/jobs``                :class:`SweepRequest` wire -> job record
+GET      ``/v1/jobs``                ``{"jobs": [record, ...]}``
+GET      ``/v1/jobs/<id>``           job record
+GET      ``/v1/jobs/<id>/results``   result-table wire (409 until terminal)
+POST     ``/v1/jobs/<id>/cancel``    job record after the cancel
+GET      ``/v1/jobs/<id>/events``    chunked ndjson stream of progress events
+=======  ==========================  ===========================================
+
+Failures are **typed error bodies** (:func:`repro.api.protocol.error_to_wire`),
+mapped onto status codes: unknown job -> 404, malformed payload or
+schema-version mismatch -> 400, premature results -> 409, anything else
+-> 500 — so the HTTP transport re-raises the exact library exception the
+server hit.
+
+The event stream is genuinely incremental: HTTP/1.1 chunked transfer
+encoding, one JSON object per line, flushed as the job progresses, closed
+after the terminal event.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.api.client import DiskTransport, Transport
+from repro.api.protocol import (
+    PROTOCOL_PREFIX,
+    SCHEMA_VERSION,
+    SweepRequest,
+    error_to_wire,
+    table_to_wire,
+)
+from repro.utils.errors import (
+    JobStateError,
+    ReproError,
+    SchemaVersionError,
+    TransportError,
+    UnknownJobError,
+)
+
+_JOB_ROUTE = re.compile(
+    rf"^{re.escape(PROTOCOL_PREFIX)}/jobs/([^/]+)(?:/(results|cancel|events))?$")
+
+#: HTTP status for each typed failure (anything else is a 500).
+_STATUS_OF = (
+    (UnknownJobError, 404),
+    (SchemaVersionError, 400),
+    (JobStateError, 409),
+    (TransportError, 400),
+    (ReproError, 400),
+)
+
+
+def _status_for(exc: BaseException) -> int:
+    for cls, code in _STATUS_OF:
+        if isinstance(exc, cls):
+            return code
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-solver/1"
+
+    # the owning SolverHTTPServer sets this on the server object
+    @property
+    def transport(self) -> Transport:
+        return self.server.transport  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            sys.stderr.write("repro-serve: " + format % args + "\n")
+
+    def _send_json(self, payload: dict, *, status: int = 200) -> None:
+        body = json.dumps(payload, default=repr).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_body(self, exc: BaseException) -> None:
+        self._send_json(error_to_wire(exc), status=_status_for(exc))
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise TransportError("malformed request: empty body")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise TransportError(
+                f"malformed request: body is not JSON ({exc})") from exc
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == f"{PROTOCOL_PREFIX}/jobs":
+                if method == "POST":
+                    return self._submit()
+                return self._list_jobs()
+            match = _JOB_ROUTE.match(path)
+            if match:
+                job_id, verb = match.group(1), match.group(2)
+                if verb is None and method == "GET":
+                    return self._status(job_id)
+                if verb == "results" and method == "GET":
+                    return self._results(job_id)
+                if verb == "cancel" and method == "POST":
+                    return self._cancel(job_id)
+                if verb == "events" and method == "GET":
+                    return self._events(job_id)
+            raise UnknownJobError(
+                f"no route {method} {path}; see {PROTOCOL_PREFIX}/jobs")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:
+            try:
+                self._send_error_body(exc)
+            except BrokenPipeError:  # pragma: no cover - client went away
+                pass
+
+    # ------------------------------------------------------------------ #
+    # verbs
+    # ------------------------------------------------------------------ #
+    def _submit(self) -> None:
+        request = SweepRequest.from_wire(self._read_body())
+        record = self.transport.submit(request)
+        self._send_json(record.to_wire())
+
+    def _list_jobs(self) -> None:
+        records, skipped = self.transport.scan_jobs()
+        self._send_json({"schema_version": SCHEMA_VERSION,
+                         "jobs": [r.to_wire() for r in records],
+                         "skipped": [list(pair) for pair in skipped]})
+
+    def _status(self, job_id: str) -> None:
+        self._send_json(self.transport.status(job_id).to_wire())
+
+    def _results(self, job_id: str) -> None:
+        record = self.transport.status(job_id)
+        if not record.terminal:
+            raise JobStateError(
+                f"job {job_id} is still {record.status} "
+                f"({record.done}/{record.total} done); poll "
+                f"{PROTOCOL_PREFIX}/jobs/{job_id} until it is terminal"
+            )
+        table = self.transport.fetch_results(job_id)
+        self._send_json(table_to_wire(table))
+
+    def _cancel(self, job_id: str) -> None:
+        self._send_json(self.transport.cancel(job_id).to_wire())
+
+    def _events(self, job_id: str) -> None:
+        self.transport.status(job_id)  # 404 before committing to a stream
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        # from here on the headers are gone: a failure mid-stream must be
+        # delivered as an in-band error *line* (the client transport
+        # re-raises it), never as a second HTTP response into the body
+        try:
+            try:
+                for event in self.transport.events(job_id, poll_interval=0.05):
+                    self._write_chunk(
+                        json.dumps(event.to_wire()).encode("utf-8") + b"\n")
+            except BrokenPipeError:
+                raise
+            except Exception as exc:
+                self._write_chunk(
+                    json.dumps(error_to_wire(exc)).encode("utf-8") + b"\n")
+            self._write_chunk(b"")  # terminating zero-length chunk
+        except BrokenPipeError:  # pragma: no cover - client went away
+            self.close_connection = True
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        if data:
+            self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
+
+
+class SolverHTTPServer:
+    """A running solver service bound to ``host:port``.
+
+    Wraps a :class:`ThreadingHTTPServer` (one thread per request, so a
+    streaming ``/events`` consumer never blocks a ``/jobs`` poll) around
+    any transport.  Usable programmatically (tests bind port 0) or via
+    ``repro serve``.
+    """
+
+    def __init__(self, transport: Transport, *, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False) -> None:
+        self.transport = transport
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.transport = transport  # type: ignore[attr-defined]
+        self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.host
+        if ":" in host:  # pragma: no cover - IPv6 literal
+            host = f"[{host}]"
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "SolverHTTPServer":
+        """Serve on a background thread (for tests and embedding)."""
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` foreground)."""
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self.transport.close()
+
+    def __enter__(self) -> "SolverHTTPServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
+def serve(*, host: str = "127.0.0.1", port: int = 8731,
+          jobs_dir: str = ".repro-jobs", cache_dir: str | None = None,
+          workers: int = 2, use_threads: bool = False,
+          verbose: bool = False) -> int:
+    """Run the solver service in the foreground (the ``repro serve`` body).
+
+    Jobs are executed by a :class:`DiskTransport`, so every submission is
+    durably recorded under ``jobs_dir`` and survives a server restart as a
+    re-attachable record.  Returns the process exit code.
+    """
+    transport = DiskTransport(jobs_dir, cache_dir=cache_dir, workers=workers,
+                              use_threads=use_threads)
+    try:
+        server = SolverHTTPServer(transport, host=host, port=port,
+                                  verbose=verbose)
+    except OSError as exc:
+        print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    print(f"repro solver service on {server.url} "
+          f"(jobs: {transport.store.directory}, workers: {workers}); "
+          "Ctrl+C to stop", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.httpd.server_close()
+        transport.close()
+    return 0

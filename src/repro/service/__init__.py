@@ -1,6 +1,6 @@
-"""Async solver-service front-end: submit grids, poll jobs, await results.
+"""In-process solver pool: submit grids, poll jobs, await results.
 
-This subsystem turns the batch engine into a concurrent service:
+This subsystem turns the batch engine into a concurrent pool:
 :class:`SolverService` accepts submissions (problem lists or sweep grids),
 runs them on a worker pool behind :class:`~repro.service.jobs.JobHandle`
 objects, and exposes completion synchronously (``handle.results()``) and
@@ -8,6 +8,14 @@ asynchronously (``await handle``).  Per-instance failures are captured as
 ``ok=False`` rows — a job never dies half way — and a shared
 :class:`repro.cache.ResultCache` answers repeated instances without
 touching the pool.
+
+Since the :mod:`repro.api` redesign this is the *execution engine* behind
+the transport-agnostic client protocol: :class:`repro.api.LocalTransport`
+wraps a ``SolverService`` directly, and the durable disk / HTTP transports
+run one under their job runners.  ``SolverService`` keeps its original
+surface for backward compatibility — new code should prefer
+:class:`repro.api.SolverClient`, which speaks the same protocol against
+in-process, on-disk and remote backends.
 
 From the command line::
 

@@ -86,6 +86,44 @@ class UnknownOptionError(InvalidOptionError):
     """
 
 
+class SchemaVersionError(ReproError):
+    """A persisted document carries an unsupported ``schema_version``.
+
+    Raised by the loaders of job records, shard dumps and wire envelopes
+    when the stored version is newer than (or unintelligible to) this
+    build, instead of failing obscurely mid-merge or mid-attach.  The
+    message names the document, the found version and the supported one.
+    """
+
+
+class TransportError(ReproError):
+    """A client transport failed to reach or understand its backend.
+
+    Raised by the :mod:`repro.api` transports for connection failures,
+    non-JSON responses, and server-side errors that do not map to a more
+    specific library exception.
+    """
+
+
+class UnknownJobError(TransportError):
+    """No job with the requested id exists on the queried backend.
+
+    The disk job store raises it for missing record files, the HTTP server
+    returns it as a 404 with a typed error body, and the client transports
+    re-raise it — so ``repro status <typo>`` fails identically against
+    every transport.
+    """
+
+
+class JobStateError(TransportError):
+    """A job operation is illegal in the job's current lifecycle state.
+
+    Examples: transitioning a terminal (``done``/``cancelled``/``failed``)
+    record, or fetching the results of a job that has not finished (the
+    HTTP server's 409).
+    """
+
+
 class ShardError(ReproError):
     """A shard specification is malformed.
 

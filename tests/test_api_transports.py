@@ -1,0 +1,570 @@
+"""Tests for the transport-agnostic client API (:mod:`repro.api`).
+
+Covers: the wire protocol envelopes (round-trips, malformed payloads,
+schema-version rejection), the durable job store (atomic transitions,
+typed load failures), transport parity (the same sweep submitted via
+Local, Disk and HTTP transports yields identical result tables and job
+records), disk re-attach/resume after a "process restart", the HTTP error
+paths (unknown job, malformed payload, version mismatch -> 4xx typed
+bodies), the streaming progress events, the shared exponential-backoff
+polling, and the reworked CLI verbs (submit --detach / attach / status /
+results / cancel / jobs --strict).
+"""
+
+from __future__ import annotations
+
+import json
+import itertools
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    DiskTransport,
+    HTTPTransport,
+    JobRecord,
+    JobStore,
+    LocalTransport,
+    ProgressEvent,
+    SolverClient,
+    SweepRequest,
+    backoff_intervals,
+    table_from_wire,
+    table_to_wire,
+)
+from repro.api.protocol import error_to_wire, raise_wire_error
+from repro.batch import rows_signature, sweep
+from repro.server import SolverHTTPServer
+from repro.utils.errors import (
+    InvalidModelError,
+    JobStateError,
+    SchemaVersionError,
+    TransportError,
+    UnknownJobError,
+)
+from repro.utils.tables import Table
+
+REQUEST = SweepRequest(graph_classes=("chain",), sizes=(6, 8),
+                       slacks=(1.5,), repetitions=1, seed=7, name="parity")
+
+
+def reference_signature():
+    table = sweep(graph_classes=("chain",), sizes=(6, 8), slacks=(1.5,),
+                  repetitions=1, seed=7)
+    return rows_signature(table)
+
+
+@pytest.fixture(scope="module")
+def http_server(tmp_path_factory):
+    transport = DiskTransport(tmp_path_factory.mktemp("server-jobs"),
+                              use_threads=True)
+    with SolverHTTPServer(transport).start() as server:
+        yield server
+
+
+@pytest.fixture
+def make_client(tmp_path, http_server):
+    """Factory building a fresh client for a named transport."""
+    opened = []
+
+    def build(kind: str) -> SolverClient:
+        if kind == "local":
+            client = SolverClient(LocalTransport(workers=2, use_threads=True))
+        elif kind == "disk":
+            client = SolverClient(DiskTransport(tmp_path / "jobs",
+                                                use_threads=True))
+        elif kind == "http":
+            client = SolverClient(HTTPTransport(http_server.url))
+        else:  # pragma: no cover - guard against fixture typos
+            raise ValueError(kind)
+        opened.append(client)
+        return client
+
+    yield build
+    for client in opened:
+        client.close()
+
+
+class TestBackoff:
+    def test_intervals_grow_exponentially_and_cap(self):
+        schedule = list(itertools.islice(
+            backoff_intervals(0.1, factor=2.0, maximum=1.0), 6))
+        assert schedule == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            next(backoff_intervals(0.0))
+        with pytest.raises(ValueError, match="factor"):
+            next(backoff_intervals(0.1, factor=0.5))
+
+
+class TestProtocolEnvelopes:
+    def test_sweep_request_round_trip(self):
+        request = SweepRequest(graph_classes=("tree",), sizes=(16,),
+                               slacks=(1.2, 2.0), model="discrete",
+                               method="heuristic", options={"greedy_threshold": 64},
+                               shard="2/3", priors={"": (0.5, 2.0)},
+                               name="rt")
+        again = SweepRequest.from_wire(request.to_wire())
+        assert again == request
+        assert again.shard_spec().index == 1
+        assert again.fit_priors() == {None: (0.5, 2.0)}
+
+    def test_sweep_request_rejects_malformed_payloads(self):
+        with pytest.raises(TransportError, match="JSON object"):
+            SweepRequest.from_wire([1, 2, 3])
+        with pytest.raises(TransportError, match="unknown fields"):
+            SweepRequest.from_wire({"sizes": [8], "bogus": 1})
+        with pytest.raises(TransportError, match="malformed"):
+            SweepRequest.from_wire({"sizes": "not-a-list-of-ints"})
+        with pytest.raises(InvalidModelError):
+            SweepRequest.from_wire({"model": "quantum"})
+
+    def test_schema_version_rejected(self):
+        payload = REQUEST.to_wire()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError, match="schema_version"):
+            SweepRequest.from_wire(payload)
+        with pytest.raises(SchemaVersionError):
+            JobRecord.from_wire({"job_id": "j", "schema_version": "nope"})
+
+    def test_job_record_round_trip_and_bad_status(self):
+        record = JobRecord(job_id="job-1", name="n", status="running",
+                           created_at=1.0, total=4, done=2, failed=1,
+                           cache_hits=1, shard="1/2", fingerprint="abc")
+        assert JobRecord.from_wire(record.to_wire()) == record
+        assert not record.terminal
+        with pytest.raises(TransportError, match="unknown status"):
+            JobRecord.from_wire({"job_id": "j", "status": "exploded"})
+
+    def test_table_round_trip_keeps_manifest(self):
+        table = Table(columns=["a", "b"], rows=[[1, 2.5], [3, None]], title="t")
+        table.manifest = {"fingerprint": "f", "grid": [[1, 2]]}
+        again = table_from_wire(table_to_wire(table))
+        assert again.columns == ["a", "b"]
+        assert again.rows == [[1, 2.5], [3, None]]
+        assert again.manifest == table.manifest
+        with pytest.raises(TransportError, match="columns"):
+            table_from_wire({"rows": []})
+        with pytest.raises(TransportError, match="do not match"):
+            table_from_wire({"schema_version": 1, "columns": ["a"],
+                             "rows": [[1, 2]]})
+
+    def test_typed_errors_survive_the_wire(self):
+        body = error_to_wire(UnknownJobError("no job 'x'"))
+        with pytest.raises(UnknownJobError, match="no job"):
+            raise_wire_error(body)
+        with pytest.raises(TransportError, match="Exotic"):
+            raise_wire_error({"error": {"type": "Exotic", "message": "m"}})
+        with pytest.raises(TransportError):
+            raise_wire_error("not an error body")
+
+    def test_progress_event_round_trip(self):
+        event = ProgressEvent(job_id="j", seq=3, status="done", done=4,
+                              total=4, failed=0, cache_hits=2, timestamp=9.0)
+        assert ProgressEvent.from_wire(event.to_wire()) == event
+        assert event.terminal
+
+
+class TestJobStore:
+    def test_missing_corrupt_and_newer_records_are_typed(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(UnknownJobError):
+            store.load("job-none")
+        (tmp_path / "job-bad.json").write_text("{ truncated")
+        with pytest.raises(TransportError, match="corrupt"):
+            store.load("job-bad")
+        (tmp_path / "job-new.json").write_text(json.dumps(
+            {"job_id": "job-new", "schema_version": SCHEMA_VERSION + 7}))
+        with pytest.raises(SchemaVersionError):
+            store.load("job-new")
+
+    def test_lifecycle_transitions_are_enforced(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.create(REQUEST)
+        job_id = record["job_id"]
+        with pytest.raises(JobStateError, match="illegal"):
+            store.transition(job_id, "done")  # pending cannot jump to done
+        store.transition(job_id, "running")
+        store.transition(job_id, "running", done=1)  # progress update edge
+        store.transition(job_id, "done")
+        assert store.record(job_id).terminal
+        with pytest.raises(JobStateError, match="terminal"):
+            store.transition(job_id, "running")
+        with pytest.raises(JobStateError, match="unknown job status"):
+            store.transition(job_id, "paused")
+
+    def test_update_respects_the_lifecycle_too(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        with pytest.raises(JobStateError, match="status"):
+            store.update(job_id, status="done")  # no side-channel edges
+        store.transition(job_id, "running")
+        store.update(job_id, done=1)
+        store.transition(job_id, "done")
+        with pytest.raises(JobStateError, match="terminal"):
+            store.update(job_id, done=2)  # terminal records are immutable
+
+    def test_reclaim_only_takes_running_records_back(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        with pytest.raises(JobStateError, match="reclaim"):
+            store.reclaim(job_id)  # pending is not reclaimable
+        store.transition(job_id, "running")
+        assert store.reclaim(job_id)["status"] == "pending"
+
+    def test_scan_reports_skips_without_hiding_records(self, tmp_path):
+        store = JobStore(tmp_path)
+        good = store.create(REQUEST)["job_id"]
+        (tmp_path / "garbage.json").write_text("not json at all")
+        records, skipped = store.scan()
+        assert [r["job_id"] for r in records] == [good]
+        assert len(skipped) == 1 and skipped[0][0] == "garbage.json"
+
+    def test_stored_request_is_resumable(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        assert store.request(job_id) == REQUEST
+
+
+class TestTransportParity:
+    """The acceptance criterion: one scenario, three transports, same rows."""
+
+    def test_same_sweep_same_results_everywhere(self, make_client):
+        signatures = {}
+        records = {}
+        for kind in ("local", "disk", "http"):
+            client = make_client(kind)
+            record = client.submit(REQUEST)
+            assert record.job_id
+            table = client.results(record.job_id, timeout=120)
+            signatures[kind] = rows_signature(table)
+            records[kind] = client.status(record.job_id)
+        reference = reference_signature()
+        assert signatures["local"] == signatures["disk"] == \
+            signatures["http"] == reference
+        for kind, record in records.items():
+            assert record.status == "done", kind
+            assert (record.total, record.done, record.failed) == (2, 2, 0), kind
+            assert record.name == "parity", kind
+
+    @pytest.mark.parametrize("kind", ["local", "disk", "http"])
+    def test_job_listing_and_unknown_job(self, make_client, kind):
+        client = make_client(kind)
+        record = client.submit(REQUEST)
+        client.wait(record.job_id, timeout=120)
+        listed = {r.job_id for r in client.jobs()}
+        assert record.job_id in listed
+        with pytest.raises(UnknownJobError):
+            client.status("job-does-not-exist")
+
+    @pytest.mark.parametrize("kind", ["local", "disk", "http"])
+    def test_cancel_on_a_terminal_job_is_a_no_op(self, make_client, kind):
+        client = make_client(kind)
+        record = client.submit(REQUEST)
+        client.wait(record.job_id, timeout=120)
+        after = client.cancel(record.job_id)
+        assert after.status == "done"
+
+    @pytest.mark.parametrize("kind", ["local", "disk", "http"])
+    def test_events_end_with_a_terminal_event(self, make_client, kind):
+        client = make_client(kind)
+        record = client.submit(REQUEST)
+        events = list(client.events(record.job_id, timeout=120))
+        assert events, "at least the terminal event must be emitted"
+        assert events[-1].terminal and events[-1].status == "done"
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+        assert events[-1].done == events[-1].total == 2
+
+
+class TestDiskDurability:
+    def test_detached_submit_stays_pending_then_resumes(self, tmp_path):
+        transport = DiskTransport(tmp_path, use_threads=True)
+        record = transport.submit(REQUEST, start=False)
+        assert transport.status(record.job_id).status == "pending"
+        transport.close()
+
+        # "restart": a brand-new transport over the same directory
+        reborn = DiskTransport(tmp_path, use_threads=True)
+        attached = reborn.attach(record.job_id)
+        assert attached.status in ("pending", "running", "done")
+        table = reborn.results(record.job_id, timeout=120)
+        assert rows_signature(table) == reference_signature()
+        assert reborn.status(record.job_id).status == "done"
+        reborn.close()
+
+    def test_orphaned_running_record_is_resumed_on_attach(self, tmp_path):
+        transport = DiskTransport(tmp_path, use_threads=True)
+        record = transport.submit(REQUEST, start=False)
+        # simulate a runner that died mid-job in another process long ago
+        # (no heartbeat at all reads as maximally stale)
+        transport.store.transition(record.job_id, "running")
+        attached = transport.attach(record.job_id)
+        table = transport.results(record.job_id, timeout=120)
+        assert attached.job_id == record.job_id
+        assert rows_signature(table) == reference_signature()
+        transport.close()
+
+    def test_attach_never_duplicates_a_live_runner(self, tmp_path):
+        import time
+
+        transport = DiskTransport(tmp_path, use_threads=True)
+        record = transport.submit(REQUEST, start=False)
+        # a running record with a *fresh* heartbeat belongs to a live
+        # process somewhere: attach must follow it, not fork a second run
+        transport.store.transition(record.job_id, "running",
+                                   runner_pid=99999,
+                                   runner_heartbeat=time.time())
+        observer = DiskTransport(tmp_path, use_threads=True)
+        attached = observer.attach(record.job_id)
+        assert attached.status == "running"
+        assert not observer._runners, "attach spawned a duplicate runner"
+        # once the heartbeat goes stale the same attach call resumes it
+        observer.store.update(record.job_id,
+                              runner_heartbeat=time.time() - 3600)
+        observer.attach(record.job_id)
+        table = observer.results(record.job_id, timeout=120)
+        assert rows_signature(table) == reference_signature()
+        observer.close()
+        transport.close()
+
+    def test_resume_is_served_warm_from_the_shared_cache(self, tmp_path):
+        cache_dir = tmp_path / "shared-cache"
+        first = DiskTransport(tmp_path / "jobs-a", cache_dir=str(cache_dir),
+                              use_threads=True)
+        record = first.submit(REQUEST)
+        first.results(record.job_id, timeout=120)
+        first.close()
+
+        # a partially-complete job elsewhere resumes against the same
+        # cache: every already-solved cell comes back as a warm hit
+        second = DiskTransport(tmp_path / "jobs-b", cache_dir=str(cache_dir),
+                               use_threads=True)
+        detached = second.submit(REQUEST, start=False)
+        second.attach(detached.job_id)
+        table = second.results(detached.job_id, timeout=120)
+        assert all(table.column("cache_hit"))
+        assert rows_signature(table) == reference_signature()
+        assert second.status(detached.job_id).cache_hits == 2
+        second.close()
+
+    def test_cancel_of_a_pending_job_needs_no_runner(self, tmp_path):
+        transport = DiskTransport(tmp_path, use_threads=True)
+        record = transport.submit(REQUEST, start=False)
+        cancelled = transport.cancel(record.job_id)
+        assert cancelled.status == "cancelled"
+        # results of a never-started job: an empty sweep-shaped table
+        table = transport.results(record.job_id, timeout=5)
+        assert len(table) == 0 and "graph_class" in table.columns
+        transport.close()
+
+    def test_local_jobs_do_not_survive_by_design(self):
+        client = SolverClient(LocalTransport(workers=1, use_threads=True))
+        record = client.submit(REQUEST)
+        client.wait(record.job_id, timeout=120)
+        other = SolverClient(LocalTransport(workers=1, use_threads=True))
+        with pytest.raises(UnknownJobError, match="restart"):
+            other.status(record.job_id)
+        client.close()
+        other.close()
+
+
+class TestHTTPErrorPaths:
+    def _post(self, url, payload):
+        data = payload if isinstance(payload, bytes) else \
+            json.dumps(payload).encode("utf-8")
+        req = urllib.request.Request(url, data=data, method="POST",
+                                     headers={"Content-Type": "application/json"})
+        return urllib.request.urlopen(req, timeout=30)
+
+    def test_unknown_job_is_a_404_with_a_typed_body(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{http_server.url}/v1/jobs/job-nope",
+                                   timeout=30)
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["type"] == "UnknownJobError"
+
+    def test_malformed_payload_is_a_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{http_server.url}/v1/jobs", b"this is not json")
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["type"] == \
+            "TransportError"
+
+    def test_schema_version_mismatch_is_a_400(self, http_server):
+        payload = REQUEST.to_wire()
+        payload["schema_version"] = SCHEMA_VERSION + 5
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{http_server.url}/v1/jobs", payload)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["type"] == \
+            "SchemaVersionError"
+        # and the transport re-raises it as the typed exception
+        client = SolverClient(HTTPTransport(http_server.url))
+        with pytest.raises(SchemaVersionError):
+            client.transport._call("POST", "/jobs", body=payload)
+
+    def test_premature_results_are_a_409(self, http_server):
+        # a record parked as pending on the server's own store
+        record = http_server.transport.submit(REQUEST, start=False)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"{http_server.url}/v1/jobs/{record.job_id}/results",
+                timeout=30)
+        assert excinfo.value.code == 409
+        assert json.loads(excinfo.value.read())["error"]["type"] == \
+            "JobStateError"
+
+    def test_unknown_route_is_a_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{http_server.url}/v1/frobnicate",
+                                   timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_http_transport_rejects_non_http_urls(self):
+        with pytest.raises(TransportError, match="http"):
+            HTTPTransport("ftp://nope")
+
+
+class TestShardDumpSchemaVersion:
+    def test_unknown_dump_version_is_rejected(self, tmp_path):
+        from repro.batch import dump_payload, load_shard_dump
+
+        table = sweep(graph_classes=("chain",), sizes=(6,), slacks=(1.5,),
+                      seed=3)
+        payload = dump_payload(table)
+        assert payload["schema_version"] == 1
+        payload["schema_version"] = 99
+        path = tmp_path / "newer.json"
+        path.write_text(json.dumps(payload, default=repr))
+        with pytest.raises(SchemaVersionError, match="schema_version 99"):
+            load_shard_dump(path)
+
+    def test_legacy_dump_without_the_field_still_loads(self, tmp_path):
+        from repro.batch import dump_payload, load_shard_dump
+
+        table = sweep(graph_classes=("chain",), sizes=(6,), slacks=(1.5,),
+                      seed=3)
+        payload = dump_payload(table)
+        del payload["schema_version"]
+        del payload["version"]
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(payload, default=repr))
+        assert len(load_shard_dump(path).rows) == 1
+
+
+class TestCliVerbs:
+    def test_detach_attach_status_results_cycle(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs_dir = str(tmp_path / "jobs")
+        code = main(["submit", "--classes", "chain", "--sizes", "6",
+                     "--seed", "3", "--jobs-dir", jobs_dir, "--detach"])
+        assert code == 0
+        job_id = capsys.readouterr().out.strip()
+        assert job_id.startswith("job-")
+
+        assert main(["status", job_id, "--jobs-dir", jobs_dir]) == 0
+        assert "pending" in capsys.readouterr().out
+
+        code = main(["attach", job_id, "--jobs-dir", jobs_dir, "--csv",
+                     "--poll-interval", "0.02"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("graph_class,")
+        assert "attached to" in captured.err
+
+        assert main(["results", job_id, "--jobs-dir", jobs_dir, "--csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2  # header + 1 row
+
+        assert main(["status", job_id, "--jobs-dir", jobs_dir, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["status"] == "done"
+
+    def test_unknown_job_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["status", "job-nope", "--jobs-dir", str(tmp_path)])
+        assert code == 2
+        assert "no job" in capsys.readouterr().err
+
+    def test_cancel_pending_job(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs_dir = str(tmp_path / "jobs")
+        main(["submit", "--classes", "chain", "--sizes", "6", "--seed", "3",
+              "--jobs-dir", jobs_dir, "--detach"])
+        job_id = capsys.readouterr().out.strip()
+        assert main(["cancel", job_id, "--jobs-dir", jobs_dir]) == 0
+        assert "cancelled" in capsys.readouterr().err
+
+    def test_jobs_strict_flags_corrupt_records(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs_dir = tmp_path / "jobs"
+        main(["submit", "--classes", "chain", "--sizes", "6", "--seed", "3",
+              "--jobs-dir", str(jobs_dir), "--detach"])
+        capsys.readouterr()
+        (jobs_dir / "broken.json").write_text("{ nope")
+
+        assert main(["jobs", "--jobs-dir", str(jobs_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "1 job record(s), 1 skipped" in captured.out
+        assert "broken.json" in captured.err
+
+        assert main(["jobs", "--jobs-dir", str(jobs_dir), "--strict"]) == 1
+        assert "--strict" in capsys.readouterr().err
+
+    def test_jobs_footer_counts_clean_listings(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["jobs", "--jobs-dir", str(tmp_path / "empty")]) == 0
+        assert "no job records" in capsys.readouterr().out
+
+    def test_results_timeout_exits_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs_dir = str(tmp_path / "jobs")
+        main(["submit", "--classes", "chain", "--sizes", "6", "--seed", "3",
+              "--jobs-dir", jobs_dir, "--detach"])
+        job_id = capsys.readouterr().out.strip()
+        # the job is parked (never started): a bounded wait must exit 2
+        # with an 'error:' line, not dump a TimeoutError traceback
+        code = main(["results", job_id, "--jobs-dir", jobs_dir,
+                     "--timeout", "0.2", "--poll-interval", "0.02"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_jobs_strict_audits_a_remote_store(self, tmp_path_factory, capsys):
+        from repro.cli import main
+        from repro.server import SolverHTTPServer
+
+        jobs_dir = tmp_path_factory.mktemp("strict-srv")
+        transport = DiskTransport(jobs_dir, use_threads=True)
+        (jobs_dir / "rotten.json").write_text("{ definitely not json")
+        with SolverHTTPServer(transport).start() as server:
+            assert main(["jobs", "--url", server.url]) == 0
+            captured = capsys.readouterr()
+            assert "1 skipped" in captured.out
+            assert "rotten.json" in captured.err
+            assert main(["jobs", "--url", server.url, "--strict"]) == 1
+
+    def test_http_cli_round_trip(self, http_server, capsys):
+        from repro.cli import main
+
+        code = main(["submit", "--classes", "chain", "--sizes", "6",
+                     "--seed", "5", "--url", http_server.url, "--detach"])
+        assert code == 0
+        job_id = capsys.readouterr().out.strip()
+
+        code = main(["attach", job_id, "--url", http_server.url, "--csv",
+                     "--poll-interval", "0.02"])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("graph_class,")
+
+        assert main(["jobs", "--url", http_server.url]) == 0
+        assert job_id in capsys.readouterr().out
