@@ -72,6 +72,16 @@ class BatchResult:
         """Whether this result was served from the result cache."""
         return bool(self.metadata.get("cache_hit"))
 
+    @property
+    def build_seconds(self) -> float | None:
+        """Model-materialisation time the solver reported (modeling layer)."""
+        return self.metadata.get("build_seconds")
+
+    @property
+    def solve_seconds(self) -> float | None:
+        """Backend solve time the solver reported (modeling layer)."""
+        return self.metadata.get("solve_seconds")
+
 
 @dataclass(frozen=True)
 class _WorkItem:

@@ -48,7 +48,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Columns of the table returned by :func:`sweep`, one row per instance.
 SWEEP_COLUMNS = (
     "graph_class", "n_tasks", "slack", "alpha", "seed", "ok", "solver",
-    "energy", "makespan", "seconds", "cache_hit", "error",
+    "energy", "makespan", "seconds", "build_seconds", "solve_seconds",
+    "cache_hit", "error",
     "shard_index", "shard_count", "grid_fingerprint",
 )
 
@@ -255,7 +256,9 @@ def sweep_table(coords: Sequence[tuple], results: Sequence[BatchResult], *,
         cls, n, slack, alpha, instance_seed = coord
         table.add_row(cls, n, slack, alpha, instance_seed,
                       result.ok, result.solver, result.energy,
-                      result.makespan, result.seconds, result.cache_hit,
+                      result.makespan, result.seconds,
+                      result.build_seconds, result.solve_seconds,
+                      result.cache_hit,
                       result.error, shard_index, shard_count, fingerprint)
     return table
 

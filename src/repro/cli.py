@@ -119,7 +119,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         deadline = args.slack * longest_path_length(
             graph, weight=lambda n: graph.work(n) / s_max)
     problem = MinEnergyProblem(graph=graph, deadline=deadline, model=model)
-    solution = solve(problem, method=args.method or None, exact=args.exact or None)
+    options = {"backend": args.backend} if args.backend else {}
+    solution = solve(problem, method=args.method or None,
+                     exact=args.exact or None, options=options or None)
     check_solution(solution)
     payload = {
         "graph": graph.name,
@@ -134,6 +136,38 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         "speeds": {k: round(v, 9) for k, v in sorted(solution.speeds().items())},
     }
     print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.modeling import BACKENDS
+    from repro.solve import ensure_backends_loaded
+
+    # the solver packages announce their model routes at import time
+    ensure_backends_loaded()
+    entries = BACKENDS.describe()
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    for entry in entries:
+        status = "available" if entry["available"] else \
+            f"unavailable ({entry['reason']})"
+        tags = []
+        if entry["optional"]:
+            tags.append("optional")
+        for kind in entry["default_for"]:
+            tags.append(f"default for {kind}")
+        tag_text = f" [{', '.join(tags)}]" if tags else ""
+        print(f"{entry['name']}  ({', '.join(entry['kinds'])})  "
+              f"{status}{tag_text}")
+        if entry["doc"]:
+            print(f"    {entry['doc']}")
+        if entry["routes"]:
+            print(f"    routes: {', '.join(entry['routes'])}")
+        for name, doc in entry["options"].items():
+            print(f"    --{name}: {doc}" if doc else f"    --{name}")
+    n_available = sum(1 for e in entries if e["available"])
+    print(f"{len(entries)} registered backend(s), {n_available} available")
     return 0
 
 
@@ -509,7 +543,18 @@ def build_parser() -> argparse.ArgumentParser:
     solve_parser.add_argument("--method", default="",
                               help="registered solver method (e.g. gp-slsqp, lp, "
                                    "heuristic); default: the model's default backend")
+    solve_parser.add_argument("--backend", default="",
+                              help="modeling-layer LP/convex backend for methods "
+                                   "that accept one (see 'repro backends'); an "
+                                   "unknown name fails with the available set")
     solve_parser.set_defaults(handler=_cmd_solve)
+
+    backends_parser = sub.add_parser(
+        "backends", help="list the registered LP/convex modeling backends, "
+                         "their availability and options")
+    backends_parser.add_argument("--json", action="store_true",
+                                 help="emit the registry description as JSON")
+    backends_parser.set_defaults(handler=_cmd_backends)
 
     exp_parser = sub.add_parser("experiment", help="regenerate an experiment table (E1-E10)")
     exp_parser.add_argument("experiment_id", nargs="?", default="",

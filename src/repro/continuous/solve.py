@@ -34,6 +34,7 @@ from repro.continuous.sparse import solve_general_convex_sparse
 from repro.continuous.series_parallel import solve_series_parallel
 from repro.continuous.tree import is_tree, solve_tree
 from repro.graphs.sp_decomposition import NotSeriesParallelError
+from repro.modeling import BACKENDS
 from repro.utils.errors import InvalidGraphError, InvalidModelError, SolverError
 
 #: General DAGs above this task count are dispatched to the sparse
@@ -156,10 +157,14 @@ REGISTRY.register(
         OptionSpec("warm_start", (str,), default="forest",
                    choices=("forest", "uniform"),
                    doc="critical-forest tree projection or uniform scaling"),
+        OptionSpec("backend", (str,), default="mehrotra-ipm",
+                   doc="convex backend registered on repro.modeling.BACKENDS"),
     ),
     doc="Sparse primal-dual interior point over the CSR precedence "
         "polytope; no task-count cap (10k-task general DAGs).",
 )(solve_general_convex_sparse)
+
+BACKENDS.announce_route("convex", "continuous/convex-sparse")
 
 
 def _closed_form(problem: MinEnergyProblem) -> Solution:

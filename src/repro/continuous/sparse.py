@@ -6,9 +6,10 @@ it densely — O(n³) per iteration, gigabytes of memory, and a hard
 ``max_dense_tasks`` ceiling.  This module is the sparse replacement that
 takes general DAGs to 10,000 tasks:
 
-* the precedence polytope is assembled once as a ``scipy.sparse`` CSR
-  matrix straight from the graph's cached :class:`~repro.graphs.taskgraph.
-  GraphIndex` edge arrays (no dense row buffers at any point);
+* the normalised convex program is *declared* through
+  :mod:`repro.modeling` — one ``d`` block, one ``t`` block, the shared
+  precedence polytope — and materialises to one CSR system (no dense row
+  buffers at any point);
 * transitively redundant precedence rows are pruned first with a
   vectorised two-hop bitset filter (an Erdős-layered 2,000-task DAG keeps
   ~4% of its 300k edges — every dropped row is implied by a longer path,
@@ -17,11 +18,14 @@ takes general DAGs to 10,000 tasks:
   critical spanning forest and runs the O(n) iterative Theorem-2 tree
   machinery on it, then scale-repairs the result back into the
   critical-path polytope of the full DAG;
-* the convex program itself is solved by a primal-dual Mehrotra
-  predictor-corrector interior-point iteration whose KKT systems are the
-  sparse 2n x 2n matrices ``H + Gᵀ diag(λ/s) G`` (same sparsity as the
-  DAG), factorised with SuperLU — ~25-60 factorisations regardless of
-  size, each O(nnz) for these structures.
+* the convex program itself is handed to a backend registered on
+  :data:`repro.modeling.BACKENDS` — by default ``mehrotra-ipm``, the
+  primal-dual Mehrotra predictor-corrector interior point (formerly
+  private to this module, now :mod:`repro.modeling.backends.mehrotra`)
+  whose KKT systems are the sparse 2n x 2n matrices
+  ``H + Gᵀ diag(λ/s) G`` (same sparsity as the DAG), factorised with
+  SuperLU — ~25-60 factorisations regardless of size, each O(nnz) for
+  these structures.
 
 The entry point :func:`solve_general_convex_sparse` is registered as the
 ``convex-sparse`` backend of the Continuous model and is what
@@ -46,7 +50,6 @@ from typing import Any
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import splu
 
 from repro.core.problem import MinEnergyProblem
 from repro.core.solution import (
@@ -58,16 +61,8 @@ from repro.core.solution import (
 )
 from repro.graphs.analysis import longest_path_length
 from repro.graphs.taskgraph import GraphIndex, Task, TaskGraph
+from repro.modeling import BACKENDS, ConvexModel, declare_precedence
 from repro.utils.errors import SolverError
-
-#: Fraction-to-boundary factor of the interior-point steps.
-_TAU = 0.995
-
-#: Largest per-iteration relative change of any duration; keeps the Newton
-#: model of the ``d**-alpha`` objective trustworthy (without it the
-#: iteration can oscillate between two near-optimal clusters on loose
-#: deadlines).
-_MAX_REL_STEP = 0.5
 
 
 def prune_redundant_edges(idx: GraphIndex) -> tuple[np.ndarray, np.ndarray]:
@@ -107,31 +102,47 @@ def prune_redundant_edges(idx: GraphIndex) -> tuple[np.ndarray, np.ndarray]:
     return esrc[keep], edst[keep]
 
 
+def declare_continuous_program(n: int, esrc: np.ndarray, edst: np.ndarray,
+                               d_lower: np.ndarray,
+                               works: np.ndarray | None = None,
+                               alpha: float | None = None) -> ConvexModel:
+    """Declare the normalised Continuous program as a :class:`ConvexModel`.
+
+    Variable layout ``x = [d_0..d_{n-1}, t_0..t_{n-1}]`` (normalised time,
+    deadline = 1).  Inequality rows, in materialisation order:
+
+    * one per precedence edge ``(u, v)``: ``t_u - t_v + d_v <= 0``;
+    * one per task: ``d_i - t_i <= 0`` (start times are non-negative);
+    * one per task: ``t_i <= 1`` (the deadline, a folded upper bound);
+    * one per task: ``-d_i <= -d_lower_i`` (the speed cap, a folded lower
+      bound).
+
+    When ``works``/``alpha`` are given the energy objective
+    ``sum w_i**alpha * d_i**(1 - alpha)`` is declared on the ``d`` block.
+    """
+    model = ConvexModel(name="continuous-sparse")
+    d = model.add_variables("d", n, lower=np.asarray(d_lower, dtype=float))
+    t = model.add_variables("t", n, lower=None, upper=1.0)
+    if works is not None and alpha is not None:
+        model.add_power_objective(d, np.asarray(works, dtype=float) ** alpha,
+                                  1.0 - alpha)
+    declare_precedence(
+        model, completion=t, duration_block=d,
+        duration_cols=np.arange(n, dtype=np.int64).reshape(n, 1),
+        edge_src=esrc, edge_dst=edst)
+    return model
+
+
 def build_sparse_constraints(n: int, esrc: np.ndarray, edst: np.ndarray,
                              d_lower: np.ndarray
                              ) -> tuple[sparse.csr_matrix, np.ndarray]:
     """CSR inequality system ``G x <= h`` of the normalised program.
 
-    Variable layout ``x = [d_0..d_{n-1}, t_0..t_{n-1}]`` (normalised time,
-    deadline = 1).  Rows, in order:
-
-    * one per precedence edge ``(u, v)``: ``t_u - t_v + d_v <= 0``;
-    * one per task: ``d_i - t_i <= 0`` (start times are non-negative);
-    * one per task: ``t_i <= 1`` (the deadline);
-    * one per task: ``-d_i <= -d_lower_i`` (the speed cap).
-
-    Assembly is pure array concatenation — no dense row is ever built.
+    A thin view over :func:`declare_continuous_program`'s materialisation,
+    kept for callers (and tests) that want the raw arrays.
     """
-    m = len(esrc)
-    ar = np.arange(n)
-    rows = np.concatenate([np.arange(m)] * 3
-                          + [m + ar, m + ar, m + n + ar, m + 2 * n + ar])
-    cols = np.concatenate([n + esrc, n + edst, edst, ar, n + ar, n + ar, ar])
-    data = np.concatenate([np.ones(m), -np.ones(m), np.ones(m),
-                           np.ones(n), -np.ones(n), np.ones(n), -np.ones(n)])
-    g_matrix = sparse.csr_matrix((data, (rows, cols)), shape=(m + 3 * n, 2 * n))
-    h = np.concatenate([np.zeros(m + n), np.ones(n), -d_lower])
-    return g_matrix, h
+    mat = declare_continuous_program(n, esrc, edst, d_lower).materialize()
+    return mat.g_matrix, mat.h
 
 
 def _forest_warm_start(problem: MinEnergyProblem, idx: GraphIndex,
@@ -220,117 +231,12 @@ def _interior_start(idx: GraphIndex, d_feas: np.ndarray, d_lower: np.ndarray
     return np.concatenate([d0, t0])
 
 
-def _max_step(values: np.ndarray, deltas: np.ndarray) -> float:
-    """Largest step in ``[0, 1]`` keeping ``values + step * deltas > 0``."""
-    negative = deltas < 0
-    if not negative.any():
-        return 1.0
-    return min(1.0, _TAU * float(np.min(-values[negative] / deltas[negative])))
-
-
-def _primal_dual_ipm(idx: GraphIndex, works: np.ndarray, d_lower: np.ndarray,
-                     alpha: float, x0: np.ndarray, *, prune: bool,
-                     max_iterations: int, tolerance: float
-                     ) -> tuple[np.ndarray, dict[str, Any]]:
-    """Mehrotra predictor-corrector iteration on the normalised program.
-
-    Minimises ``sum w_i**alpha * d_i**(1 - alpha)`` over the sparse
-    precedence polytope.  Each iteration factorises one sparse SPD matrix
-    ``H + Gᵀ diag(λ/s) G`` (SuperLU) and reuses the factorisation for the
-    predictor and corrector solves; linear constraints mean the iterates
-    stay exactly primal-feasible, so stopping early still leaves a point
-    the caller can repair.  Returns the final ``x = [d, t]`` and a
-    diagnostics dict (iterations, duality gap, convergence flag, pruned
-    row counts).
-    """
-    n = idx.n_tasks
-    esrc, edst = (prune_redundant_edges(idx) if prune
-                  else (idx.edge_src, idx.edge_dst))
-    g_matrix, h = build_sparse_constraints(n, esrc, edst, d_lower)
-    g_t = sparse.csr_matrix(g_matrix.T)
-    n_cons = g_matrix.shape[0]
-
-    x = x0.copy()
-    s = h - g_matrix @ x
-    if not (s > 0).all():  # defensive: the interior start guarantees this
-        raise SolverError("interior-point start is not strictly feasible")
-    lam = np.clip(1.0 / s, 1e-6, 1e8)
-    w_alpha = works ** alpha
-    zeros_t = np.zeros(n)
-
-    def objective(d: np.ndarray) -> float:
-        return float(np.sum(w_alpha * d ** (1.0 - alpha)))
-
-    converged = False
-    gap = float(s @ lam)
-    iteration = 0
-    for iteration in range(1, max_iterations + 1):
-        d = x[:n]
-        grad = np.concatenate([(1.0 - alpha) * w_alpha * d ** (-alpha), zeros_t])
-        hess_d = alpha * (alpha - 1.0) * w_alpha * d ** (-alpha - 1.0)
-        gap = float(s @ lam)
-        dual_residual = grad + g_t @ lam
-        grad_scale = max(1.0, float(np.abs(grad).max()))
-        if (gap < tolerance * max(1.0, abs(objective(d)))
-                and float(np.abs(dual_residual).max()) < 1e-6 * grad_scale):
-            converged = True
-            break
-
-        weights = lam / s
-        kkt = (sparse.diags(np.concatenate([hess_d, zeros_t]))
-               + g_t @ sparse.diags(weights) @ g_matrix).tocsc()
-        # primal regularisation: the t-block has no Hessian of its own, and
-        # a non-critical completion time with no tight row would otherwise
-        # leave a (near-)singular pivot
-        regularisation = 1e-9 * max(1.0, float(np.mean(hess_d)))
-        kkt = kkt + sparse.identity(2 * n, format="csc") * regularisation
-        try:
-            lu = splu(kkt)
-        except RuntimeError:
-            kkt = kkt + sparse.identity(2 * n, format="csc") * (regularisation * 1e4)
-            lu = splu(kkt)
-
-        # predictor: pure Newton step towards complementarity zero
-        dx_aff = lu.solve(-grad)
-        ds_aff = -(g_matrix @ dx_aff)
-        dlam_aff = (-lam * s - lam * ds_aff) / s
-        step_p = _max_step(s, ds_aff)
-        step_d = _max_step(lam, dlam_aff)
-        gap_aff = float((s + step_p * ds_aff) @ (lam + step_d * dlam_aff))
-        sigma = (max(gap_aff, 0.0) / gap) ** 3
-
-        # corrector: recentre to sigma * mu with the Mehrotra correction,
-        # reusing the factorisation
-        mu_target = sigma * gap / n_cons
-        correction = (mu_target - ds_aff * dlam_aff) / s
-        dx = lu.solve(-grad - g_t @ correction)
-        ds = -(g_matrix @ dx)
-        dlam = (mu_target - ds_aff * dlam_aff - lam * s - lam * ds) / s
-        step_p = _max_step(s, ds)
-        step_d = _max_step(lam, dlam)
-        relative_move = float(np.max(np.abs(dx[:n]) / x[:n])) if n else 0.0
-        if relative_move * step_p > _MAX_REL_STEP:
-            step_p = _MAX_REL_STEP / relative_move
-        x = x + step_p * dx
-        s = s + step_p * ds
-        lam = lam + step_d * dlam
-
-    diagnostics = {
-        "iterations": iteration,
-        "duality_gap": gap,
-        "converged": converged,
-        "n_constraints": int(n_cons),
-        "n_edges_total": int(idx.n_edges),
-        "n_edges_pruned": int(idx.n_edges - len(esrc)),
-    }
-    return x, diagnostics
-
-
 def solve_general_convex_sparse(problem: MinEnergyProblem, *,
                                 max_iterations: int = 200,
                                 tolerance: float = 1e-9,
                                 prune: bool = True,
-                                warm_start: str = "forest") -> Solution:
+                                warm_start: str = "forest",
+                                backend: str = "mehrotra-ipm") -> Solution:
     """Sparse interior-point Continuous solver for arbitrary DAGs.
 
     The large-n counterpart of :func:`repro.continuous.general.
@@ -345,9 +251,10 @@ def solve_general_convex_sparse(problem: MinEnergyProblem, *,
         honoured.
     max_iterations:
         Cap on interior-point iterations (each is one sparse
-        factorisation; typical instances converge in 25-60).
+        factorisation; typical instances converge in 25-60).  Passed to
+        the backend when it declares the option.
     tolerance:
-        Relative duality-gap target of the stopping test.
+        Relative duality-gap target of the stopping test (ditto).
     prune:
         Drop transitively redundant precedence rows first (two-hop bitset
         filter); identical optimum, much sparser KKT systems on dense
@@ -356,6 +263,10 @@ def solve_general_convex_sparse(problem: MinEnergyProblem, *,
         ``"forest"`` (default) projects onto the critical spanning forest
         via the iterative tree machinery; ``"uniform"`` uses the plain
         uniform-scaling point.
+    backend:
+        Any convex backend registered on :data:`repro.modeling.BACKENDS`
+        (default ``"mehrotra-ipm"``; optional ``"cvxpy"``/``"ecos"``/
+        ``"scs"`` when installed).
 
     Raises
     ------
@@ -363,12 +274,15 @@ def solve_general_convex_sparse(problem: MinEnergyProblem, *,
         If the deadline cannot be met at the maximum speed.
     SolverError
         For an unknown ``warm_start`` or a graph with no work.
+    UnknownBackendError
+        If no registered convex backend matches ``backend``.
     """
     if warm_start not in ("forest", "uniform"):
         raise SolverError(
             f"convex-sparse got unknown warm_start {warm_start!r} "
             "(use 'forest' or 'uniform')"
         )
+    entry = BACKENDS.resolve(backend, kind="convex")
     problem.ensure_feasible()
     graph = problem.graph
     idx = graph.index()
@@ -431,13 +345,25 @@ def solve_general_convex_sparse(problem: MinEnergyProblem, *,
             metadata={"stage": "speed-cap-saturated", "iterations": 0},
         )
 
-    x, diagnostics = _primal_dual_ipm(
-        idx, works, d_lower, alpha, x0, prune=prune,
-        max_iterations=max_iterations, tolerance=tolerance)
+    esrc, edst = (prune_redundant_edges(idx) if prune
+                  else (idx.edge_src, idx.edge_dst))
+    model = declare_continuous_program(n, esrc, edst, d_lower,
+                                       works=works, alpha=alpha)
+    # pass only the options the chosen backend declares (cvxpy-family
+    # backends have no iteration/tolerance knobs)
+    options = {name: value
+               for name, value in (("max_iterations", max_iterations),
+                                   ("tolerance", tolerance))
+               if entry.accepts(name)}
+    result = BACKENDS.solve(model, backend=backend, options=options,
+                            hints={"x0": x0})
+    x = result.x
+    diagnostics = result.metadata
 
     best_d = np.clip(x[:n], d_lower, 1.0)
     overshoot = makespan_of(best_d)
-    ipm_stage = "ipm" if diagnostics["converged"] else "ipm-iteration-cap"
+    converged = bool(diagnostics.get("converged", True))
+    ipm_stage = "ipm" if converged else "ipm-iteration-cap"
     if overshoot > 1.0:
         best_d = np.maximum(best_d / overshoot, d_lower)
         ipm_stage += "-scale-repair"
@@ -459,11 +385,16 @@ def solve_general_convex_sparse(problem: MinEnergyProblem, *,
     assignment = SpeedAssignment(speeds)
     metadata: dict[str, Any] = {
         "stage": stage,
-        "iterations": diagnostics["iterations"],
-        "converged": diagnostics["converged"],
-        "duality_gap": diagnostics["duality_gap"],
-        "n_constraints": diagnostics["n_constraints"],
-        "n_edges_pruned": diagnostics["n_edges_pruned"],
+        "iterations": int(diagnostics.get("iterations", 0)),
+        "converged": converged,
+        "duality_gap": diagnostics.get("duality_gap", 0.0),
+        "n_constraints": int(diagnostics.get("n_constraints",
+                                             model.materialize().g_matrix.shape[0])),
+        "n_edges_pruned": int(idx.n_edges - len(esrc)),
+        "backend": diagnostics.get("backend", backend),
+        "build_seconds": diagnostics.get("build_seconds"),
+        "solve_seconds": diagnostics.get("solve_seconds"),
+        "model_fingerprint": diagnostics.get("model_fingerprint"),
         "objective": float(assignment.energy(graph, problem.power)),
     }
     return make_solution(problem, assignment, solver="continuous-convex-sparse",

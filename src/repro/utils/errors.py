@@ -86,6 +86,29 @@ class UnknownOptionError(InvalidOptionError):
     """
 
 
+class UnknownBackendError(SolverError, InvalidOptionError):
+    """No registered modeling backend matches the requested name.
+
+    Raised by :class:`repro.modeling.backends.BackendRegistry` when a solve
+    names a backend nobody registered, or one that does not consume the
+    model's kind (an LP backend asked to run a convex program).  The message
+    lists the backends that *are* registered and available.  The dual
+    parentage keeps both historical contracts: direct solver calls catch
+    backend failures as :class:`SolverError`, while registry-dispatched
+    calls see a bad ``backend=`` option as an :class:`InvalidOptionError`.
+    """
+
+
+class BackendUnavailableError(SolverError):
+    """A registered optional backend is not usable in this environment.
+
+    Raised when resolving a probe-gated backend (``cvxpy``/``ecos``/``scs``)
+    whose import probe failed — the package is simply not installed.  The
+    message carries the probe's reason so ``repro backends`` and the skip
+    messages of the parity suite can show exactly what is missing.
+    """
+
+
 class SchemaVersionError(ReproError):
     """A persisted document carries an unsupported ``schema_version``.
 

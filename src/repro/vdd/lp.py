@@ -14,37 +14,35 @@ Linear program
 The LP has ``n * m + n`` variables and ``n + |E| + n`` constraints, so it is
 solved in polynomial time — this is exactly the argument of Theorem 3.
 
-Both constraint matrices are assembled directly in ``scipy.sparse`` CSR
-form from the graph's cached integer index — no dense row buffers, no
-``np.vstack`` — so a 10,000-task instance costs megabytes instead of the
-~GBs its dense equivalent would (each precedence row holds ``m + 2``
-non-zeros out of ``n * m + n`` columns).  :meth:`VddLP.constraint_memory`
-reports the actual sparse footprint next to the dense equivalent.
+The program is *declared* through :mod:`repro.modeling` — two named
+variable blocks, the work-completion equalities, and the shared precedence
+polytope via :func:`repro.modeling.declare_precedence` — and materialises
+to sparse CSR exactly once.  No dense row buffers, no hand-rolled COO: a
+10,000-task instance costs megabytes instead of the ~GBs its dense
+equivalent would (each precedence row holds ``m + 2`` non-zeros out of
+``n * m + n`` columns).  :meth:`VddLP.constraint_memory` reports the
+actual sparse footprint next to the dense equivalent.
 
-Two backends are available: SciPy's HiGHS (default), which consumes the
-sparse matrices natively, and the library's own educational dense simplex
-(:mod:`repro.vdd.simplex`), which densifies the system behind an explicit
-size guard so the reproduction's central polynomial-time result does not
-rest on an external black box (and cannot silently allocate gigabytes).
+Any LP backend registered on :data:`repro.modeling.BACKENDS` can consume
+the result: SciPy's HiGHS (default, sparse-native), the library's own
+educational dense simplex (size-guarded), or the optional cvxpy-family
+backends when installed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
 
 import numpy as np
-from scipy import optimize, sparse
+from scipy import sparse
 
 from repro.core.models import VddHoppingModel
 from repro.core.problem import MinEnergyProblem
 from repro.core.solution import HoppingAssignment, Solution, make_solution
-from repro.utils.errors import InvalidModelError, SolverError
-from repro.vdd.simplex import solve_lp_simplex
+from repro.modeling import BACKENDS, LinearModel, SIMPLEX_MAX_VARIABLES, declare_precedence
+from repro.utils.errors import InvalidModelError
 
-#: Largest variable count the educational dense simplex backend accepts
-#: before densifying the sparse system (the tableau is dense O(rows·cols)).
-SIMPLEX_MAX_VARIABLES = 5000
+__all__ = ["SIMPLEX_MAX_VARIABLES", "VddLP", "build_vdd_lp", "solve_vdd_lp"]
 
 
 @dataclass
@@ -52,7 +50,9 @@ class VddLP:
     """The assembled LP in matrix form, plus the variable index maps.
 
     ``a_ub`` and ``a_eq`` are ``scipy.sparse`` CSR matrices; use
-    ``.toarray()`` for a dense view on small instances.
+    ``.toarray()`` for a dense view on small instances.  ``model`` is the
+    underlying :class:`repro.modeling.LinearModel` declaration — hand it to
+    :data:`repro.modeling.BACKENDS` to solve with any registered backend.
     """
 
     c: np.ndarray
@@ -63,6 +63,7 @@ class VddLP:
     bounds: list[tuple[float, float | None]]
     task_names: list[str]
     modes: tuple[float, ...]
+    model: LinearModel
 
     @property
     def n_tasks(self) -> int:
@@ -91,8 +92,8 @@ class VddLP:
                 "dense_equivalent_bytes": int(dense_bytes)}
 
 
-def build_vdd_lp(problem: MinEnergyProblem) -> VddLP:
-    """Assemble the Vdd-Hopping LP for a problem instance (sparse CSR)."""
+def declare_vdd_lp(problem: MinEnergyProblem) -> LinearModel:
+    """Declare the Vdd-Hopping LP as a :class:`repro.modeling.LinearModel`."""
     model = problem.model
     if not isinstance(model, VddHoppingModel):
         raise InvalidModelError(
@@ -100,114 +101,44 @@ def build_vdd_lp(problem: MinEnergyProblem) -> VddLP:
         )
     graph = problem.graph
     idx = graph.index()
-    names = list(idx.names)
-    n = len(names)
-    modes = model.modes
-    modes_arr = np.asarray(modes, dtype=float)
-    m = len(modes)
-    deadline = problem.deadline
-    n_vars = n * m + n
+    n = idx.n_tasks
+    modes_arr = np.asarray(model.modes, dtype=float)
+    m = len(model.modes)
 
-    c = np.zeros(n_vars)
-    c[:n * m] = np.tile(np.array([problem.power.power(s) for s in modes]), n)
+    lm = LinearModel(name="vdd-hopping-lp")
+    time = lm.add_variables("time", n * m, lower=0.0)
+    completion = lm.add_variables("completion", n, lower=0.0,
+                                  upper=problem.deadline)
+    lm.add_objective(time, np.tile(
+        np.array([problem.power.power(s) for s in model.modes]), n))
 
     # equality: work completion — row i holds the mode speeds over the
-    # time[i, :] block, so the CSR arrays are one tile/repeat each
-    a_eq = sparse.csr_matrix(
-        (np.tile(modes_arr, n),
-         np.arange(n * m, dtype=np.int64),
-         np.arange(0, n * m + 1, m, dtype=np.int64)),
-        shape=(n, n_vars),
-    )
-    b_eq = idx.works.astype(float).copy()
+    # time[i, :] block
+    lm.add_constraints(
+        "work", sense="eq", rhs=idx.works.astype(float),
+        terms=[(time,
+                np.repeat(np.arange(n, dtype=np.int64), m),
+                np.arange(n * m, dtype=np.int64),
+                np.tile(modes_arr, n))])
 
-    # inequalities (<= 0 form): precedence rows then start-time rows, both
-    # built as flat COO triplets straight from the index's edge arrays
-    esrc, edst = idx.edge_src, idx.edge_dst
-    n_edges = len(esrc)
-    n_rows = n_edges + n
-    edge_rows = np.arange(n_edges, dtype=np.int64)
-    start_rows = n_edges + np.arange(n, dtype=np.int64)
-    mode_offsets = np.arange(m, dtype=np.int64)
-    rows = np.concatenate([
-        edge_rows,                          # t_u
-        edge_rows,                          # -t_v
-        np.repeat(edge_rows, m),            # + duration of v
-        start_rows,                         # -t_i
-        np.repeat(start_rows, m),           # + duration of i
-    ])
-    cols = np.concatenate([
-        n * m + esrc,
-        n * m + edst,
-        (edst[:, None] * m + mode_offsets).ravel(),
-        n * m + np.arange(n, dtype=np.int64),
-        (np.arange(n, dtype=np.int64)[:, None] * m + mode_offsets).ravel(),
-    ])
-    data = np.concatenate([
-        np.ones(n_edges), -np.ones(n_edges), np.ones(n_edges * m),
-        -np.ones(n), np.ones(n * m),
-    ])
-    a_ub = sparse.csr_matrix((data, (rows, cols)), shape=(n_rows, n_vars))
-    b_ub = np.zeros(n_rows)
-
-    bounds: list[tuple[float, float | None]] = (
-        [(0.0, None)] * (n * m) + [(0.0, deadline)] * n)
-
-    return VddLP(c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds,
-                 task_names=names, modes=modes)
+    # the shared precedence polytope: task i's duration is the sum of its
+    # per-mode time variables
+    declare_precedence(
+        lm, completion=completion, duration_block=time,
+        duration_cols=np.arange(n * m, dtype=np.int64).reshape(n, m),
+        edge_src=idx.edge_src, edge_dst=idx.edge_dst)
+    return lm
 
 
-def _solve_backend(lp: VddLP, backend: str) -> tuple[np.ndarray, float, dict[str, Any]]:
-    """Solve the LP with the requested backend; return (x, objective, metadata)."""
-    if backend == "highs":
-        # HiGHS consumes the CSR matrices natively.  Past ~20k variables the
-        # interior-point variant finishes in tens of iterations where the
-        # dual simplex walks tens of thousands of vertices (6-7x wall time
-        # at n=10k), so pick it explicitly for large instances.
-        method = "highs-ipm" if lp.c.size > 20_000 else "highs"
-        result = optimize.linprog(
-            lp.c, A_ub=lp.a_ub, b_ub=lp.b_ub, A_eq=lp.a_eq, b_eq=lp.b_eq,
-            bounds=lp.bounds, method=method,
-        )
-        if not result.success:
-            raise SolverError(
-                f"HiGHS failed on the Vdd-Hopping LP: {result.message} (status {result.status})"
-            )
-        return result.x, float(result.fun), {"backend": "highs",
-                                             "highs_method": method,
-                                             "iterations": int(result.nit)}
-    if backend == "simplex":
-        # the educational simplex works on a dense tableau: densify behind
-        # an explicit guard so a 10k-task instance cannot silently ask for
-        # gigabytes (use the HiGHS backend there — it stays sparse)
-        n_vars = lp.c.size
-        if n_vars > SIMPLEX_MAX_VARIABLES:
-            raise SolverError(
-                f"the dense simplex backend is educational and capped at "
-                f"{SIMPLEX_MAX_VARIABLES} variables; this LP has {n_vars} "
-                f"({lp.n_tasks} tasks x {lp.n_modes} modes) — use "
-                "backend='highs', which consumes the sparse matrices natively"
-            )
-        extra_rows = []
-        extra_rhs = []
-        for j, (lo, hi) in enumerate(lp.bounds):
-            if lo != 0.0:
-                raise SolverError("simplex backend expects zero lower bounds")
-            if hi is not None:
-                row = np.zeros(n_vars)
-                row[j] = 1.0
-                extra_rows.append(row)
-                extra_rhs.append(hi)
-        a_ub_dense = lp.a_ub.toarray()
-        a_ub = np.vstack([a_ub_dense] + extra_rows) if extra_rows else a_ub_dense
-        b_ub = np.concatenate([lp.b_ub, np.asarray(extra_rhs)]) if extra_rhs else lp.b_ub
-        result = solve_lp_simplex(lp.c, a_ub=a_ub, b_ub=b_ub,
-                                  a_eq=lp.a_eq.toarray(), b_eq=lp.b_eq)
-        if result.status != "optimal":
-            raise SolverError(f"simplex backend reports the LP is {result.status}")
-        return result.x, result.objective, {"backend": "simplex",
-                                            "iterations": result.iterations}
-    raise SolverError(f"unknown LP backend {backend!r} (use 'highs' or 'simplex')")
+def build_vdd_lp(problem: MinEnergyProblem) -> VddLP:
+    """Assemble the Vdd-Hopping LP for a problem instance (sparse CSR)."""
+    lm = declare_vdd_lp(problem)
+    mat = lm.materialize()
+    idx = problem.graph.index()
+    return VddLP(c=mat.c, a_ub=mat.a_ub, b_ub=mat.b_ub, a_eq=mat.a_eq,
+                 b_eq=mat.b_eq, bounds=mat.bounds,
+                 task_names=list(idx.names), modes=problem.model.modes,
+                 model=lm)
 
 
 def solve_vdd_lp(problem: MinEnergyProblem, *, backend: str = "highs") -> Solution:
@@ -218,19 +149,24 @@ def solve_vdd_lp(problem: MinEnergyProblem, *, backend: str = "highs") -> Soluti
     problem:
         The instance; its model must be a :class:`VddHoppingModel`.
     backend:
-        ``"highs"`` (SciPy, default) or ``"simplex"`` (the library's own
-        solver, intended for small instances and cross-checks).
+        Any LP backend registered on :data:`repro.modeling.BACKENDS` —
+        ``"highs"`` (default, sparse-native), ``"simplex"`` (the library's
+        own solver, intended for small instances and cross-checks), or an
+        optional backend such as ``"cvxpy"`` when installed.
 
     Raises
     ------
     InfeasibleProblemError
         If the deadline cannot be met at the fastest mode.
+    UnknownBackendError
+        If no registered LP backend matches ``backend``.
     SolverError
         If the LP backend fails.
     """
     problem.ensure_feasible()
     lp = build_vdd_lp(problem)
-    x, objective, metadata = _solve_backend(lp, backend)
+    result = BACKENDS.solve(lp.model, backend=backend)
+    x = result.x
 
     graph = problem.graph
     segments: dict[str, list[tuple[float, float]]] = {}
@@ -256,7 +192,8 @@ def solve_vdd_lp(problem: MinEnergyProblem, *, backend: str = "highs") -> Soluti
         segments[name] = segs
 
     assignment = HoppingAssignment(segments=segments)
-    metadata["lp_objective"] = objective
+    metadata = dict(result.metadata)
+    metadata["lp_objective"] = result.objective
     metadata["n_variables"] = int(lp.c.size)
     metadata["n_constraints"] = int(lp.a_ub.shape[0] + lp.a_eq.shape[0])
     metadata.update(lp.constraint_memory())

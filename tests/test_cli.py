@@ -95,6 +95,46 @@ class TestExperimentCommand:
         assert args.shard == "2/3" and args.out == "s.json"
         args = parser.parse_args(["merge", "a.json", "b.json", "--csv"])
         assert args.dumps == ["a.json", "b.json"]
+        args = parser.parse_args(["solve", "g.json", "--backend", "simplex"])
+        assert args.backend == "simplex"
+        args = parser.parse_args(["backends", "--json"])
+        assert args.command == "backends" and args.json
+
+
+class TestBackendsCommand:
+    def test_lists_registered_backends_with_availability(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("highs", "simplex", "mehrotra-ipm", "cvxpy"):
+            assert name in out
+        assert "registered backend(s)" in out
+        # the probe-gated optional entries always appear, marked either way
+        assert "optional" in out
+
+    def test_json_output_matches_the_live_registry(self, capsys):
+        from repro.modeling import BACKENDS
+
+        assert main(["backends", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {e["name"] for e in entries} == set(BACKENDS.names())
+        assert len(entries) >= 4
+        highs = next(e for e in entries if e["name"] == "highs")
+        assert highs["available"] and "vdd-hopping/lp" in highs["routes"]
+
+    def test_solve_backend_flag_routes_to_the_registry(self, graph_file, capsys):
+        code = main(["solve", str(graph_file), "--model", "vdd",
+                     "--backend", "simplex"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["solver"] == "vdd-lp-simplex"
+
+    def test_solve_unknown_backend_names_the_available_set(self, graph_file,
+                                                           capsys):
+        code = main(["solve", str(graph_file), "--model", "vdd",
+                     "--backend", "cplex"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err and "highs" in err
 
 
 class TestJobsCommand:
