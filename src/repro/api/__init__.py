@@ -25,14 +25,22 @@ machine, watched from a second and collected from a third::
 """
 
 from repro.api.client import (
+    HEARTBEAT_SECONDS,
+    STALE_RUNNER_SECONDS,
     DiskTransport,
     HTTPTransport,
     LocalTransport,
     SolverClient,
     Transport,
     backoff_intervals,
+    default_worker_id,
 )
-from repro.api.jobstore import JOB_RECORD_KIND, JobStore, new_job_id
+from repro.api.jobstore import (
+    JOB_RECORD_KIND,
+    JobStore,
+    new_job_id,
+    record_orphaned,
+)
 from repro.api.protocol import (
     JOB_STATUSES,
     PROTOCOL_PREFIX,
@@ -49,10 +57,12 @@ from repro.api.protocol import (
 )
 
 __all__ = [
+    "HEARTBEAT_SECONDS",
     "JOB_RECORD_KIND",
     "JOB_STATUSES",
     "PROTOCOL_PREFIX",
     "SCHEMA_VERSION",
+    "STALE_RUNNER_SECONDS",
     "TERMINAL_STATUSES",
     "DiskTransport",
     "HTTPTransport",
@@ -65,8 +75,10 @@ __all__ = [
     "Transport",
     "backoff_intervals",
     "check_schema_version",
+    "default_worker_id",
     "error_to_wire",
     "new_job_id",
+    "record_orphaned",
     "raise_wire_error",
     "table_from_wire",
     "table_to_wire",

@@ -36,13 +36,19 @@ from __future__ import annotations
 import http.client as httpclient
 import json
 import os
+import random
+import socket
 import threading
 import time
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
-from repro.api.jobstore import JobStore, new_job_id
+from repro.api.jobstore import (
+    JobStore,
+    new_job_id,
+    record_orphaned,
+)
 from repro.api.protocol import (
     PROTOCOL_PREFIX,
     JobRecord,
@@ -63,22 +69,46 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service import SolverService
 
 
+#: Jitter fraction of the shared *remote*-polling paths (``wait``,
+#: ``events``, the fleet worker's claim loop).  1.0 is AWS-style full
+#: jitter: each sleep is uniform over ``(0, interval]``, so a fleet of
+#: pollers that started in lockstep decorrelates within one cycle instead
+#: of stampeding ``repro serve`` together.
+POLL_JITTER = 1.0
+
+
 def backoff_intervals(initial: float = 0.05, *, factor: float = 1.6,
-                      maximum: float = 2.0) -> Iterator[float]:
+                      maximum: float = 2.0, jitter: float = 0.0,
+                      rng: "random.Random | None" = None) -> Iterator[float]:
     """Yield an unbounded exponential backoff schedule of sleep intervals.
 
     Starts at ``initial`` seconds and multiplies by ``factor`` until
     ``maximum`` is reached, then stays there — the shared schedule of every
     polling path (``repro submit``/``attach``/``status --watch`` and the
     transports' ``results``), replacing the old fixed-interval tight loop.
+
+    ``jitter`` in ``[0, 1]`` randomises each yielded interval downwards:
+    the value is drawn uniformly from ``[cap * (1 - jitter), cap]`` where
+    ``cap`` is the deterministic schedule's value, so ``jitter=1.0`` is
+    full jitter (uniform over ``(0, cap]``) and ``jitter=0.0`` (the
+    default) keeps the exact deterministic schedule.  A fleet of clients
+    polling one server should jitter — N workers that wake in the same
+    millisecond otherwise stay synchronized forever, hitting the server
+    as one thundering herd every cycle.  Pass ``rng`` to make a jittered
+    schedule reproducible in tests.
     """
     if initial <= 0:
         raise ValueError(f"initial poll interval must be > 0, got {initial}")
     if factor < 1.0:
         raise ValueError(f"backoff factor must be >= 1, got {factor}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be within [0, 1], got {jitter}")
+    if jitter and rng is None:
+        rng = random.Random()
     interval = initial
     while True:
-        yield min(interval, maximum)
+        cap = min(interval, maximum)
+        yield cap - cap * jitter * rng.random() if jitter else cap
         interval = min(interval * factor, maximum)
 
 
@@ -130,9 +160,9 @@ class Transport:
     # ------------------------------------------------------------------ #
     def wait(self, job_id: str, *, timeout: float | None = None,
              poll_interval: float = 0.05) -> JobRecord:
-        """Poll with exponential backoff until the job is terminal."""
+        """Poll with full-jitter exponential backoff until terminal."""
         deadline = None if timeout is None else time.monotonic() + timeout
-        for interval in backoff_intervals(poll_interval):
+        for interval in backoff_intervals(poll_interval, jitter=POLL_JITTER):
             record = self.status(job_id)
             if record.terminal:
                 return record
@@ -169,7 +199,7 @@ class Transport:
         deadline = None if timeout is None else time.monotonic() + timeout
         seq = 0
         last: tuple | None = None
-        for interval in backoff_intervals(poll_interval):
+        for interval in backoff_intervals(poll_interval, jitter=POLL_JITTER):
             record = self.status(job_id)
             key = (record.status, record.done, record.failed)
             if key != last:
@@ -318,12 +348,50 @@ class LocalTransport(Transport):
 # --------------------------------------------------------------------- #
 # durable disk transport
 # --------------------------------------------------------------------- #
-#: A ``running`` record whose runner heartbeat is older than this is
-#: considered orphaned (its process died) and may be resumed on attach.
+#: Default staleness threshold: a ``running`` record without a lease whose
+#: runner heartbeat is older than this is considered orphaned (its process
+#: died) and may be resumed on attach.  Override per transport with the
+#: ``stale_after=`` constructor argument or the
+#: ``REPRO_STALE_RUNNER_SECONDS`` environment variable.
 STALE_RUNNER_SECONDS = 10.0
 
-#: The runner refreshes its record heartbeat at least this often.
-_HEARTBEAT_SECONDS = 2.0
+#: Default heartbeat cadence: the runner refreshes its record heartbeat
+#: (and renews its lease) at least this often.  Override with the
+#: ``heartbeat_seconds=`` constructor argument or ``REPRO_HEARTBEAT_SECONDS``.
+#:
+#: **Invariant: the lease must outlive the heartbeat** —
+#: ``lease_seconds > heartbeat_seconds`` (in practice by >= 2x, the
+#: constructor enforces the strict inequality), otherwise a perfectly
+#: healthy runner's lease expires between two renewals and another worker
+#: "reclaims" a live job.
+HEARTBEAT_SECONDS = 2.0
+
+#: Backwards-compatible alias of :data:`HEARTBEAT_SECONDS`.
+_HEARTBEAT_SECONDS = HEARTBEAT_SECONDS
+
+
+def _env_seconds(name: str, default: float) -> float:
+    """A positive seconds value from the environment, else ``default``."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number of seconds, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0 seconds, got {raw!r}")
+    return value
+
+
+def default_worker_id() -> str:
+    """The ``host-pid`` worker identity used when none is configured."""
+    try:
+        host = socket.gethostname() or "localhost"
+    except OSError:  # pragma: no cover - exotic resolver failures
+        host = "localhost"
+    return f"{host}-{os.getpid()}"
 
 
 class DiskTransport(Transport):
@@ -347,12 +415,25 @@ class DiskTransport(Transport):
     ``start=False`` submits without executing (the CLI's ``--detach``
     against a plain directory): the record waits on disk until someone
     attaches.
+
+    Ownership timings are configurable per transport: ``stale_after``
+    (orphan threshold for legacy no-lease records), ``heartbeat_seconds``
+    (progress/renewal cadence) and ``lease_seconds`` (claim duration,
+    default ``stale_after``); each falls back to its
+    ``REPRO_STALE_RUNNER_SECONDS`` / ``REPRO_HEARTBEAT_SECONDS`` /
+    ``REPRO_LEASE_SECONDS`` environment variable before the module
+    default.  The constructor enforces the lease-outlives-heartbeat
+    invariant (see :data:`HEARTBEAT_SECONDS`).
     """
 
     def __init__(self, jobs_dir: "str | Any", *,
                  cache_dir: "str | None" = None,
                  cache: "ResultCache | None" = None,
-                 workers: int = 2, use_threads: bool = False) -> None:
+                 workers: int = 2, use_threads: bool = False,
+                 stale_after: float | None = None,
+                 heartbeat_seconds: float | None = None,
+                 lease_seconds: float | None = None,
+                 worker_id: str | None = None) -> None:
         self.store = JobStore(jobs_dir)
         self._cache = cache
         # default the cache next to the records so resume-after-crash works
@@ -361,6 +442,28 @@ class DiskTransport(Transport):
         self._cache_dir = cache_dir or str(self.store.directory / "cache")
         self._workers = workers
         self._use_threads = use_threads
+        self.stale_after = (stale_after if stale_after is not None else
+                            _env_seconds("REPRO_STALE_RUNNER_SECONDS",
+                                         STALE_RUNNER_SECONDS))
+        self.heartbeat_seconds = (
+            heartbeat_seconds if heartbeat_seconds is not None else
+            _env_seconds("REPRO_HEARTBEAT_SECONDS", HEARTBEAT_SECONDS))
+        self.lease_seconds = (lease_seconds if lease_seconds is not None else
+                              _env_seconds("REPRO_LEASE_SECONDS",
+                                           self.stale_after))
+        for name, value in (("stale_after", self.stale_after),
+                            ("heartbeat_seconds", self.heartbeat_seconds),
+                            ("lease_seconds", self.lease_seconds)):
+            if value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
+        if self.lease_seconds <= self.heartbeat_seconds:
+            raise ValueError(
+                f"lease_seconds ({self.lease_seconds}) must exceed "
+                f"heartbeat_seconds ({self.heartbeat_seconds}): a lease "
+                "shorter than the renewal cadence expires under a healthy "
+                "runner and invites spurious reclaims"
+            )
+        self.worker_id = worker_id or default_worker_id()
         self._runners: dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
 
@@ -406,7 +509,8 @@ class DiskTransport(Transport):
         with self._lock:
             live = job_id in self._runners
         try:
-            if live or not self._heartbeat_stale(payload):
+            if live or not record_orphaned(payload,
+                                           stale_after=self.stale_after):
                 # a runner (here or elsewhere) owns the record; it observes
                 # the flag at its next progress tick, cancels the pool
                 # futures and transitions
@@ -424,38 +528,29 @@ class DiskTransport(Transport):
         records, skipped = self.store.scan()
         return [JobRecord.from_wire(r) for r in records], skipped
 
-    @staticmethod
-    def _heartbeat_stale(payload: dict) -> bool:
-        try:
-            heartbeat = float(payload.get("runner_heartbeat") or 0.0)
-        except (TypeError, ValueError):
-            heartbeat = 0.0
-        return time.time() - heartbeat > STALE_RUNNER_SECONDS
-
     def attach(self, job_id: str) -> JobRecord:
         """Re-attach by id; resume the stored request if it is orphaned.
 
         A ``pending`` record (detached submit, or a submitter that died
         before starting) is started; a ``running`` record is resumed only
-        when no runner in this process owns it **and** its heartbeat is
-        stale — a fresh heartbeat means another process is executing the
-        job, and attaching must follow it, not fork a duplicate run.
-        Resuming is idempotent through the result cache: finished cells
-        are warm hits.
+        when no runner in this process owns it **and** its lease has
+        expired (legacy records: stale heartbeat) — a live lease means
+        another process is executing the job, and attaching must follow
+        it, not fork a duplicate run.  The runner claims through
+        :meth:`JobStore.claim`, so even two processes attaching the same
+        orphan in the same instant resolve to one execution.  Resuming is
+        idempotent through the result cache: finished cells are warm hits.
         """
         payload = self.store.load(job_id)
         status = payload.get("status")
         with self._lock:
             live = job_id in self._runners
-        if not live:
-            if status == "pending":
-                self._start_runner(job_id, self.store.request(job_id))
-            elif status == "running" and self._heartbeat_stale(payload):
-                request = self.store.request(job_id)
-                # the owning process died mid-run; take the record back to
-                # pending (the one sanctioned back-edge) and re-run it
-                self.store.reclaim(job_id)
-                self._start_runner(job_id, request)
+        if not live and (
+                status == "pending"
+                or (status == "running"
+                    and record_orphaned(payload,
+                                        stale_after=self.stale_after))):
+            self._start_runner(job_id, self.store.request(job_id))
         return self.store.record(job_id)
 
     def close(self) -> None:
@@ -475,12 +570,45 @@ class DiskTransport(Transport):
         thread.start()
 
     def _run(self, job_id: str, request: SweepRequest) -> None:
+        """Thread target: claim the record, then execute it to a terminal
+        state.  Losing the claim (another worker owns a live lease, or a
+        merge job's dependencies are not terminal yet) is not an error —
+        the record belongs to someone else and this runner walks away.
+        """
+        try:
+            try:
+                self.store.claim(job_id, self.worker_id, self.lease_seconds)
+            except JobStateError:
+                return
+            self.run_claimed(job_id, request)
+        finally:
+            with self._lock:
+                self._runners.pop(job_id, None)
+
+    def run_claimed(self, job_id: str, request: SweepRequest, *,
+                    should_stop: "Callable[[], bool] | None" = None) -> str:
+        """Execute a record this worker has already claimed; return the
+        final status (``done`` / ``cancelled`` / ``failed`` /
+        ``released`` / ``lost``).
+
+        The shared execution body of the transport's runner threads and
+        the ``repro work`` fleet loop.  Progress writes renew the lease
+        (heartbeat == renewal, one atomic write); ``should_stop`` is the
+        worker's shutdown flag — when it flips, the in-flight instances
+        are cancelled and the record is *released* back to ``pending`` so
+        any other worker picks it up immediately.  A ``JobStateError``
+        from a conditional write means the lease was lost to another
+        claimer: execution is abandoned without touching the record
+        (``lost``), so two live lease holders never both write rows.
+        """
         from repro.service import SolverService
 
+        if self.store.load(job_id).get("job_type") == "merge":
+            from repro.fleet.submit import execute_merge_job
+
+            return execute_merge_job(self.store, job_id,
+                                     worker_id=self.worker_id)
         try:
-            self.store.transition(job_id, "running",
-                                  runner_pid=os.getpid(),
-                                  runner_heartbeat=time.time())
             with SolverService(workers=self._workers,
                                use_threads=self._use_threads,
                                cache=self.cache) as service:
@@ -489,62 +617,83 @@ class DiskTransport(Transport):
                     exact=request.exact, options=request.options or None,
                     name=request.name or job_id, shard=request.shard_spec(),
                     priors=request.fit_priors())
-                self.store.update(job_id, total=handle.total,
+                self.store.update(job_id, expected_worker=self.worker_id,
+                                  total=handle.total,
                                   grid_fingerprint=handle.fingerprint,
                                   params=dict(handle.params))
-                cancelled = self._poll_to_completion(job_id, handle)
+                outcome = self._poll_to_completion(job_id, handle,
+                                                   should_stop=should_stop)
+                if outcome == "released":
+                    handle.cancel()
+                    self.store.release(job_id, self.worker_id)
+                    return "released"
                 table = service.job_table(handle.job_id, timeout=60)
             progress = handle.progress()
+            status = "cancelled" if outcome == "cancelled" else "done"
             self.store.transition(
-                job_id, "cancelled" if cancelled else "done",
+                job_id, status, expected_worker=self.worker_id,
                 done=progress.done, failed=progress.failed,
                 cache_hits=progress.cache_hits,
                 title=table.title, columns=list(table.columns),
                 rows=[list(row) for row in table.rows],
                 manifest=getattr(table, "manifest", None))
+            return status
+        except JobStateError:
+            # the lease was lost (reclaimed after an expiry) or the record
+            # was force-transitioned externally: never write over the new
+            # owner's work
+            return "lost"
         except Exception as exc:  # the record must reflect the blow-up
             try:
                 self.store.transition(job_id, "failed",
+                                      expected_worker=self.worker_id,
                                       error=f"{type(exc).__name__}: {exc}")
-            except JobStateError:  # pragma: no cover - cancel raced us
+            except JobStateError:  # cancel or a reclaim raced us
                 pass
-        finally:
-            with self._lock:
-                self._runners.pop(job_id, None)
+            return "failed"
 
-    def _poll_to_completion(self, job_id: str, handle) -> bool:
+    def _poll_to_completion(self, job_id: str, handle, *,
+                            should_stop: "Callable[[], bool] | None" = None
+                            ) -> str:
         """Mirror live progress into the record; honour cancel requests.
 
-        Besides the counters, every write refreshes the runner heartbeat
-        (and one is forced at least every :data:`_HEARTBEAT_SECONDS`), so
-        observers can tell this job is owned by a live process.  A
-        :class:`JobStateError` from the store means another process
-        force-transitioned the record (external cancel) — it propagates,
-        the service context manager cancels the pending pool futures.
+        Besides the counters, every write renews the lease and refreshes
+        the runner heartbeat in one atomic :meth:`JobStore.renew_lease`
+        (and one is forced at least every ``heartbeat_seconds``), so
+        observers can tell this job is owned by a live process and the
+        lease never lapses under a healthy runner.  A
+        :class:`JobStateError` from the store means the lease was lost or
+        another process force-transitioned the record (external cancel) —
+        it propagates, the service context manager cancels the pending
+        pool futures.  Returns ``"done"``, ``"cancelled"`` or
+        ``"released"`` (``should_stop`` flipped mid-run).
         """
         cancelled = False
         last: tuple | None = None
         last_beat = 0.0
         for interval in backoff_intervals(0.02, maximum=0.5):
+            if should_stop is not None and should_stop():
+                return "released"
             progress = handle.progress()
             key = (progress.done, progress.failed, progress.cache_hits)
             now = time.time()
-            if key != last or now - last_beat >= _HEARTBEAT_SECONDS:
+            if key != last or now - last_beat >= self.heartbeat_seconds:
                 last = key
                 last_beat = now
-                self.store.update(job_id, done=progress.done,
-                                  failed=progress.failed,
-                                  cache_hits=progress.cache_hits,
-                                  runner_heartbeat=now)
+                self.store.renew_lease(job_id, self.worker_id,
+                                       self.lease_seconds,
+                                       done=progress.done,
+                                       failed=progress.failed,
+                                       cache_hits=progress.cache_hits)
             if handle.done():
-                return cancelled
+                return "cancelled" if cancelled else "done"
             if not cancelled:
                 payload = self.store.load(job_id)
                 if payload.get("cancel_requested"):
                     handle.cancel()
                     cancelled = True
             time.sleep(interval)
-        return cancelled  # pragma: no cover - unreachable
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
 # --------------------------------------------------------------------- #
@@ -561,21 +710,32 @@ class HTTPTransport(Transport):
     ndjson stream instead of polling.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 token: str | None = None) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise TransportError(
                 f"HTTP transport needs an http(s):// URL, got {base_url!r}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        # bearer token for a --token'd server; defaults from REPRO_TOKEN so
+        # every CLI verb inherits auth without per-command plumbing
+        self.token = token if token is not None else (
+            os.environ.get("REPRO_TOKEN") or None)
 
     def _url(self, path: str) -> str:
         return f"{self.base_url}{PROTOCOL_PREFIX}{path}"
+
+    def _headers(self) -> dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
 
     def _call(self, method: str, path: str, *,
               body: dict | None = None) -> Any:
         data = None if body is None else json.dumps(body).encode("utf-8")
         req = urlrequest.Request(self._url(path), data=data, method=method,
-                                 headers={"Content-Type": "application/json"})
+                                 headers=self._headers())
         try:
             with urlrequest.urlopen(req, timeout=self.timeout) as resp:
                 return json.loads(resp.read().decode("utf-8"))
@@ -626,7 +786,8 @@ class HTTPTransport(Transport):
     def events(self, job_id: str, *, poll_interval: float = 0.05,
                timeout: float | None = None) -> Iterator[ProgressEvent]:
         """Consume the server's chunked ndjson progress stream."""
-        req = urlrequest.Request(self._url(f"/jobs/{job_id}/events"))
+        req = urlrequest.Request(self._url(f"/jobs/{job_id}/events"),
+                                 headers=self._headers())
         stream_timeout = timeout if timeout is not None else 3600.0
         try:
             resp = urlrequest.urlopen(req, timeout=stream_timeout)

@@ -14,6 +14,21 @@ cancelled|failed``) are accepted — an illegal edge raises
 :class:`~repro.utils.errors.JobStateError` instead of silently clobbering
 a finished job.
 
+Fleet execution is built on **claim-with-lease**: :meth:`JobStore.claim`
+is the one way a worker takes ownership of a record.  It is atomic across
+processes and machines sharing the directory (an ``O_CREAT|O_EXCL`` lock
+file serialises the read-modify-write), moves ``pending -> running``
+stamped with ``worker_id`` and a ``lease_expires_at`` expiry, and is the
+*only* sanctioned way to take over a ``running`` record — allowed exactly
+when its lease has expired (the owner died or stalled), so two live lease
+holders can never race one record.  :meth:`renew_lease` extends a held
+lease (runners fold it into their heartbeat writes), :meth:`release` hands
+a record back to ``pending`` cleanly (SIGTERM), and writers that pass
+``expected_worker=`` to :meth:`transition`/:meth:`update` are refused with
+:class:`~repro.utils.errors.JobStateError` once their lease has been lost
+to another claimer — a stalled ex-owner can never overwrite the work of
+the worker that reclaimed its job.
+
 Every record carries ``schema_version``; :meth:`JobStore.load` rejects
 unknown versions with :class:`~repro.utils.errors.SchemaVersionError`, and
 :meth:`JobStore.scan` reports (rather than hides) unreadable files so
@@ -22,13 +37,14 @@ unknown versions with :class:`~repro.utils.errors.SchemaVersionError`, and
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
 import time
 import uuid
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from repro.api.protocol import (
     JOB_STATUSES,
@@ -47,6 +63,16 @@ from repro.utils.errors import (
 #: ``kind`` marker of a job-record JSON document.
 JOB_RECORD_KIND = "repro-job"
 
+#: A ``running`` record with no lease (written by a pre-lease build) whose
+#: runner heartbeat is older than this is considered orphaned.  Leased
+#: records use their own ``lease_expires_at`` instead.
+STALE_RUNNER_SECONDS = 10.0
+
+#: A claim lock file older than this is assumed to belong to a claimer
+#: that died between acquiring and releasing it (the lock is only ever
+#: held for one read-modify-write, i.e. milliseconds) and is broken.
+_STALE_LOCK_SECONDS = 30.0
+
 #: Legal lifecycle edges (``running -> running`` carries progress updates).
 _LEGAL_TRANSITIONS = {
     "pending": ("running", "cancelled", "failed"),
@@ -57,6 +83,30 @@ _LEGAL_TRANSITIONS = {
 def new_job_id() -> str:
     """A fresh collision-resistant job id (sortable by creation time)."""
     return f"job-{int(time.time())}-{uuid.uuid4().hex[:8]}"
+
+
+def record_orphaned(payload: dict, *, now: float | None = None,
+                    stale_after: float = STALE_RUNNER_SECONDS) -> bool:
+    """Whether a ``running`` record's owner is presumed dead.
+
+    A leased record (written by :meth:`JobStore.claim` or a lease-renewing
+    runner) is orphaned exactly when its ``lease_expires_at`` has passed —
+    the contractual takeover point.  A legacy record without a lease falls
+    back to the old heartbeat-staleness check (``runner_heartbeat`` older
+    than ``stale_after`` seconds).
+    """
+    now = time.time() if now is None else now
+    lease = payload.get("lease_expires_at")
+    if lease is not None:
+        try:
+            return now > float(lease)
+        except (TypeError, ValueError):
+            return True
+    try:
+        heartbeat = float(payload.get("runner_heartbeat") or 0.0)
+    except (TypeError, ValueError):
+        heartbeat = 0.0
+    return now - heartbeat > stale_after
 
 
 class JobStore:
@@ -73,11 +123,63 @@ class JobStore:
         return self.directory / f"{job_id}.json"
 
     # ------------------------------------------------------------------ #
+    # cross-process mutual exclusion
+    # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def _job_mutex(self, job_id: str, *,
+                   timeout: float = 5.0) -> Iterator[None]:
+        """Exclusive cross-process lock for one record's read-modify-write.
+
+        Acquired via ``O_CREAT|O_EXCL`` creation of a ``.<job_id>.lock``
+        sidecar (atomic on every platform and on the shared filesystems a
+        fleet mounts the store on), so two worker *processes* serialise
+        exactly like two threads.  The lock is held for milliseconds; one
+        left behind by a claimer that died mid-write is broken after
+        :data:`_STALE_LOCK_SECONDS`.
+        """
+        self.path(job_id)  # reject malformed ids before touching the fs
+        lock_path = self.directory / f".{job_id}.lock"
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                except OSError:  # released between open() and stat()
+                    age = 0.0
+                if age > _STALE_LOCK_SECONDS:
+                    with contextlib.suppress(OSError):
+                        lock_path.unlink()
+                    continue
+                if time.monotonic() >= deadline:
+                    raise JobStateError(
+                        f"could not lock job {job_id} within {timeout}s "
+                        f"(stuck lock file {lock_path.name}?)"
+                    )
+                time.sleep(0.003)
+        try:
+            with contextlib.suppress(OSError):
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            os.close(fd)
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                lock_path.unlink()
+
+    # ------------------------------------------------------------------ #
     # writing
     # ------------------------------------------------------------------ #
     def create(self, request: SweepRequest, *, job_id: str | None = None,
-               status: str = "pending") -> dict[str, Any]:
-        """Persist a fresh record for a submitted request; return it."""
+               status: str = "pending",
+               extra: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Persist a fresh record for a submitted request; return it.
+
+        ``extra`` folds additional fields into the record — the fleet
+        layer uses it for ``job_type`` (``"merge"``) and ``depends_on``
+        (the shard job ids a merge job waits for).
+        """
         job_id = job_id or new_job_id()
         record: dict[str, Any] = {
             "kind": JOB_RECORD_KIND,
@@ -97,22 +199,47 @@ class JobStore:
             "error": None,
             "request": request.to_wire(),
         }
+        if extra:
+            forbidden = {"job_id", "status", "kind", "schema_version"}
+            bad = forbidden & set(extra)
+            if bad:
+                raise JobStateError(
+                    f"create(extra=...) cannot override {sorted(bad)}")
+            record.update(extra)
         with self._lock:
             if self.path(job_id).exists():
                 raise JobStateError(f"job record {job_id} already exists")
             self._write(record)
         return record
 
-    def transition(self, job_id: str, status: str,
+    @staticmethod
+    def _check_owner(record: dict[str, Any], expected_worker: str | None,
+                     verb: str) -> None:
+        """Refuse a write from a worker whose lease has been lost."""
+        if expected_worker is None:
+            return
+        owner = record.get("worker_id")
+        if owner != expected_worker:
+            raise JobStateError(
+                f"job {record.get('job_id')}: {verb} refused — the lease "
+                f"of {expected_worker!r} was lost (record now owned by "
+                f"{owner!r}); abandon this execution, the new owner "
+                "re-runs the job"
+            )
+
+    def transition(self, job_id: str, status: str, *,
+                   expected_worker: str | None = None,
                    **updates: Any) -> dict[str, Any]:
         """Atomically move a record to ``status``, folding in ``updates``.
 
         Raises :class:`JobStateError` for an edge the lifecycle does not
-        allow — in particular any transition out of a terminal state.
+        allow — in particular any transition out of a terminal state —
+        and, when ``expected_worker`` is given, for a record whose lease
+        is no longer held by that worker.
         """
         if status not in JOB_STATUSES:
             raise JobStateError(f"unknown job status {status!r}")
-        with self._lock:
+        with self._lock, self._job_mutex(job_id):
             record = self._load_locked(job_id)
             current = record.get("status", "pending")
             if current in TERMINAL_STATUSES:
@@ -125,6 +252,7 @@ class JobStore:
                     f"illegal job transition {current!r} -> {status!r} "
                     f"for {job_id}"
                 )
+            self._check_owner(record, expected_worker, f"-> {status}")
             record["status"] = status
             if status in TERMINAL_STATUSES and record.get("finished_at") is None:
                 record["finished_at"] = time.time()
@@ -132,7 +260,8 @@ class JobStore:
             self._write(record)
         return record
 
-    def update(self, job_id: str, **updates: Any) -> dict[str, Any]:
+    def update(self, job_id: str, *, expected_worker: str | None = None,
+               **updates: Any) -> dict[str, Any]:
         """Fold non-lifecycle updates (progress counters) into a record.
 
         Refuses ``status`` (use :meth:`transition` / :meth:`reclaim`) and
@@ -140,21 +269,122 @@ class JobStore:
         change" invariant holds against every writer, so a runner whose
         job was cancelled from another process gets a
         :class:`JobStateError` on its next progress tick instead of
-        silently mutating a finished record.
+        silently mutating a finished record.  ``expected_worker`` makes
+        the write conditional on still holding the lease, so a stalled
+        runner notices the takeover at its next heartbeat.
         """
         if "status" in updates:
             raise JobStateError(
                 "update() cannot change a record's status; use "
                 "transition() or reclaim()"
             )
-        with self._lock:
+        with self._lock, self._job_mutex(job_id):
             record = self._load_locked(job_id)
             if record.get("status") in TERMINAL_STATUSES:
                 raise JobStateError(
                     f"job {job_id} is already {record.get('status')}; "
                     "terminal records do not take updates"
                 )
+            self._check_owner(record, expected_worker, "update")
             record.update(updates)
+            self._write(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+    # claim / lease
+    # ------------------------------------------------------------------ #
+    def claim(self, job_id: str, worker_id: str,
+              lease_seconds: float) -> dict[str, Any]:
+        """Atomically take ownership of a record for ``lease_seconds``.
+
+        Succeeds for a ``pending`` record whose dependencies (if any) are
+        all terminal, and for a ``running`` record whose lease has
+        expired (the previous owner died or stalled — the record's
+        ``reclaims`` counter is bumped).  Everything else raises
+        :class:`JobStateError`: a live lease, unmet dependencies, or a
+        terminal record.  The read-modify-write runs under the
+        cross-process job mutex, so of N concurrent claimers exactly one
+        wins and the rest get the typed error.
+        """
+        if not worker_id:
+            raise ValueError("claim() needs a non-empty worker_id")
+        if not lease_seconds > 0:
+            raise ValueError(
+                f"lease_seconds must be > 0, got {lease_seconds}")
+        with self._lock, self._job_mutex(job_id):
+            record = self._load_locked(job_id)
+            status = record.get("status", "pending")
+            now = time.time()
+            if status in TERMINAL_STATUSES:
+                raise JobStateError(
+                    f"job {job_id} is already {status}; terminal records "
+                    "cannot be claimed"
+                )
+            if status == "pending":
+                waiting = self._unfinished_dependencies(record)
+                if waiting:
+                    raise JobStateError(
+                        f"job {job_id} is not claimable yet: waiting on "
+                        f"{len(waiting)} dependenc"
+                        f"{'y' if len(waiting) == 1 else 'ies'} "
+                        f"({', '.join(waiting[:4])})"
+                    )
+            else:  # running: take over only across an expired lease
+                if not record_orphaned(record, now=now):
+                    lease = record.get("lease_expires_at")
+                    holder = record.get("worker_id") or "another worker"
+                    detail = (f"lease held for another "
+                              f"{float(lease) - now:.1f}s"
+                              if lease is not None else "heartbeat is fresh")
+                    raise JobStateError(
+                        f"job {job_id} is running under {holder} ({detail}); "
+                        "a live lease cannot be claimed"
+                    )
+                record["reclaims"] = int(record.get("reclaims") or 0) + 1
+            record["status"] = "running"
+            record["worker_id"] = worker_id
+            record["lease_seconds"] = float(lease_seconds)
+            record["lease_expires_at"] = now + float(lease_seconds)
+            record["runner_pid"] = os.getpid()
+            record["runner_heartbeat"] = now
+            record["claim_count"] = int(record.get("claim_count") or 0) + 1
+            self._write(record)
+        return record
+
+    def renew_lease(self, job_id: str, worker_id: str,
+                    lease_seconds: float, **updates: Any) -> dict[str, Any]:
+        """Extend a held lease (and fold progress ``updates`` in).
+
+        One atomic write covers lease renewal, the runner heartbeat and
+        the progress counters — the runner's heartbeat *is* its renewal.
+        Raises :class:`JobStateError` if the lease is no longer held by
+        ``worker_id`` (another claimer took over after expiry) or the
+        record went terminal (external cancel).
+        """
+        now = time.time()
+        return self.update(job_id, expected_worker=worker_id,
+                           lease_expires_at=now + float(lease_seconds),
+                           runner_heartbeat=now, **updates)
+
+    def release(self, job_id: str, worker_id: str) -> dict[str, Any]:
+        """Hand a claimed record back to ``pending`` (clean shutdown).
+
+        The cooperative counterpart of lease expiry: a worker that must
+        stop (SIGTERM, drain) releases its claim so any other worker can
+        pick the job up immediately instead of waiting out the lease.
+        Ownership is enforced — only the lease holder can release.
+        """
+        with self._lock, self._job_mutex(job_id):
+            record = self._load_locked(job_id)
+            if record.get("status") != "running":
+                raise JobStateError(
+                    f"job {job_id} is {record.get('status')!r}, not "
+                    "'running'; only claimed running records can be released"
+                )
+            self._check_owner(record, worker_id, "release")
+            record["status"] = "pending"
+            record["worker_id"] = None
+            record["lease_expires_at"] = None
             self._write(record)
         return record
 
@@ -163,10 +393,10 @@ class JobStore:
 
         The one sanctioned back-edge in the lifecycle, used by
         :meth:`repro.api.client.DiskTransport.attach` when the process
-        that owned a running job died (stale heartbeat).  Raises
-        :class:`JobStateError` for any other state.
+        that owned a running job died (expired lease / stale heartbeat).
+        Raises :class:`JobStateError` for any other state.
         """
-        with self._lock:
+        with self._lock, self._job_mutex(job_id):
             record = self._load_locked(job_id)
             if record.get("status") != "running":
                 raise JobStateError(
@@ -175,8 +405,54 @@ class JobStore:
                     "reclaimed"
                 )
             record["status"] = "pending"
+            record["worker_id"] = None
+            record["lease_expires_at"] = None
             self._write(record)
         return record
+
+    def _unfinished_dependencies(self, record: dict[str, Any]) -> list[str]:
+        """Ids in ``depends_on`` that are not terminal yet.
+
+        A dependency whose record is missing or unreadable counts as
+        satisfied — the claim then fails loudly at execution time
+        (:class:`UnknownJobError`) instead of parking the dependent job
+        in an invisible forever-pending state.
+        """
+        waiting: list[str] = []
+        for dep in record.get("depends_on") or []:
+            try:
+                dep_record = self._load_locked(str(dep))
+            except (UnknownJobError, TransportError):
+                continue
+            if dep_record.get("status") not in TERMINAL_STATUSES:
+                waiting.append(str(dep))
+        return waiting
+
+    def claimable(self, *, now: float | None = None,
+                  stale_after: float = STALE_RUNNER_SECONDS
+                  ) -> list[dict[str, Any]]:
+        """Records a worker may claim right now, oldest first.
+
+        ``pending`` records whose dependencies are all terminal, plus
+        ``running`` records whose lease has expired (legacy no-lease
+        records: heartbeat older than ``stale_after``).  The list is a
+        snapshot — :meth:`claim` still arbitrates, so a worker simply
+        tries each candidate and moves on when it loses the race.
+        """
+        now = time.time() if now is None else now
+        records, _ = self.scan()
+        out: list[dict[str, Any]] = []
+        for record in records:
+            status = record.get("status")
+            if status == "pending":
+                with self._lock:
+                    if self._unfinished_dependencies(record):
+                        continue
+                out.append(record)
+            elif status == "running" and record_orphaned(
+                    record, now=now, stale_after=stale_after):
+                out.append(record)
+        return out
 
     def _write(self, record: dict[str, Any]) -> None:
         path = self.path(record["job_id"])

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
 from repro.utils.errors import (
+    AuthError,
     InfeasibleProblemError,
     InvalidModelError,
     InvalidOptionError,
@@ -223,7 +224,14 @@ class SweepRequest:
 
 @dataclass(frozen=True)
 class JobRecord:
-    """Transport-independent snapshot of one job's lifecycle and progress."""
+    """Transport-independent snapshot of one job's lifecycle and progress.
+
+    The fleet fields (``job_type``, ``depends_on``, ``worker_id``,
+    ``lease_expires_at``, ``claim_count``, ``reclaims``) are optional on
+    the wire: a record written before claim-with-lease existed decodes
+    with their defaults, and a handle snapshot (in-process jobs) never
+    carries them.
+    """
 
     job_id: str
     name: str = ""
@@ -238,11 +246,23 @@ class JobRecord:
     fingerprint: str = ""
     params: dict[str, Any] = field(default_factory=dict)
     error: str | None = None
+    job_type: str = "sweep"
+    depends_on: tuple[str, ...] = ()
+    worker_id: str | None = None
+    lease_expires_at: float | None = None
+    claim_count: int = 0
+    reclaims: int = 0
 
     @property
     def terminal(self) -> bool:
         """Whether this record's status can never change again."""
         return self.status in TERMINAL_STATUSES
+
+    def lease_expired(self, *, now: float | None = None) -> bool:
+        """Whether a leased ``running`` record's lease has lapsed."""
+        if self.status != "running" or self.lease_expires_at is None:
+            return False
+        return (time.time() if now is None else now) > self.lease_expires_at
 
     def to_wire(self) -> dict[str, Any]:
         return {
@@ -260,6 +280,12 @@ class JobRecord:
             "grid_fingerprint": self.fingerprint,
             "params": dict(self.params),
             "error": self.error,
+            "job_type": self.job_type,
+            "depends_on": list(self.depends_on),
+            "worker_id": self.worker_id,
+            "lease_expires_at": self.lease_expires_at,
+            "claim_count": self.claim_count,
+            "reclaims": self.reclaims,
         }
 
     @classmethod
@@ -276,6 +302,7 @@ class JobRecord:
             )
         try:
             finished = payload.get("finished_at")
+            lease = payload.get("lease_expires_at")
             return cls(
                 job_id=str(payload["job_id"]),
                 name=str(payload.get("name") or ""),
@@ -292,6 +319,14 @@ class JobRecord:
                 params=dict(payload.get("params") or {}),
                 error=(None if payload.get("error") is None
                        else str(payload["error"])),
+                job_type=str(payload.get("job_type") or "sweep"),
+                depends_on=tuple(str(d) for d in
+                                 payload.get("depends_on") or ()),
+                worker_id=(None if not payload.get("worker_id")
+                           else str(payload["worker_id"])),
+                lease_expires_at=None if lease is None else float(lease),
+                claim_count=int(payload.get("claim_count") or 0),
+                reclaims=int(payload.get("reclaims") or 0),
             )
         except (TypeError, ValueError) as exc:
             raise TransportError(f"malformed {what}: {exc}") from exc
@@ -409,6 +444,7 @@ def table_from_wire(payload: Any, *, what: str = "result table") -> Table:
 #: else re-raises as TransportError carrying the original type name.
 _WIRE_ERRORS: dict[str, type[ReproError]] = {
     cls.__name__: cls for cls in (
+        AuthError,
         InfeasibleProblemError,
         InvalidModelError,
         InvalidOptionError,

@@ -80,6 +80,7 @@ from repro.batch.sweep import (
     SweepPlan,
     build_sweep_coords,
     build_sweep_problems,
+    grid_identity,
     plan_sweep,
     sweep,
     sweep_cache_stats,
@@ -103,6 +104,7 @@ __all__ = [
     "estimate_cost",
     "failed",
     "grid_fingerprint",
+    "grid_identity",
     "load_shard_dump",
     "merge_report",
     "merge_shard_dumps",

@@ -161,6 +161,37 @@ def build_sweep_problems(*, graph_classes: Sequence[str] = ("chain", "tree", "la
     return problems, coords
 
 
+def grid_identity(*, method: str | None = None, exact: bool | None = None,
+                  **grid_kwargs: Any
+                  ) -> tuple[list[tuple], str, dict[str, Any]]:
+    """The cheap half of :func:`plan_sweep`: coordinates + fingerprint.
+
+    Returns ``(grid, fingerprint, params)`` without materialising a single
+    graph, so callers that only need the grid's identity — fleet shard
+    submission stamping N records with one fingerprint, pre-flight
+    validation — do not pay for problem construction.  This is the single
+    definition of the fingerprint recipe; :func:`plan_sweep` (and through
+    it every sweep run) uses it, which is what guarantees a fingerprint
+    stamped at submit time matches the one the runner computes.
+    """
+    unknown = set(grid_kwargs) - set(GRID_DEFAULTS)
+    if unknown:
+        raise TypeError(f"unknown sweep grid arguments: {sorted(unknown)}")
+    params = {**GRID_DEFAULTS, **grid_kwargs}
+    grid = build_sweep_coords(
+        graph_classes=params["graph_classes"], sizes=params["sizes"],
+        slacks=params["slacks"], alphas=params["alphas"],
+        model=params["model"], repetitions=params["repetitions"],
+        seed=params["seed"])
+    fingerprint = grid_fingerprint(grid, {
+        "model": params["model"], "n_modes": params["n_modes"],
+        "s_max": float(params["s_max"]),
+        "n_processors": int(params["n_processors"]),
+        "mapping": params["mapping"], "method": method, "exact": exact,
+    })
+    return grid, fingerprint, params
+
+
 @dataclass
 class SweepPlan:
     """A fully resolved sweep: instances, grid identity and shard slice.
@@ -207,21 +238,8 @@ def plan_sweep(*, shard: "ShardSpec | str | None" = None,
     ``s_max``, ``n_processors``, ``mapping``) and ``method``/``exact`` —
     shards solved with different solver methods refuse to merge.
     """
-    unknown = set(grid_kwargs) - set(GRID_DEFAULTS)
-    if unknown:
-        raise TypeError(f"unknown sweep grid arguments: {sorted(unknown)}")
-    params = {**GRID_DEFAULTS, **grid_kwargs}
-    grid = build_sweep_coords(
-        graph_classes=params["graph_classes"], sizes=params["sizes"],
-        slacks=params["slacks"], alphas=params["alphas"],
-        model=params["model"], repetitions=params["repetitions"],
-        seed=params["seed"])
-    fingerprint = grid_fingerprint(grid, {
-        "model": params["model"], "n_modes": params["n_modes"],
-        "s_max": float(params["s_max"]),
-        "n_processors": int(params["n_processors"]),
-        "mapping": params["mapping"], "method": method, "exact": exact,
-    })
+    grid, fingerprint, params = grid_identity(method=method, exact=exact,
+                                              **grid_kwargs)
     spec = ShardSpec.parse(shard) if shard is not None else None
     positions = (spec.select(grid, model=params["model"], priors=priors)
                  if spec is not None else None)

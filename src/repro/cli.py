@@ -310,7 +310,9 @@ def _make_transport(args: argparse.Namespace):
     if getattr(args, "url", ""):
         from repro.api import HTTPTransport
 
-        return HTTPTransport(args.url)
+        # --token falls back to REPRO_TOKEN inside the transport
+        return HTTPTransport(args.url,
+                             token=getattr(args, "token", "") or None)
     from repro.api import DiskTransport
 
     return DiskTransport(
@@ -366,6 +368,8 @@ def _stream_to_table(client, job_id: str, args: argparse.Namespace):
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.api import DiskTransport, SolverClient
 
+    if getattr(args, "shards", 0):
+        return _submit_sharded(args)
     request = _build_request(args)
     transport = _make_transport(args)
     with SolverClient(transport) as client:
@@ -386,12 +390,74 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _submit_sharded(args: argparse.Namespace) -> int:
+    """``repro submit --shards N``: park N shard jobs + their merge job.
+
+    Records land ``pending`` in the on-disk job store for a fleet of
+    ``repro work`` processes to drain; nothing is executed here.  The
+    merge job's id is printed on stdout (it is the one whose results are
+    the full merged grid).
+    """
+    from repro.api import JobStore
+    from repro.fleet import submit_sharded
+
+    if args.url:
+        raise ReproError(
+            "--shards parks records directly in a job store; point "
+            "--jobs-dir at the store the fleet shares (the server's "
+            "--jobs-dir) instead of --url"
+        )
+    if args.shard:
+        raise ReproError("--shards partitions the grid itself; drop --shard")
+    if args.detach:
+        print("note: --shards always detaches; records are executed by "
+              "'repro work' processes", file=sys.stderr)
+    request = _build_request(args)
+    store = JobStore(args.jobs_dir)
+    shard_records, merge_record = submit_sharded(store, request, args.shards)
+    print(merge_record["job_id"])
+    print(f"parked {len(shard_records)} shard job(s) + 1 merge job "
+          f"(fingerprint {merge_record.get('grid_fingerprint')}) under "
+          f"{store.directory}; drain with 'repro work --jobs-dir "
+          f"{args.jobs_dir}', then 'repro results "
+          f"{merge_record['job_id']}'", file=sys.stderr)
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    """``repro work``: one fleet worker draining the shared job store."""
+    from repro.fleet import FleetWorker
+
+    try:
+        worker = FleetWorker(
+            args.jobs_dir,
+            cache_dir=args.cache_dir or None,
+            workers=max(1, args.workers),
+            worker_id=args.worker_id or None,
+            lease_seconds=args.lease if args.lease > 0 else None,
+            heartbeat_seconds=(args.heartbeat if args.heartbeat > 0 else None),
+            drain=args.drain if args.drain > 0 else None,
+        )
+    except ValueError as exc:  # bad timing pairings, bad --drain
+        raise ReproError(str(exc)) from exc
+    worker.install_signal_handlers()
+    print(f"worker {worker.worker_id} draining {worker.store.directory} "
+          f"(lease {worker.transport.lease_seconds}s, heartbeat "
+          f"{worker.transport.heartbeat_seconds}s"
+          + (f", exits after {args.drain}s idle" if args.drain > 0 else "")
+          + ")", file=sys.stderr)
+    summary = worker.run()
+    print(json.dumps(summary))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import serve
 
     return serve(host=args.host, port=args.port, jobs_dir=args.jobs_dir,
                  cache_dir=args.cache_dir or None,
-                 workers=max(1, args.workers), verbose=args.verbose)
+                 workers=max(1, args.workers), verbose=args.verbose,
+                 token=args.token or None)
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -467,7 +533,40 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_jobs_prune(args: argparse.Namespace) -> int:
+    """``repro jobs --prune``: GC terminal records by age and status."""
+    from repro.api import JobStore
+    from repro.fleet import parse_duration, prune_records
+
+    if args.url:
+        raise ReproError(
+            "--prune works on a local job store; run it on the machine "
+            "holding --jobs-dir (pruning is an operator action, not a "
+            "wire verb)"
+        )
+    statuses = tuple(s.strip() for s in args.prune_status.split(",")
+                     if s.strip())
+    try:
+        older_than = (parse_duration(args.older_than)
+                      if args.older_than else None)
+        pruned = prune_records(JobStore(args.jobs_dir),
+                               older_than=older_than, statuses=statuses,
+                               dry_run=args.dry_run)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    verb = "would prune" if args.dry_run else "pruned"
+    for entry in pruned:
+        age = entry["age_seconds"]
+        age_text = "age unknown" if age is None else f"{age:.0f}s old"
+        print(f"{verb} {entry['job_id']} ({entry['status']}, {age_text})",
+              file=sys.stderr)
+    print(f"{verb} {len(pruned)} record(s) under {args.jobs_dir}")
+    return 0
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
+    if args.prune or args.dry_run:
+        return _cmd_jobs_prune(args)
     skipped: list[tuple[str, str]] = []
     if args.url:
         from repro.api import SolverClient
@@ -635,6 +734,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs-dir", default=".repro-jobs",
                        help="directory of the durable job store "
                             "(default .repro-jobs)")
+        p.add_argument("--token", default="",
+                       help="bearer token for a --token'd server "
+                            "(default: the REPRO_TOKEN environment "
+                            "variable)")
 
     def add_poll_argument(p: argparse.ArgumentParser) -> None:
         p.add_argument("--poll-interval", "--poll", dest="poll_interval",
@@ -656,7 +759,41 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--detach", action="store_true",
                                help="print the job id and return without "
                                     "waiting; follow up with 'repro attach'")
+    submit_parser.add_argument("--shards", type=int, default=0,
+                               help="park N detached shard jobs of this grid "
+                                    "plus a dependent merge job in the job "
+                                    "store for a 'repro work' fleet to "
+                                    "drain (prints the merge job id)")
     submit_parser.set_defaults(handler=_cmd_submit)
+
+    work_parser = sub.add_parser(
+        "work", help="run a fleet worker: claim pending jobs from the "
+                     "shared job store with a lease, execute them, repeat")
+    work_parser.add_argument("--jobs-dir", default=".repro-jobs",
+                             help="shared job store directory "
+                                  "(default .repro-jobs)")
+    work_parser.add_argument("--cache-dir", default="",
+                             help="shared result cache (default: "
+                                  "<jobs-dir>/cache; sharing it across the "
+                                  "fleet makes reclaimed re-runs warm)")
+    work_parser.add_argument("--workers", type=int, default=2,
+                             help="solver processes per claimed job "
+                                  "(default 2)")
+    work_parser.add_argument("--worker-id", default="",
+                             help="stable worker identity stamped on "
+                                  "claimed records (default: host-pid)")
+    work_parser.add_argument("--lease", type=float, default=0.0,
+                             help="claim lease in seconds; must exceed the "
+                                  "heartbeat interval (default: "
+                                  "REPRO_LEASE_SECONDS or the stale-runner "
+                                  "threshold)")
+    work_parser.add_argument("--heartbeat", type=float, default=0.0,
+                             help="lease-renewal heartbeat in seconds "
+                                  "(default: REPRO_HEARTBEAT_SECONDS or 2)")
+    work_parser.add_argument("--drain", type=float, default=0.0,
+                             help="exit once nothing has been claimable for "
+                                  "this many seconds (default: run forever)")
+    work_parser.set_defaults(handler=_cmd_work)
 
     serve_parser = sub.add_parser(
         "serve", help="run the HTTP solver service (submit/status/results/"
@@ -675,6 +812,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes per job (default 2)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log requests to stderr")
+    serve_parser.add_argument("--token", default="",
+                              help="require 'Authorization: Bearer <token>' "
+                                   "on every route except /v1/healthz "
+                                   "(default: the REPRO_TOKEN environment "
+                                   "variable; empty = open server)")
     serve_parser.set_defaults(handler=_cmd_serve)
 
     status_parser = sub.add_parser(
@@ -725,6 +867,21 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_parser.add_argument("--strict", action="store_true",
                              help="exit non-zero when any record is "
                                   "unreadable instead of only warning")
+    jobs_parser.add_argument("--prune", action="store_true",
+                             help="garbage-collect terminal records instead "
+                                  "of listing (see --older-than / "
+                                  "--prune-status)")
+    jobs_parser.add_argument("--older-than", default="",
+                             help="with --prune: only records that finished "
+                                  "at least this long ago (e.g. 90s, 15m, "
+                                  "2h, 7d; default: any age)")
+    jobs_parser.add_argument("--prune-status", default="done,cancelled,failed",
+                             help="with --prune: comma-separated terminal "
+                                  "statuses to collect (default all three; "
+                                  "pending/running are never pruned)")
+    jobs_parser.add_argument("--dry-run", action="store_true",
+                             help="with --prune: list what would be deleted "
+                                  "without deleting")
     jobs_parser.set_defaults(handler=_cmd_jobs)
     return parser
 

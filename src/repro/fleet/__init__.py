@@ -1,0 +1,43 @@
+"""Fleet execution: many workers, one job store.
+
+This package turns the durable :class:`~repro.api.jobstore.JobStore` into
+a work queue a fleet of machines can drain together:
+
+:func:`submit_sharded` (``repro submit --shards N``)
+    Parks N detached shard jobs of one fingerprinted grid plus a
+    dependent merge job that becomes claimable once every shard is
+    terminal — no coordinator process, the dependency lives in the
+    records.
+:class:`FleetWorker` (``repro work``)
+    A claim-execute-renew loop over whatever the store offers: it claims
+    through :meth:`~repro.api.jobstore.JobStore.claim` (so two workers
+    never race a record), renews its lease with every heartbeat, releases
+    cleanly on SIGTERM, and exits once the queue has stayed empty for
+    ``--drain`` seconds.
+:func:`queue_stats` / :func:`prune_records` (``/v1/queue``, ``repro jobs
+    --prune``)
+    The ops surface: queue depth and stale-lease counts for autoscalers,
+    and age/status-based garbage collection of terminal records.
+
+The claim/lease discipline is what makes the repo's deterministic
+no-coordinator sharding (PR 3) safe in the multi-worker case: partitions
+are derived identically everywhere, and the store arbitrates ownership.
+"""
+
+from repro.fleet.ops import parse_duration, prune_records, queue_stats
+from repro.fleet.submit import (
+    execute_merge_job,
+    shard_dump_from_record,
+    submit_sharded,
+)
+from repro.fleet.worker import FleetWorker
+
+__all__ = [
+    "FleetWorker",
+    "execute_merge_job",
+    "parse_duration",
+    "prune_records",
+    "queue_stats",
+    "shard_dump_from_record",
+    "submit_sharded",
+]

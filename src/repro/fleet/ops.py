@@ -1,0 +1,147 @@
+"""Fleet operations: queue statistics and record garbage collection.
+
+:func:`queue_stats` is the payload of ``GET /v1/queue`` — what an
+autoscaler needs to size the fleet (claimable backlog, live runners,
+expired leases) — and :func:`prune_records` is ``repro jobs --prune``:
+age/status-based retention over *terminal* records only, so GC can never
+eat queued or running work.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import re
+import time
+from typing import Any
+
+from repro.api.jobstore import (
+    STALE_RUNNER_SECONDS,
+    JobStore,
+    record_orphaned,
+)
+from repro.api.protocol import TERMINAL_STATUSES
+
+__all__ = ["queue_stats", "prune_records", "parse_duration"]
+
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0,
+                   "w": 604800.0}
+
+
+def parse_duration(text: str) -> float:
+    """Seconds from a human duration: ``"90"``, ``"90s"``, ``"15m"``,
+    ``"2h"``, ``"7d"``, ``"1w"`` (fractions allowed: ``"1.5h"``)."""
+    raw = str(text).strip().lower()
+    match = re.fullmatch(r"(\d+(?:\.\d+)?)([smhdw]?)", raw)
+    if not match:
+        raise ValueError(
+            f"unparsable duration {text!r}; expected e.g. 90, 90s, 15m, "
+            "2h, 7d or 1w"
+        )
+    value = float(match.group(1)) * _DURATION_UNITS.get(match.group(2) or "s")
+    if value <= 0:
+        raise ValueError(f"duration must be > 0, got {text!r}")
+    return value
+
+
+def queue_stats(store: JobStore, *, now: float | None = None,
+                stale_after: float = STALE_RUNNER_SECONDS) -> dict[str, Any]:
+    """One scan's worth of queue health counters.
+
+    ``depth`` is the claimable backlog — ready ``pending`` records plus
+    expired-lease orphans — i.e. how much work an idle worker would find
+    right now; ``pending_blocked`` are dependency-gated records (merge
+    jobs whose shards are still running) that will join the backlog on
+    their own.  ``workers`` lists the distinct lease holders of live
+    running records, so ``/v1/queue`` doubles as a fleet roster.
+    """
+    now = time.time() if now is None else now
+    records, skipped = store.scan()
+    status_of = {str(r.get("job_id")): str(r.get("status") or "")
+                 for r in records}
+    by_status: dict[str, int] = {}
+    pending_ready = pending_blocked = running_live = running_stale = 0
+    workers: set[str] = set()
+    oldest_ready: float | None = None
+    for record in records:
+        status = str(record.get("status") or "")
+        by_status[status] = by_status.get(status, 0) + 1
+        if status == "pending":
+            # dependency check against this same snapshot: a dep missing
+            # from the scan counts as satisfied, matching JobStore.claim
+            blocked = any(
+                status_of.get(str(dep)) not in (None, *TERMINAL_STATUSES)
+                for dep in record.get("depends_on") or [])
+            if blocked:
+                pending_blocked += 1
+            else:
+                pending_ready += 1
+                created = record.get("created_at")
+                if isinstance(created, (int, float)):
+                    oldest_ready = (float(created) if oldest_ready is None
+                                    else min(oldest_ready, float(created)))
+        elif status == "running":
+            if record_orphaned(record, now=now, stale_after=stale_after):
+                running_stale += 1
+            else:
+                running_live += 1
+                if record.get("worker_id"):
+                    workers.add(str(record["worker_id"]))
+    return {
+        "total": len(records),
+        "by_status": by_status,
+        "depth": pending_ready + running_stale,
+        "pending_ready": pending_ready,
+        "pending_blocked": pending_blocked,
+        "running_live": running_live,
+        "running_stale": running_stale,
+        "workers": sorted(workers),
+        "oldest_ready_age": (None if oldest_ready is None
+                             else max(0.0, now - oldest_ready)),
+        "unreadable": len(skipped),
+    }
+
+
+def prune_records(store: JobStore, *, older_than: float | None = None,
+                  statuses: "tuple[str, ...] | list[str]" = TERMINAL_STATUSES,
+                  dry_run: bool = False,
+                  now: float | None = None) -> list[dict[str, Any]]:
+    """Delete (or, with ``dry_run``, list) old terminal records.
+
+    A record is pruned when its status is in ``statuses`` **and** it
+    finished more than ``older_than`` seconds ago (``None``: any age).
+    Only terminal statuses are accepted — passing ``pending`` or
+    ``running`` raises :class:`ValueError`, because GC must never delete
+    queued or in-flight work.  Returns a summary per pruned record.
+    """
+    chosen = tuple(str(s) for s in statuses)
+    illegal = [s for s in chosen if s not in TERMINAL_STATUSES]
+    if illegal:
+        raise ValueError(
+            f"--prune only accepts terminal statuses "
+            f"{TERMINAL_STATUSES}, got {illegal}; pending/running records "
+            "are the queue, not garbage"
+        )
+    if older_than is not None and older_than < 0:
+        raise ValueError(f"--older-than must be >= 0, got {older_than}")
+    now = time.time() if now is None else now
+    records, _ = store.scan()
+    pruned: list[dict[str, Any]] = []
+    for record in records:
+        status = str(record.get("status") or "")
+        if status not in chosen:
+            continue
+        stamp = record.get("finished_at") or record.get("created_at")
+        age = (now - float(stamp)
+               if isinstance(stamp, (int, float)) else float("inf"))
+        if older_than is not None and age < older_than:
+            continue
+        job_id = str(record.get("job_id"))
+        if not dry_run:
+            with contextlib.suppress(OSError):
+                store.path(job_id).unlink()
+            # a lock sidecar left by a dead claimer goes with the record
+            with contextlib.suppress(OSError):
+                (store.directory / f".{job_id}.lock").unlink()
+        pruned.append({"job_id": job_id, "status": status,
+                       "age_seconds": age if age != float("inf") else None})
+    return pruned

@@ -1,0 +1,160 @@
+"""Shard-fanout submission and the dependent merge job.
+
+``repro submit --shards N`` parks N+1 records in the job store: one
+detached shard job per ``i/N`` slice of a single fingerprinted grid, plus
+a *merge job* — a record with ``job_type="merge"`` whose ``depends_on``
+lists the shard ids.  :meth:`~repro.api.jobstore.JobStore.claim` refuses
+the merge job while any dependency is non-terminal, so no coordinator
+process is needed: the last worker to finish a shard simply finds the
+merge job claimable on its next poll.
+
+The merge job never re-solves anything.  Each terminal shard record
+carries its rows and its shard-dump manifest (fingerprint, shard
+identity, full-grid coordinates), so :func:`execute_merge_job` rebuilds
+:class:`~repro.batch.merge.ShardDump` objects straight from the store and
+runs them through the paranoid :func:`~repro.batch.merge.merge_shard_dumps`
+— fingerprint, coverage and overlap are all re-validated before the
+merged table is written into the merge record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.api.jobstore import JobStore, new_job_id
+from repro.api.protocol import SweepRequest
+from repro.batch.merge import ShardDump, merge_shard_dumps
+from repro.batch.sweep import grid_identity
+from repro.utils.errors import JobStateError, MergeError
+
+__all__ = ["submit_sharded", "execute_merge_job", "shard_dump_from_record"]
+
+
+def submit_sharded(store: JobStore, request: SweepRequest, shards: int,
+                   ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Park ``shards`` detached shard jobs plus their dependent merge job.
+
+    Returns ``(shard_records, merge_record)``.  All records are created
+    ``pending`` and unstarted — executing them is the fleet's job (``repro
+    work``), which is exactly what makes the submission safe from any
+    machine.  The grid is fingerprinted once (:func:`grid_identity`, no
+    graphs built) and the fingerprint stamped on every record, so a
+    mis-matched worker build that somehow produced different rows is
+    caught by the merge, not silently blended.
+    """
+    if shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {shards}")
+    if request.shard:
+        raise ValueError(
+            f"the base request already names shard {request.shard!r}; "
+            "submit the unsharded grid and let --shards partition it"
+        )
+    grid, fingerprint, _ = grid_identity(method=request.method,
+                                         exact=request.exact,
+                                         **request.grid_kwargs())
+    batch = new_job_id()
+    base_name = request.name or batch
+    shard_records: list[dict[str, Any]] = []
+    shard_ids: list[str] = []
+    for i in range(shards):
+        spelling = f"{i + 1}/{shards}"
+        shard_request = dataclasses.replace(
+            request, shard=spelling,
+            name=f"{base_name} [shard {spelling}]")
+        job_id = f"{batch}-s{i + 1:02d}"
+        shard_records.append(store.create(
+            shard_request, job_id=job_id,
+            extra={"job_type": "shard", "grid_fingerprint": fingerprint}))
+        shard_ids.append(job_id)
+    merge_request = dataclasses.replace(request,
+                                        name=f"{base_name} [merge]")
+    merge_record = store.create(
+        merge_request, job_id=f"{batch}-merge",
+        extra={"job_type": "merge", "depends_on": shard_ids,
+               "grid_fingerprint": fingerprint, "total": len(grid)})
+    return shard_records, merge_record
+
+
+def shard_dump_from_record(payload: dict[str, Any]) -> ShardDump:
+    """Rebuild a mergeable :class:`ShardDump` from a terminal shard record.
+
+    A shard job's terminal record stores exactly what a ``repro sweep
+    --dump`` file would: the rows plus the manifest header.  Raises
+    :class:`MergeError` when the record lacks either (it never ran, or it
+    predates the fleet layer).
+    """
+    job_id = str(payload.get("job_id") or "?")
+    manifest = payload.get("manifest")
+    if not isinstance(manifest, dict):
+        raise MergeError(
+            f"job {job_id} carries no shard manifest; only completed sweep "
+            "records can feed a merge"
+        )
+    columns = payload.get("columns")
+    if not isinstance(columns, list):
+        raise MergeError(f"job {job_id} carries no result rows to merge")
+    try:
+        return ShardDump(
+            fingerprint=str(manifest.get("fingerprint") or ""),
+            shard_index=int(manifest.get("shard_index") or 0),
+            shard_count=int(manifest.get("shard_count") or 1),
+            strategy=str(manifest.get("strategy") or ""),
+            columns=[str(c) for c in columns],
+            rows=[list(r) for r in payload.get("rows") or []],
+            grid=[tuple(c) for c in manifest.get("grid") or []],
+            params=dict(manifest.get("params") or {}),
+            title=str(payload.get("title") or ""),
+            path=f"job:{job_id}",
+        )
+    except (TypeError, ValueError) as exc:
+        raise MergeError(
+            f"job {job_id}: malformed shard manifest: {exc}") from exc
+
+
+def execute_merge_job(store: JobStore, job_id: str, *,
+                      worker_id: str) -> str:
+    """Run a claimed merge job to a terminal state; return the outcome.
+
+    Called by :meth:`~repro.api.client.DiskTransport.run_claimed` once the
+    worker holds the lease.  Every dependency must have finished ``done``
+    — a failed or cancelled shard fails the merge loudly (naming the
+    shard) instead of producing a gap-ridden table.  All writes are
+    conditional on ``worker_id`` still holding the lease.
+    """
+    payload = store.load(job_id)
+    try:
+        deps = [str(d) for d in payload.get("depends_on") or []]
+        if not deps:
+            raise MergeError(
+                f"merge job {job_id} lists no dependencies; nothing to merge")
+        dumps = []
+        for dep in deps:
+            dep_payload = store.load(dep)
+            status = dep_payload.get("status")
+            if status != "done":
+                raise MergeError(
+                    f"merge job {job_id}: shard {dep} finished {status!r} "
+                    f"({dep_payload.get('error') or 'no error recorded'}); "
+                    "refusing to merge a partial grid"
+                )
+            dumps.append(shard_dump_from_record(dep_payload))
+        merged = merge_shard_dumps(
+            dumps, title=str(payload.get("name") or f"merge {job_id}"))
+        store.transition(
+            job_id, "done", expected_worker=worker_id,
+            total=len(merged.rows), done=len(merged.rows),
+            title=merged.title, columns=list(merged.columns),
+            rows=[list(row) for row in merged.rows],
+            manifest=merged.manifest,
+            grid_fingerprint=str(merged.manifest.get("fingerprint") or ""))
+        return "done"
+    except JobStateError:
+        return "lost"  # the lease was taken over; the new owner re-merges
+    except Exception as exc:
+        try:
+            store.transition(job_id, "failed", expected_worker=worker_id,
+                             error=f"{type(exc).__name__}: {exc}")
+        except JobStateError:
+            pass
+        return "failed"

@@ -1,0 +1,174 @@
+"""The ``repro work`` loop: claim, execute, renew, release.
+
+A :class:`FleetWorker` is one member of a fleet draining a shared
+:class:`~repro.api.jobstore.JobStore`.  Its loop is deliberately simple —
+all correctness lives in the store's claim/lease discipline:
+
+1. snapshot the claimable records (ready ``pending`` jobs plus
+   expired-lease orphans), oldest first;
+2. try to :meth:`~repro.api.jobstore.JobStore.claim` one — losing the
+   race to another worker is routine, just try the next;
+3. execute the claimed record through
+   :meth:`~repro.api.client.DiskTransport.run_claimed`, which renews the
+   lease with every progress heartbeat and makes every write conditional
+   on still owning it;
+4. idle with jittered backoff when nothing is claimable, so N workers
+   polling one store (or one server's filesystem) decorrelate instead of
+   stampeding.
+
+Shutdown is cooperative: SIGTERM/SIGINT set a stop event, the in-flight
+job's solver futures are cancelled and the record is *released* back to
+``pending`` — the rest of the fleet picks it up immediately, no lease
+expiry wait, and the finished cells are already in the shared cache so
+the re-run is mostly warm.  A worker that is SIGKILLed instead simply
+stops renewing; its lease expires and any peer reclaims the job.
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import threading
+import time
+from typing import Any
+
+from repro.api.client import DiskTransport
+from repro.utils.errors import JobStateError, TransportError, UnknownJobError
+
+__all__ = ["FleetWorker"]
+
+#: Idle backoff bounds of the claim loop (seconds between empty polls).
+_IDLE_INITIAL = 0.1
+_IDLE_MAX = 2.0
+_IDLE_FACTOR = 1.6
+
+
+class FleetWorker:
+    """One fleet member: a claim-execute loop over a shared job store.
+
+    ``drain`` is the idle timeout: once the store has offered nothing
+    claimable for that many consecutive seconds the loop exits (the CI
+    and batch-queue mode).  ``drain=None`` runs forever (the daemon
+    mode).  All lease/heartbeat timings come from the underlying
+    :class:`DiskTransport` and are env-configurable
+    (``REPRO_LEASE_SECONDS`` etc.); ``worker_id`` defaults to
+    ``host-pid``.
+    """
+
+    def __init__(self, jobs_dir: str, *, cache_dir: str | None = None,
+                 workers: int = 2, use_threads: bool = False,
+                 worker_id: str | None = None,
+                 stale_after: float | None = None,
+                 heartbeat_seconds: float | None = None,
+                 lease_seconds: float | None = None,
+                 drain: float | None = None,
+                 poll_interval: float = _IDLE_INITIAL,
+                 rng: "random.Random | None" = None) -> None:
+        if drain is not None and drain <= 0:
+            raise ValueError(f"--drain must be > 0 seconds, got {drain}")
+        self.transport = DiskTransport(
+            jobs_dir, cache_dir=cache_dir, workers=workers,
+            use_threads=use_threads, stale_after=stale_after,
+            heartbeat_seconds=heartbeat_seconds, lease_seconds=lease_seconds,
+            worker_id=worker_id)
+        self.store = self.transport.store
+        self.worker_id = self.transport.worker_id
+        self.drain = drain
+        self.poll_interval = poll_interval
+        self.stats: dict[str, Any] = {"claimed": 0, "outcomes": {}}
+        self._stop = threading.Event()
+        self._rng = rng if rng is not None else random.Random()
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+    def stop(self) -> None:
+        """Request a cooperative shutdown (idempotent, signal-safe)."""
+        self._stop.set()
+
+    def should_stop(self) -> bool:
+        return self._stop.is_set()
+
+    def install_signal_handlers(self) -> None:
+        """Release-on-SIGTERM: route SIGTERM/SIGINT into :meth:`stop`.
+
+        Main-thread only (the CLI path).  The in-flight job is then
+        released back to ``pending`` by ``run_claimed``'s ``should_stop``
+        check instead of dying mid-lease.
+        """
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, self._on_signal)
+
+    def _on_signal(self, signum, frame) -> None:  # pragma: no cover - signal
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def run_one(self) -> str | None:
+        """Claim and fully execute one record; ``None`` if none claimable.
+
+        Losing a claim race (another worker got there first, a lease
+        turned out to be live, a record vanished under us) just moves on
+        to the next candidate — the store is the arbiter, the snapshot is
+        advisory.
+        """
+        for candidate in self.store.claimable(
+                stale_after=self.transport.stale_after):
+            if self._stop.is_set():
+                return None
+            job_id = str(candidate.get("job_id"))
+            try:
+                self.store.claim(job_id, self.worker_id,
+                                 self.transport.lease_seconds)
+            except (JobStateError, UnknownJobError, TransportError):
+                continue
+            self.stats["claimed"] += 1
+            try:
+                request = self.store.request(job_id)
+            except TransportError as exc:
+                # claimed a record we cannot execute: fail it loudly
+                # rather than bouncing it around the fleet forever
+                try:
+                    self.store.transition(
+                        job_id, "failed", expected_worker=self.worker_id,
+                        error=f"{type(exc).__name__}: {exc}")
+                except JobStateError:
+                    pass
+                outcome = "failed"
+            else:
+                outcome = self.transport.run_claimed(
+                    job_id, request, should_stop=self.should_stop)
+            outcomes = self.stats["outcomes"]
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+            return outcome
+        return None
+
+    def run(self) -> dict[str, Any]:
+        """Drain the queue until stopped (or idle past ``drain``)."""
+        idle_since: float | None = None
+        interval = self.poll_interval
+        while not self._stop.is_set():
+            outcome = self.run_one()
+            if outcome is not None:
+                idle_since = None
+                interval = self.poll_interval
+                continue
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if self.drain is not None and now - idle_since >= self.drain:
+                break
+            # full-jitter idle sleep; Event.wait so stop() wakes us at once
+            self._stop.wait(interval - interval * self._rng.random())
+            interval = min(interval * _IDLE_FACTOR, _IDLE_MAX)
+        return self.summary()
+
+    def summary(self) -> dict[str, Any]:
+        """The loop's final report (the ``repro work`` JSON output)."""
+        return {
+            "worker_id": self.worker_id,
+            "claimed": self.stats["claimed"],
+            "outcomes": dict(self.stats["outcomes"]),
+            "stopped": self._stop.is_set(),
+        }

@@ -14,13 +14,23 @@ GET      ``/v1/jobs/<id>``           job record
 GET      ``/v1/jobs/<id>/results``   result-table wire (409 until terminal)
 POST     ``/v1/jobs/<id>/cancel``    job record after the cancel
 GET      ``/v1/jobs/<id>/events``    chunked ndjson stream of progress events
+GET      ``/v1/healthz``             liveness probe (never requires auth)
+GET      ``/v1/queue``               queue depth / lease health counters
 =======  ==========================  ===========================================
 
 Failures are **typed error bodies** (:func:`repro.api.protocol.error_to_wire`),
 mapped onto status codes: unknown job -> 404, malformed payload or
-schema-version mismatch -> 400, premature results -> 409, anything else
--> 500 — so the HTTP transport re-raises the exact library exception the
-server hit.
+schema-version mismatch -> 400, premature results -> 409, missing or wrong
+bearer token -> 401, anything else -> 500 — so the HTTP transport
+re-raises the exact library exception the server hit.
+
+Auth is optional bearer-token: start the server with ``--token`` (or
+``REPRO_TOKEN``) and every route except ``/v1/healthz`` demands
+``Authorization: Bearer <token>``, rejecting everything else with a typed
+401 :class:`~repro.utils.errors.AuthError` body.  ``/v1/healthz`` stays
+open so load balancers and autoscalers can probe without credentials;
+``/v1/queue`` (their sizing signal) is authenticated like the job routes
+because it leaks worker identities.
 
 The event stream is genuinely incremental: HTTP/1.1 chunked transfer
 encoding, one JSON object per line, flushed as the job progresses, closed
@@ -29,7 +39,9 @@ after the terminal event.
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import re
 import sys
 import threading
@@ -45,6 +57,7 @@ from repro.api.protocol import (
     table_to_wire,
 )
 from repro.utils.errors import (
+    AuthError,
     JobStateError,
     ReproError,
     SchemaVersionError,
@@ -57,6 +70,7 @@ _JOB_ROUTE = re.compile(
 
 #: HTTP status for each typed failure (anything else is a 500).
 _STATUS_OF = (
+    (AuthError, 401),
     (UnknownJobError, 404),
     (SchemaVersionError, 400),
     (JobStateError, 409),
@@ -119,9 +133,29 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._route("POST")
 
+    def _check_auth(self) -> None:
+        """Demand the configured bearer token (no-op on an open server)."""
+        token = getattr(self.server, "token", None)
+        if not token:
+            return
+        header = str(self.headers.get("Authorization") or "")
+        offered = header[len("Bearer "):] if header.startswith("Bearer ") \
+            else ""
+        if not offered or not hmac.compare_digest(offered, token):
+            raise AuthError(
+                "this server requires a bearer token; send "
+                "'Authorization: Bearer <token>' (repro --token / "
+                "REPRO_TOKEN)"
+            )
+
     def _route(self, method: str) -> None:
         try:
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == f"{PROTOCOL_PREFIX}/healthz" and method == "GET":
+                return self._healthz()  # liveness probes skip auth
+            self._check_auth()
+            if path == f"{PROTOCOL_PREFIX}/queue" and method == "GET":
+                return self._queue()
             if path == f"{PROTOCOL_PREFIX}/jobs":
                 if method == "POST":
                     return self._submit()
@@ -150,6 +184,28 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # verbs
     # ------------------------------------------------------------------ #
+    def _healthz(self) -> None:
+        self._send_json({
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "protocol": PROTOCOL_PREFIX,
+            "auth": bool(getattr(self.server, "token", None)),
+        })
+
+    def _queue(self) -> None:
+        store = getattr(self.transport, "store", None)
+        if store is None:
+            raise TransportError(
+                "queue statistics need a disk-backed server (this one runs "
+                "an in-process transport with no job store)"
+            )
+        from repro.fleet.ops import queue_stats
+
+        stale_after = getattr(self.transport, "stale_after", None)
+        stats = (queue_stats(store) if stale_after is None
+                 else queue_stats(store, stale_after=stale_after))
+        self._send_json({"schema_version": SCHEMA_VERSION, **stats})
+
     def _submit(self) -> None:
         request = SweepRequest.from_wire(self._read_body())
         record = self.transport.submit(request)
@@ -219,11 +275,13 @@ class SolverHTTPServer:
     """
 
     def __init__(self, transport: Transport, *, host: str = "127.0.0.1",
-                 port: int = 0, verbose: bool = False) -> None:
+                 port: int = 0, verbose: bool = False,
+                 token: str | None = None) -> None:
         self.transport = transport
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.transport = transport  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self.httpd.token = token or None  # type: ignore[attr-defined]
         self.httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
 
@@ -270,23 +328,28 @@ class SolverHTTPServer:
 def serve(*, host: str = "127.0.0.1", port: int = 8731,
           jobs_dir: str = ".repro-jobs", cache_dir: str | None = None,
           workers: int = 2, use_threads: bool = False,
-          verbose: bool = False) -> int:
+          verbose: bool = False, token: str | None = None) -> int:
     """Run the solver service in the foreground (the ``repro serve`` body).
 
     Jobs are executed by a :class:`DiskTransport`, so every submission is
     durably recorded under ``jobs_dir`` and survives a server restart as a
-    re-attachable record.  Returns the process exit code.
+    re-attachable record.  ``token`` (default: the ``REPRO_TOKEN``
+    environment variable) turns on bearer-token auth for every route but
+    ``/v1/healthz``.  Returns the process exit code.
     """
+    if token is None:
+        token = os.environ.get("REPRO_TOKEN") or None
     transport = DiskTransport(jobs_dir, cache_dir=cache_dir, workers=workers,
                               use_threads=use_threads)
     try:
         server = SolverHTTPServer(transport, host=host, port=port,
-                                  verbose=verbose)
+                                  verbose=verbose, token=token)
     except OSError as exc:
         print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
         return 2
     print(f"repro solver service on {server.url} "
-          f"(jobs: {transport.store.directory}, workers: {workers}); "
+          f"(jobs: {transport.store.directory}, workers: {workers}, "
+          f"auth: {'bearer token' if token else 'open'}); "
           "Ctrl+C to stop", file=sys.stderr)
     try:
         server.serve_forever()

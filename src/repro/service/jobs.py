@@ -75,7 +75,8 @@ class JobHandle:
                  params: dict[str, Any] | None = None,
                  instance_meta: Sequence[tuple[str, int]] | None = None,
                  shard: "ShardSpec | None" = None,
-                 fingerprint: str = "") -> None:
+                 fingerprint: str = "",
+                 manifest: dict[str, Any] | None = None) -> None:
         if len(futures) != len(future_indices):
             raise ValueError("futures and future_indices must align")
         if instance_meta is not None and len(instance_meta) != total:
@@ -91,6 +92,10 @@ class JobHandle:
         #: shard identity / grid fingerprint of a sharded sweep submission
         self.shard = shard
         self.fingerprint = fingerprint
+        #: shard-dump header of a sweep submission (full-grid coordinates,
+        #: fingerprint, params) — attached to job tables so a service job's
+        #: output is a mergeable shard dump like a ``repro sweep`` table
+        self.manifest = dict(manifest) if manifest else None
         self._futures = list(futures)
         self._indices = list(future_indices)
         self._preresolved = dict(preresolved or {})

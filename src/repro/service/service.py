@@ -138,7 +138,7 @@ class SolverService:
             plan.problems, method=method, exact=exact, options=options,
             seeds=[coord[-1] for coord in plan.coords], name=name,
             coords=plan.coords, params=params, shard=plan.shard,
-            fingerprint=plan.fingerprint)
+            fingerprint=plan.fingerprint, manifest=plan.manifest())
 
     def _submit_problems(self, problems: list[MinEnergyProblem], *,
                          method: str | None, exact: bool | None,
@@ -147,7 +147,8 @@ class SolverService:
                          name: str, coords: Sequence[tuple] | None,
                          params: dict[str, Any],
                          shard: ShardSpec | None = None,
-                         fingerprint: str = "") -> JobHandle:
+                         fingerprint: str = "",
+                         manifest: dict[str, Any] | None = None) -> JobHandle:
         if self._closed:
             raise RuntimeError("SolverService is shut down")
         if seeds is not None and len(seeds) != len(problems):
@@ -201,7 +202,8 @@ class SolverService:
                            future_indices=indices, preresolved=preresolved,
                            total=len(problems), coords=coords, params=params,
                            instance_meta=[(p.name, p.n_tasks) for p in problems],
-                           shard=shard, fingerprint=fingerprint)
+                           shard=shard, fingerprint=fingerprint,
+                           manifest=manifest)
         with self._lock:
             self._jobs[job_id] = handle
         return handle
@@ -256,10 +258,15 @@ class SolverService:
         handle = self.job(job_id)
         results = handle.results(timeout=timeout)
         if handle.coords is not None:
-            return sweep_table(handle.coords, results,
-                               title=f"job {handle.name}",
-                               shard=handle.shard,
-                               fingerprint=handle.fingerprint)
+            table = sweep_table(handle.coords, results,
+                                title=f"job {handle.name}",
+                                shard=handle.shard,
+                                fingerprint=handle.fingerprint)
+            if handle.manifest is not None:
+                # sweep submissions come back as mergeable shard dumps,
+                # exactly like a `repro sweep --out` table
+                table.manifest = dict(handle.manifest)
+            return table
         coords = [("-", r.n_tasks, None, None, None) for r in results]
         return sweep_table(coords, results, title=f"job {handle.name}")
 

@@ -138,6 +138,17 @@ class UnknownJobError(TransportError):
     """
 
 
+class AuthError(TransportError):
+    """A request to a token-protected server failed authentication.
+
+    Raised by the HTTP transport when ``repro serve --token`` (or
+    ``REPRO_TOKEN``) is active and the request carried no or a wrong
+    bearer token; the server returns it as a 401 with a typed error body.
+    ``/v1/healthz`` is exempt so load balancers can probe without
+    credentials.
+    """
+
+
 class JobStateError(TransportError):
     """A job operation is illegal in the job's current lifecycle state.
 

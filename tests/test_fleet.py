@@ -1,0 +1,629 @@
+"""Tests for the fleet subsystem (:mod:`repro.fleet`) and its store/API
+underpinnings.
+
+Covers: claim-with-lease semantics on the job store (atomic claims,
+lease renewal, release, ownership-conditional writes, expired-lease
+reclaim, dependency gating), the concurrent-claimers race (exactly one
+winner, typed loser), sharded submission and the dependent merge job,
+the ``FleetWorker`` drain loop (multi-worker parity with an unsharded
+sweep, SIGTERM-style release, reclaim of a dead worker's lease), the
+ops surface (``/v1/healthz``, ``/v1/queue``, bearer-token auth,
+``repro jobs --prune``), jittered backoff bounds, the env-configurable
+lease/heartbeat timings, and the new CLI verbs
+(``submit --shards`` / ``work`` / ``jobs --prune``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    DiskTransport,
+    HTTPTransport,
+    JobStore,
+    SweepRequest,
+    backoff_intervals,
+)
+from repro.batch import rows_signature, sweep
+from repro.fleet import (
+    FleetWorker,
+    execute_merge_job,
+    parse_duration,
+    prune_records,
+    queue_stats,
+    shard_dump_from_record,
+    submit_sharded,
+)
+from repro.server import SolverHTTPServer
+from repro.utils.errors import (
+    AuthError,
+    JobStateError,
+    MergeError,
+)
+
+REQUEST = SweepRequest(graph_classes=("chain",), sizes=(6, 8),
+                       slacks=(1.5, 2.0), repetitions=1, seed=7,
+                       name="fleet")
+
+
+def reference_signature():
+    table = sweep(graph_classes=("chain",), sizes=(6, 8), slacks=(1.5, 2.0),
+                  repetitions=1, seed=7)
+    return rows_signature(table)
+
+
+# --------------------------------------------------------------------- #
+# claim / lease semantics
+# --------------------------------------------------------------------- #
+class TestClaimLease:
+    def test_claim_takes_a_pending_record(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        record = store.claim(job_id, "w1", 30.0)
+        assert record["status"] == "running"
+        assert record["worker_id"] == "w1"
+        assert record["lease_expires_at"] > time.time()
+        assert record["claim_count"] == 1
+        assert record.get("reclaims", 0) == 0
+
+    def test_live_lease_cannot_be_claimed(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        store.claim(job_id, "w1", 30.0)
+        with pytest.raises(JobStateError, match="running under w1"):
+            store.claim(job_id, "w2", 30.0)
+
+    def test_expired_lease_is_reclaimed_with_counters(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        store.claim(job_id, "w-dead", 0.01)
+        time.sleep(0.05)
+        record = store.claim(job_id, "w-live", 30.0)
+        assert record["worker_id"] == "w-live"
+        assert record["claim_count"] == 2
+        assert record["reclaims"] == 1
+
+    def test_terminal_records_cannot_be_claimed(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        store.transition(job_id, "running")
+        store.transition(job_id, "done")
+        with pytest.raises(JobStateError, match="terminal"):
+            store.claim(job_id, "w1", 30.0)
+
+    def test_claim_validates_its_arguments(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        with pytest.raises(ValueError, match="worker_id"):
+            store.claim(job_id, "", 30.0)
+        with pytest.raises(ValueError, match="lease_seconds"):
+            store.claim(job_id, "w1", 0.0)
+
+    def test_renew_extends_only_the_holders_lease(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        before = store.claim(job_id, "w1", 5.0)["lease_expires_at"]
+        time.sleep(0.02)
+        after = store.renew_lease(job_id, "w1", 5.0, done=1)
+        assert after["lease_expires_at"] > before
+        assert after["done"] == 1
+        with pytest.raises(JobStateError, match="lease"):
+            store.renew_lease(job_id, "w2", 5.0)
+
+    def test_release_hands_the_record_back(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        store.claim(job_id, "w1", 30.0)
+        with pytest.raises(JobStateError, match="release"):
+            store.release(job_id, "w2")  # not the holder
+        record = store.release(job_id, "w1")
+        assert record["status"] == "pending"
+        assert record["worker_id"] is None
+        assert record["lease_expires_at"] is None
+        # and the next claim bumps claim_count without a reclaim
+        again = store.claim(job_id, "w2", 30.0)
+        assert (again["claim_count"], again.get("reclaims", 0)) == (2, 0)
+
+    def test_stalled_ex_owner_cannot_write_over_the_new_owner(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = store.create(REQUEST)["job_id"]
+        store.claim(job_id, "w-old", 0.01)
+        time.sleep(0.05)
+        store.claim(job_id, "w-new", 30.0)
+        # the ex-owner wakes up and tries to finish "its" job
+        with pytest.raises(JobStateError, match="owned by 'w-new'"):
+            store.transition(job_id, "done", expected_worker="w-old")
+        with pytest.raises(JobStateError, match="lost"):
+            store.update(job_id, done=3, expected_worker="w-old")
+
+    def test_claimable_lists_ready_and_orphaned_records(self, tmp_path):
+        store = JobStore(tmp_path)
+        ready = store.create(REQUEST, job_id="job-ready")["job_id"]
+        orphan = store.create(REQUEST, job_id="job-orphan")["job_id"]
+        store.claim(orphan, "w-dead", 0.01)
+        held = store.create(REQUEST, job_id="job-held")["job_id"]
+        store.claim(held, "w-live", 60.0)
+        time.sleep(0.05)
+        ids = {r["job_id"] for r in store.claimable()}
+        assert ids == {ready, orphan}
+
+
+class TestConcurrentClaim:
+    def test_exactly_one_of_two_racing_claimers_wins(self, tmp_path):
+        """The satellite acceptance test: two workers race one expired
+        record through *separate* store instances; the mutex guarantees
+        one winner and one typed loser."""
+        job_id = JobStore(tmp_path).create(REQUEST)["job_id"]
+        JobStore(tmp_path).claim(job_id, "w-dead", 0.01)
+        time.sleep(0.05)
+
+        stores = [JobStore(tmp_path), JobStore(tmp_path)]
+        barrier = threading.Barrier(2)
+        outcomes: dict[str, object] = {}
+
+        def racer(name: str, store: JobStore) -> None:
+            barrier.wait()
+            try:
+                outcomes[name] = store.claim(job_id, name, 30.0)
+            except JobStateError as exc:
+                outcomes[name] = exc
+
+        threads = [threading.Thread(target=racer, args=(f"w{i}", s))
+                   for i, s in enumerate(stores)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+
+        winners = [n for n, r in outcomes.items() if isinstance(r, dict)]
+        losers = [n for n, r in outcomes.items()
+                  if isinstance(r, JobStateError)]
+        assert len(winners) == 1 and len(losers) == 1, outcomes
+        record = JobStore(tmp_path).load(job_id)
+        assert record["worker_id"] == winners[0]
+        assert record["claim_count"] == 2
+        assert "live lease" in str(outcomes[losers[0]])
+
+
+# --------------------------------------------------------------------- #
+# sharded submission and the merge job
+# --------------------------------------------------------------------- #
+class TestShardSubmit:
+    def test_parks_shards_plus_a_dependent_merge(self, tmp_path):
+        store = JobStore(tmp_path)
+        shard_records, merge_record = submit_sharded(store, REQUEST, 3)
+        assert len(shard_records) == 3
+        fingerprints = {r["grid_fingerprint"] for r in shard_records}
+        assert fingerprints == {merge_record["grid_fingerprint"]}
+        assert merge_record["job_type"] == "merge"
+        assert merge_record["depends_on"] == \
+            [r["job_id"] for r in shard_records]
+        assert merge_record["total"] == 4  # the full grid, 2 sizes x 2 slacks
+        for i, record in enumerate(shard_records):
+            assert record["status"] == "pending"
+            assert record["job_type"] == "shard"
+            assert record["request"]["shard"] == f"{i + 1}/3"
+
+    def test_rejects_bad_shard_counts_and_presharded_requests(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(ValueError, match="shards"):
+            submit_sharded(store, REQUEST, 0)
+        import dataclasses
+        presharded = dataclasses.replace(REQUEST, shard="1/2")
+        with pytest.raises(ValueError, match="already names shard"):
+            submit_sharded(store, presharded, 2)
+
+    def test_merge_is_gated_on_its_shards(self, tmp_path):
+        store = JobStore(tmp_path)
+        shard_records, merge_record = submit_sharded(store, REQUEST, 2)
+        merge_id = merge_record["job_id"]
+        with pytest.raises(JobStateError, match="waiting on 2 dependencies"):
+            store.claim(merge_id, "w1", 30.0)
+        assert merge_id not in {r["job_id"] for r in store.claimable()}
+        # finishing the shards (even as failures) unblocks the claim
+        for record in shard_records:
+            store.transition(record["job_id"], "running")
+            store.transition(record["job_id"], "failed", error="boom")
+        assert merge_id in {r["job_id"] for r in store.claimable()}
+        store.claim(merge_id, "w1", 30.0)
+
+    def test_merge_refuses_a_failed_shard_by_name(self, tmp_path):
+        store = JobStore(tmp_path)
+        shard_records, merge_record = submit_sharded(store, REQUEST, 2)
+        bad = shard_records[0]["job_id"]
+        for record in shard_records:
+            store.transition(record["job_id"], "running")
+        store.transition(bad, "failed", error="deadline infeasible")
+        store.transition(shard_records[1]["job_id"], "done")
+        merge_id = merge_record["job_id"]
+        store.claim(merge_id, "w1", 30.0)
+        assert execute_merge_job(store, merge_id, worker_id="w1") == "failed"
+        payload = store.load(merge_id)
+        assert payload["status"] == "failed"
+        assert bad in payload["error"]
+        assert "partial grid" in payload["error"]
+
+    def test_shard_dump_needs_a_manifest_and_rows(self):
+        with pytest.raises(MergeError, match="no shard manifest"):
+            shard_dump_from_record({"job_id": "job-x", "rows": []})
+        with pytest.raises(MergeError, match="no result rows"):
+            shard_dump_from_record({"job_id": "job-x",
+                                    "manifest": {"fingerprint": "f"}})
+
+
+# --------------------------------------------------------------------- #
+# the worker loop
+# --------------------------------------------------------------------- #
+class TestFleetWorker:
+    def _worker(self, tmp_path, **kwargs):
+        kwargs.setdefault("use_threads", True)
+        kwargs.setdefault("drain", 0.3)
+        kwargs.setdefault("heartbeat_seconds", 0.2)
+        kwargs.setdefault("lease_seconds", 30.0)
+        return FleetWorker(tmp_path / "jobs",
+                           cache_dir=str(tmp_path / "cache"), **kwargs)
+
+    def test_two_workers_drain_a_sharded_grid_to_parity(self, tmp_path):
+        """The tentpole acceptance test: a sharded submission drained by
+        a small fleet merges to exactly the unsharded sweep's rows."""
+        store = JobStore(tmp_path / "jobs")
+        _, merge_record = submit_sharded(store, REQUEST, 3)
+        workers = [self._worker(tmp_path, worker_id=f"w{i}")
+                   for i in range(2)]
+        threads = [threading.Thread(target=w.run) for w in workers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        claimed = sum(w.stats["claimed"] for w in workers)
+        assert claimed == 4  # 3 shards + 1 merge, no double execution
+        merged = store.load(merge_record["job_id"])
+        assert merged["status"] == "done", merged.get("error")
+        # the merged record is fetchable like any terminal job...
+        transport = DiskTransport(tmp_path / "jobs", use_threads=True)
+        table = transport.fetch_results(merge_record["job_id"])
+        # ...and row-for-row identical to the unsharded sweep
+        assert rows_signature(table) == reference_signature()
+        assert table.manifest["fingerprint"] == \
+            merge_record["grid_fingerprint"]
+
+    def test_worker_reclaims_a_dead_workers_lease(self, tmp_path):
+        store = JobStore(tmp_path / "jobs")
+        job_id = store.create(REQUEST)["job_id"]
+        store.claim(job_id, "w-dead", 0.01)  # the owner is SIGKILLed
+        time.sleep(0.05)
+        summary = self._worker(tmp_path, worker_id="w-live").run()
+        assert summary["outcomes"] == {"done": 1}
+        record = store.load(job_id)
+        assert record["status"] == "done"
+        assert record["worker_id"] == "w-live"
+        assert record["reclaims"] == 1
+
+    def test_should_stop_releases_the_claim_back_to_pending(self, tmp_path):
+        """The SIGTERM path: a stopping worker releases its in-flight
+        job instead of holding the lease to expiry."""
+        worker = self._worker(tmp_path, worker_id="w-term")
+        store = worker.store
+        job_id = store.create(REQUEST)["job_id"]
+        store.claim(job_id, worker.worker_id, 30.0)
+        worker.stop()  # as the SIGTERM handler would
+        outcome = worker.transport.run_claimed(
+            job_id, REQUEST, should_stop=worker.should_stop)
+        assert outcome == "released"
+        record = store.load(job_id)
+        assert record["status"] == "pending"
+        assert record["worker_id"] is None
+
+    def test_losing_the_lease_mid_run_walks_away_silently(self, tmp_path):
+        worker = self._worker(tmp_path, worker_id="w-slow")
+        store = worker.store
+        job_id = store.create(REQUEST)["job_id"]
+        store.claim(job_id, worker.worker_id, 30.0)
+        # another worker takes over (reclaim after a simulated expiry)
+        store.reclaim(job_id)
+        store.claim(job_id, "w-thief", 60.0)
+        outcome = worker.transport.run_claimed(job_id, REQUEST)
+        assert outcome == "lost"
+        assert store.load(job_id)["worker_id"] == "w-thief"
+
+    def test_drain_exits_an_empty_queue_and_validates(self, tmp_path):
+        summary = self._worker(tmp_path, drain=0.2).run()
+        assert summary["claimed"] == 0
+        assert summary["stopped"] is False
+        with pytest.raises(ValueError, match="drain"):
+            self._worker(tmp_path, drain=-1.0)
+
+
+# --------------------------------------------------------------------- #
+# ops: queue stats, prune, durations
+# --------------------------------------------------------------------- #
+class TestQueueStats:
+    def test_counters_cover_every_bucket(self, tmp_path):
+        store = JobStore(tmp_path)
+        _, merge_record = submit_sharded(store, REQUEST, 2)  # 2 ready + gated
+        live = store.create(REQUEST, job_id="job-live")["job_id"]
+        store.claim(live, "w-live", 60.0)
+        stale = store.create(REQUEST, job_id="job-stale")["job_id"]
+        store.claim(stale, "w-dead", 0.01)
+        done = store.create(REQUEST, job_id="job-done")["job_id"]
+        store.transition(done, "running")
+        store.transition(done, "done")
+        time.sleep(0.05)
+
+        stats = queue_stats(store)
+        assert stats["total"] == 6
+        assert stats["pending_ready"] == 2
+        assert stats["pending_blocked"] == 1  # the merge job
+        assert stats["running_live"] == 1
+        assert stats["running_stale"] == 1
+        assert stats["depth"] == 3  # ready + stale
+        assert stats["workers"] == ["w-live"]
+        assert stats["by_status"] == {"pending": 3, "running": 2, "done": 1}
+        assert stats["oldest_ready_age"] >= 0.0
+        assert stats["unreadable"] == 0
+
+    def test_unreadable_records_are_counted_not_hidden(self, tmp_path):
+        store = JobStore(tmp_path)
+        (tmp_path / "job-bad.json").write_text("{ nope")
+        assert queue_stats(store)["unreadable"] == 1
+
+
+class TestPrune:
+    def _terminal(self, store, job_id, status, *, finished_at):
+        store.create(REQUEST, job_id=job_id)
+        store.transition(job_id, "running")
+        store.transition(job_id, status)
+        store._write({**store.load(job_id), "finished_at": finished_at})
+        return job_id
+
+    def test_prunes_by_age_and_status_only(self, tmp_path):
+        store = JobStore(tmp_path)
+        now = time.time()
+        old = self._terminal(store, "job-old", "done", finished_at=now - 3600)
+        new = self._terminal(store, "job-new", "done", finished_at=now - 10)
+        pending = store.create(REQUEST, job_id="job-pending")["job_id"]
+        pruned = prune_records(store, older_than=60.0)
+        assert [p["job_id"] for p in pruned] == [old]
+        remaining = {r["job_id"] for r in store.scan()[0]}
+        assert remaining == {new, pending}
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store = JobStore(tmp_path)
+        self._terminal(store, "job-x", "failed", finished_at=time.time() - 99)
+        pruned = prune_records(store, older_than=1.0, dry_run=True)
+        assert len(pruned) == 1
+        assert store.load("job-x")["status"] == "failed"
+
+    def test_refuses_non_terminal_statuses(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(ValueError, match="queue, not garbage"):
+            prune_records(store, statuses=("pending",))
+        with pytest.raises(ValueError, match="older-than"):
+            prune_records(store, older_than=-5.0)
+
+    def test_prune_removes_the_lock_sidecar_too(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_id = self._terminal(store, "job-locked", "done",
+                                finished_at=time.time() - 3600)
+        lock = tmp_path / f".{job_id}.lock"
+        lock.write_text("")  # a dead claimer's leftover
+        prune_records(store, older_than=60.0)
+        assert not lock.exists()
+        assert not store.path(job_id).exists()
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize("text,expected", [
+        ("90", 90.0), ("90s", 90.0), ("15m", 900.0), ("2h", 7200.0),
+        ("7d", 604800.0), ("1w", 604800.0), ("1.5h", 5400.0),
+    ])
+    def test_units(self, text, expected):
+        assert parse_duration(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "10x", "-5s", "0"])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            parse_duration(text)
+
+
+# --------------------------------------------------------------------- #
+# ops endpoints and bearer auth over HTTP
+# --------------------------------------------------------------------- #
+class TestOpsEndpoints:
+    @pytest.fixture
+    def server(self, tmp_path):
+        transport = DiskTransport(tmp_path / "jobs", use_threads=True)
+        with SolverHTTPServer(transport, token="hunter2").start() as srv:
+            yield srv
+
+    def _get(self, url, token=None):
+        headers = {"Authorization": f"Bearer {token}"} if token else {}
+        req = urllib.request.Request(url, headers=headers)
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return json.loads(response.read())
+
+    def test_healthz_is_open_even_with_auth_on(self, server):
+        body = self._get(f"{server.url}/v1/healthz")
+        assert body["status"] == "ok"
+        assert body["auth"] is True
+
+    def test_missing_or_wrong_token_is_a_401(self, server):
+        for headers in ({}, {"Authorization": "Bearer wrong"},
+                        {"Authorization": "Basic hunter2"}):
+            req = urllib.request.Request(f"{server.url}/v1/jobs",
+                                         headers=headers)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(req, timeout=30)
+            assert excinfo.value.code == 401
+            body = json.loads(excinfo.value.read())
+            assert body["error"]["type"] == "AuthError"
+
+    def test_http_transport_raises_the_typed_auth_error(self, server):
+        with pytest.raises(AuthError, match="bearer token"):
+            HTTPTransport(server.url).jobs()
+
+    def test_authed_transport_sees_the_queue(self, server):
+        submit_sharded(server.transport.store, REQUEST, 2)
+        transport = HTTPTransport(server.url, token="hunter2")
+        assert transport.jobs() is not None
+        body = self._get(f"{server.url}/v1/queue", token="hunter2")
+        assert body["pending_ready"] == 2
+        assert body["pending_blocked"] == 1
+        assert body["depth"] == 2
+
+    def test_token_defaults_to_the_environment(self, server, monkeypatch):
+        monkeypatch.setenv("REPRO_TOKEN", "hunter2")
+        assert HTTPTransport(server.url).jobs() == []
+
+    def test_open_server_reports_auth_off(self, tmp_path):
+        transport = DiskTransport(tmp_path / "open-jobs", use_threads=True)
+        with SolverHTTPServer(transport).start() as srv:
+            body = self._get(f"{srv.url}/v1/healthz")
+            assert body["auth"] is False
+            assert self._get(f"{srv.url}/v1/queue")["total"] == 0
+
+
+# --------------------------------------------------------------------- #
+# jittered backoff and configurable timings
+# --------------------------------------------------------------------- #
+class TestJitterAndTimings:
+    def test_full_jitter_stays_within_the_cap(self):
+        rng = random.Random(42)
+        caps = list(itertools.islice(
+            backoff_intervals(0.1, factor=2.0, maximum=1.0), 8))
+        jittered = list(itertools.islice(
+            backoff_intervals(0.1, factor=2.0, maximum=1.0,
+                              jitter=1.0, rng=rng), 8))
+        for value, cap in zip(jittered, caps):
+            assert 0.0 < value <= cap
+
+    def test_zero_jitter_keeps_the_deterministic_schedule(self):
+        plain = list(itertools.islice(backoff_intervals(0.1), 5))
+        zero = list(itertools.islice(backoff_intervals(0.1, jitter=0.0), 5))
+        assert plain == zero
+
+    def test_jitter_out_of_range_is_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            next(backoff_intervals(0.1, jitter=1.5))
+
+    def test_timings_come_from_the_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STALE_RUNNER_SECONDS", "42")
+        monkeypatch.setenv("REPRO_HEARTBEAT_SECONDS", "3")
+        monkeypatch.setenv("REPRO_LEASE_SECONDS", "21")
+        transport = DiskTransport(tmp_path)
+        assert transport.stale_after == 42.0
+        assert transport.heartbeat_seconds == 3.0
+        assert transport.lease_seconds == 21.0
+
+    def test_bad_environment_values_are_loud(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEASE_SECONDS", "soon")
+        with pytest.raises(ValueError, match="REPRO_LEASE_SECONDS"):
+            DiskTransport(tmp_path)
+
+    def test_lease_must_outlive_the_heartbeat(self, tmp_path):
+        with pytest.raises(ValueError, match="must exceed"):
+            DiskTransport(tmp_path, lease_seconds=1.0, heartbeat_seconds=2.0)
+
+    def test_lease_defaults_to_the_stale_threshold(self, tmp_path):
+        transport = DiskTransport(tmp_path, stale_after=25.0)
+        assert transport.lease_seconds == 25.0
+
+
+# --------------------------------------------------------------------- #
+# CLI verbs
+# --------------------------------------------------------------------- #
+class TestFleetCli:
+    def test_submit_shards_then_work_drains_to_parity(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs_dir = str(tmp_path / "jobs")
+        code = main(["submit", "--classes", "chain", "--sizes", "6,8",
+                     "--slacks", "1.5,2.0", "--seed", "7",
+                     "--repetitions", "1",
+                     "--jobs-dir", jobs_dir, "--shards", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        merge_id = captured.out.strip()
+        assert merge_id.endswith("-merge")
+        assert "parked 2 shard job(s) + 1 merge job" in captured.err
+
+        code = main(["work", "--jobs-dir", jobs_dir, "--drain", "0.3",
+                     "--worker-id", "cli-w", "--workers", "1",
+                     "--heartbeat", "0.2", "--lease", "30"])
+        assert code == 0
+        captured = capsys.readouterr()
+        summary = json.loads(captured.out)
+        assert summary["worker_id"] == "cli-w"
+        assert summary["claimed"] == 3
+        assert summary["outcomes"] == {"done": 3}
+        assert "draining" in captured.err
+
+        assert main(["results", merge_id, "--jobs-dir", jobs_dir,
+                     "--csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5  # header + the full 4-cell grid
+
+    def test_submit_shards_refuses_a_url_backend(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["submit", "--classes", "chain", "--sizes", "6",
+                     "--url", "http://localhost:1", "--shards", "2"])
+        assert code == 2
+        assert "--jobs-dir" in capsys.readouterr().err
+
+    def test_jobs_prune_cli_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs_dir = tmp_path / "jobs"
+        store = JobStore(jobs_dir)
+        job_id = store.create(REQUEST)["job_id"]
+        store.transition(job_id, "running")
+        store.transition(job_id, "done")
+
+        assert main(["jobs", "--jobs-dir", str(jobs_dir), "--prune",
+                     "--dry-run"]) == 0
+        captured = capsys.readouterr()
+        assert "would prune 1 record(s)" in captured.out
+        assert job_id in captured.err
+        assert store.path(job_id).exists()
+
+        # an age bar nothing clears yet keeps the record
+        assert main(["jobs", "--jobs-dir", str(jobs_dir), "--prune",
+                     "--older-than", "1h"]) == 0
+        assert "pruned 0 record(s)" in capsys.readouterr().out
+
+        assert main(["jobs", "--jobs-dir", str(jobs_dir), "--prune"]) == 0
+        assert "pruned 1 record(s)" in capsys.readouterr().out
+        assert not store.path(job_id).exists()
+
+    def test_jobs_prune_rejects_non_terminal_statuses(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["jobs", "--jobs-dir", str(tmp_path), "--prune",
+                     "--prune-status", "running"])
+        assert code == 2
+        assert "terminal" in capsys.readouterr().err
+
+    def test_jobs_prune_rejects_a_garbage_duration(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["jobs", "--jobs-dir", str(tmp_path), "--prune",
+                     "--older-than", "nonsense"])
+        assert code == 2
+        assert "unparsable duration" in capsys.readouterr().err
+
+    def test_work_rejects_a_non_positive_lease_pairing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["work", "--jobs-dir", str(tmp_path), "--drain", "0.2",
+                     "--lease", "1", "--heartbeat", "2"])
+        assert code == 2
+        assert "must exceed" in capsys.readouterr().err
