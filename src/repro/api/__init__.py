@@ -34,6 +34,8 @@ from repro.api.client import (
     Transport,
     backoff_intervals,
     default_worker_id,
+    execute_solve,
+    execute_solve_batch,
 )
 from repro.api.jobstore import (
     JOB_RECORD_KIND,
@@ -48,6 +50,8 @@ from repro.api.protocol import (
     TERMINAL_STATUSES,
     JobRecord,
     ProgressEvent,
+    SolveRequest,
+    SolveResponse,
     SweepRequest,
     check_schema_version,
     error_to_wire,
@@ -55,8 +59,14 @@ from repro.api.protocol import (
     table_from_wire,
     table_to_wire,
 )
+from repro.api.rowcodec import (
+    BATCH_COLUMNS,
+    decode_rows,
+    encode_rows,
+)
 
 __all__ = [
+    "BATCH_COLUMNS",
     "HEARTBEAT_SECONDS",
     "JOB_RECORD_KIND",
     "JOB_STATUSES",
@@ -70,13 +80,19 @@ __all__ = [
     "JobStore",
     "LocalTransport",
     "ProgressEvent",
+    "SolveRequest",
+    "SolveResponse",
     "SolverClient",
     "SweepRequest",
     "Transport",
     "backoff_intervals",
     "check_schema_version",
+    "decode_rows",
     "default_worker_id",
+    "encode_rows",
     "error_to_wire",
+    "execute_solve",
+    "execute_solve_batch",
     "new_job_id",
     "record_orphaned",
     "raise_wire_error",

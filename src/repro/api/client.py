@@ -40,7 +40,7 @@ import random
 import socket
 import threading
 import time
-from typing import TYPE_CHECKING, Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
@@ -51,14 +51,19 @@ from repro.api.jobstore import (
 )
 from repro.api.protocol import (
     PROTOCOL_PREFIX,
+    SCHEMA_VERSION,
     JobRecord,
     ProgressEvent,
+    SolveRequest,
+    SolveResponse,
     SweepRequest,
     raise_wire_error,
     table_from_wire,
 )
+from repro.api.rowcodec import decode_rows
 from repro.utils.errors import (
     JobStateError,
+    ReproError,
     TransportError,
     UnknownJobError,
 )
@@ -66,6 +71,7 @@ from repro.utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache import ResultCache
+    from repro.core.problem import MinEnergyProblem
     from repro.service import SolverService
 
 
@@ -112,6 +118,66 @@ def backoff_intervals(initial: float = 0.05, *, factor: float = 1.6,
         interval = min(interval * factor, maximum)
 
 
+# --------------------------------------------------------------------- #
+# the synchronous solve fast path (shared by transports and the server)
+# --------------------------------------------------------------------- #
+def _request_failure(request: SolveRequest, exc: BaseException) -> SolveResponse:
+    return SolveResponse.from_failure(
+        exc, name=request.name,
+        n_tasks=len(request.graph.get("tasks") or ()))
+
+
+def execute_solve(service: "SolverService",
+                  request: SolveRequest) -> SolveResponse:
+    """Run one solve request on a service's coalescing fast path.
+
+    Request-level failures (bad graph, bad model) come back as ``ok=False``
+    rows exactly like solve failures, so every transport sees one shape.
+    """
+    try:
+        item = request.to_instance()
+    except ReproError as exc:
+        return _request_failure(request, exc)
+    result = service.solve(item, method=request.method, exact=request.exact,
+                           options=request.options or None,
+                           keep_speeds=request.keep_speeds,
+                           validate=request.validate)
+    return SolveResponse.from_result(result)
+
+
+def execute_solve_batch(service: "SolverService",
+                        requests: Sequence[SolveRequest], *,
+                        keep_speeds: bool = False) -> list[SolveResponse]:
+    """Run a pre-assembled request batch: one vectorized tick per distinct
+    parameter set, per-instance error capture, results in request order.
+
+    ``keep_speeds`` asks for speed maps on every row; a request's own
+    ``keep_speeds`` flag turns them on for just that row.
+    """
+    rows: list[SolveResponse | None] = [None] * len(requests)
+    groups: dict[tuple, list[tuple[int, Any, SolveRequest]]] = {}
+    for i, request in enumerate(requests):
+        try:
+            item = request.to_instance()
+        except ReproError as exc:
+            rows[i] = _request_failure(request, exc)
+            continue
+        key = (request.method, request.exact,
+               tuple(sorted((k, repr(v)) for k, v in request.options.items())),
+               keep_speeds or request.keep_speeds, request.validate)
+        groups.setdefault(key, []).append((i, item, request))
+    for members in groups.values():
+        first = members[0][2]
+        results = service.solve_many_now(
+            [item for _i, item, _r in members], method=first.method,
+            exact=first.exact, options=first.options or None,
+            keep_speeds=keep_speeds or first.keep_speeds,
+            validate=first.validate)
+        for (i, _item, _r), result in zip(members, results):
+            rows[i] = SolveResponse.from_result(result)
+    return rows  # type: ignore[return-value]
+
+
 class Transport:
     """Base transport: the verb surface plus shared polling helpers.
 
@@ -123,6 +189,16 @@ class Transport:
     """
 
     def submit(self, request: SweepRequest) -> JobRecord:
+        raise NotImplementedError
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        """One synchronous solve (no job record); failures are ``ok=False``
+        rows, never raised — :meth:`SolverClient.solve` adds the raising."""
+        raise NotImplementedError
+
+    def solve_batch(self, requests: Sequence[SolveRequest], *,
+                    keep_speeds: bool = False) -> list[SolveResponse]:
+        """Solve a request batch in one round-trip / one batch tick."""
         raise NotImplementedError
 
     def status(self, job_id: str) -> JobRecord:
@@ -238,6 +314,53 @@ class SolverClient:
                 "pass either a SweepRequest or grid keyword arguments, not both")
         return self.transport.submit(request)
 
+    @staticmethod
+    def _as_request(problem: "MinEnergyProblem | SolveRequest", *,
+                    method: str | None, exact: bool | None,
+                    options: "dict[str, Any] | None", keep_speeds: bool,
+                    validate: bool) -> SolveRequest:
+        if isinstance(problem, SolveRequest):
+            return problem
+        return SolveRequest.from_problem(problem, method=method, exact=exact,
+                                         options=options,
+                                         keep_speeds=keep_speeds,
+                                         validate=validate)
+
+    def solve(self, problem: "MinEnergyProblem | SolveRequest", *,
+              method: str | None = None, exact: bool | None = None,
+              options: "dict[str, Any] | None" = None,
+              keep_speeds: bool = True,
+              validate: bool = False) -> SolveResponse:
+        """Solve one instance synchronously on whatever backend the
+        transport talks to; identical behaviour on every transport.
+
+        Accepts a :class:`~repro.core.problem.MinEnergyProblem` (encoded
+        via :meth:`SolveRequest.from_problem`; the keyword knobs apply) or
+        a ready-made :class:`SolveRequest` (used as-is).  A captured
+        failure re-raises as its typed library exception — use
+        :meth:`solve_batch` for the non-raising, row-per-instance flavour.
+        """
+        request = self._as_request(problem, method=method, exact=exact,
+                                   options=options, keep_speeds=keep_speeds,
+                                   validate=validate)
+        return self.transport.solve(request).raise_for_error()
+
+    def solve_batch(self, problems: "Sequence[MinEnergyProblem | SolveRequest]",
+                    *, method: str | None = None, exact: bool | None = None,
+                    options: "dict[str, Any] | None" = None,
+                    keep_speeds: bool = False,
+                    validate: bool = False) -> list[SolveResponse]:
+        """Solve many instances in one round-trip and one batch tick.
+
+        Returns one :class:`SolveResponse` per input, in order; failed
+        instances are ``ok=False`` rows (typed ``error_type``), never
+        raised, so one bad instance cannot sink the batch.
+        """
+        requests = [self._as_request(p, method=method, exact=exact,
+                                     options=options, keep_speeds=False,
+                                     validate=validate) for p in problems]
+        return self.transport.solve_batch(requests, keep_speeds=keep_speeds)
+
     def status(self, job_id: str) -> JobRecord:
         return self.transport.status(job_id)
 
@@ -315,6 +438,14 @@ class LocalTransport(Transport):
             name=request.name, shard=request.shard_spec(),
             priors=request.fit_priors())
         return JobRecord.from_handle(handle)
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        return execute_solve(self.service(), request)
+
+    def solve_batch(self, requests: Sequence[SolveRequest], *,
+                    keep_speeds: bool = False) -> list[SolveResponse]:
+        return execute_solve_batch(self.service(), requests,
+                                   keep_speeds=keep_speeds)
 
     def _handle(self, job_id: str):
         try:
@@ -466,6 +597,7 @@ class DiskTransport(Transport):
         self.worker_id = worker_id or default_worker_id()
         self._runners: dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
+        self._solve_service: "SolverService | None" = None
 
     @property
     def cache(self) -> "ResultCache":
@@ -553,9 +685,35 @@ class DiskTransport(Transport):
             self._start_runner(job_id, self.store.request(job_id))
         return self.store.record(job_id)
 
+    def _solver(self) -> "SolverService":
+        """The lazy in-process service behind ``solve``/``solve_batch``.
+
+        Synchronous solves never touch the job store — they ride the
+        vectorized fast path of a private single-thread service (the solve
+        path never hops to the pool anyway).
+        """
+        with self._lock:
+            if self._solve_service is None:
+                from repro.service import SolverService
+
+                self._solve_service = SolverService(workers=1,
+                                                    use_threads=True)
+            return self._solve_service
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        return execute_solve(self._solver(), request)
+
+    def solve_batch(self, requests: Sequence[SolveRequest], *,
+                    keep_speeds: bool = False) -> list[SolveResponse]:
+        return execute_solve_batch(self._solver(), requests,
+                                   keep_speeds=keep_speeds)
+
     def close(self) -> None:
         with self._lock:
             runners = list(self._runners.values())
+            solver, self._solve_service = self._solve_service, None
+        if solver is not None:
+            solver.shutdown()
         for thread in runners:
             thread.join(timeout=0.1)
 
@@ -761,6 +919,28 @@ class HTTPTransport(Transport):
     def submit(self, request: SweepRequest) -> JobRecord:
         return JobRecord.from_wire(
             self._call("POST", "/jobs", body=request.to_wire()))
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        return SolveResponse.from_wire(
+            self._call("POST", "/solve", body=request.to_wire()))
+
+    def solve_batch(self, requests: Sequence[SolveRequest], *,
+                    keep_speeds: bool = False) -> list[SolveResponse]:
+        frame = self._call("POST", "/solve_batch", body={
+            "schema_version": SCHEMA_VERSION,
+            "requests": [r.to_wire() for r in requests],
+            "keep_speeds": bool(keep_speeds),
+        })
+        # reattach task names from our own request graphs: the server
+        # preserved each instance's task order, so names never travel
+        task_names = [list((r.graph.get("tasks") or {}).keys())
+                      for r in requests]
+        rows = decode_rows(frame, task_names=task_names)
+        if len(rows) != len(requests):
+            raise TransportError(
+                f"batch response carries {len(rows)} rows for "
+                f"{len(requests)} requests")
+        return rows
 
     def status(self, job_id: str) -> JobRecord:
         return JobRecord.from_wire(self._call("GET", f"/jobs/{job_id}"))

@@ -14,6 +14,13 @@ The envelopes:
     A submittable sweep grid (the keyword surface of
     :func:`repro.batch.sweep`) plus solver method/options, shard identity
     and a display name.
+:class:`SolveRequest` / :class:`SolveResponse`
+    One synchronous solve: a graph payload plus model/deadline/solver
+    parameters, answered immediately (no job lifecycle).  ``POST
+    /v1/solve`` is the HTTP fast path the server's micro-batcher
+    coalesces; ``POST /v1/solve_batch`` carries many requests in one
+    envelope and answers with the packed row codec
+    (:mod:`repro.api.rowcodec`).
 :class:`JobRecord`
     The transport-independent snapshot of one job: lifecycle status,
     progress counters, shard/fingerprint identity and timestamps.  The
@@ -33,13 +40,15 @@ exactly that class in the client process.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field, fields
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.utils.errors import (
     AuthError,
     InfeasibleProblemError,
+    InvalidGraphError,
     InvalidModelError,
     InvalidOptionError,
     JobStateError,
@@ -51,6 +60,11 @@ from repro.utils.errors import (
     UnknownJobError,
     UnknownSolverError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.batch.engine import BatchResult
+    from repro.batch.vectorized import InstanceSpec
+    from repro.core.problem import MinEnergyProblem
 from repro.utils.tables import Table
 
 #: Version stamped on every wire envelope, job record and shard dump.
@@ -220,6 +234,303 @@ class SweepRequest:
         except (TypeError, ValueError, KeyError, IndexError) as exc:
             raise TransportError(
                 f"malformed sweep request: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# synchronous solves
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SolveRequest:
+    """One synchronous solve: a graph payload plus its model and knobs.
+
+    The graph travels in :func:`repro.graphs.io.graph_to_dict` form
+    (``{"name", "tasks": {task: work}, "edges": [[u, v], ...]}``).  Exactly
+    one of ``deadline`` (absolute) and ``slack`` (multiple of the critical
+    path at the model's maximum speed, like ``repro solve --slack``) must
+    be given; slack-relative requests need a finite maximum speed.
+
+    ``s_max`` of ``None`` means an uncapped Continuous model (``inf`` is
+    not valid JSON).  ``keep_speeds`` asks for the per-task speed map in
+    the response; ``validate`` re-checks the solution server-side before
+    answering.  Deadline-given Continuous requests with default dispatch
+    ride the vectorized batch fast path (:mod:`repro.batch.vectorized`)
+    without ever materialising a :class:`TaskGraph`.
+    """
+
+    graph: dict[str, Any] = field(default_factory=dict)
+    deadline: float | None = None
+    slack: float | None = None
+    model: str = "continuous"
+    s_max: float | None = 1.0
+    modes: tuple[float, ...] = ()
+    alpha: float = 3.0
+    method: str | None = None
+    exact: bool | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+    keep_speeds: bool = False
+    validate: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.model not in _SWEEP_MODELS:
+            raise InvalidModelError(
+                f"unknown solve model {self.model!r}; choose one of "
+                f"{', '.join(_SWEEP_MODELS)}"
+            )
+        if (self.deadline is None) == (self.slack is None):
+            raise InvalidOptionError(
+                "a solve request needs exactly one of deadline= and slack=")
+
+    # -- construction ------------------------------------------------- #
+    @classmethod
+    def from_problem(cls, problem: "MinEnergyProblem", *,
+                     method: str | None = None, exact: bool | None = None,
+                     options: dict[str, Any] | None = None,
+                     keep_speeds: bool = False,
+                     validate: bool = False) -> "SolveRequest":
+        """Encode an in-process problem object for the wire."""
+        from repro.core.models import (
+            ContinuousModel, DiscreteModel, IncrementalModel, VddHoppingModel)
+        from repro.graphs.io import graph_to_dict
+
+        model = problem.model
+        modes: tuple[float, ...] = ()
+        s_max: float | None = None
+        if isinstance(model, ContinuousModel):
+            kind = "continuous"
+            s_max = None if math.isinf(model.s_max) else float(model.s_max)
+        elif isinstance(model, IncrementalModel):
+            kind, modes = "incremental", tuple(model.modes)
+        elif isinstance(model, VddHoppingModel):
+            kind, modes = "vdd", tuple(model.modes)
+        elif isinstance(model, DiscreteModel):
+            kind, modes = "discrete", tuple(model.modes)
+        else:
+            raise InvalidModelError(
+                f"cannot express model {type(model).__name__} on the wire")
+        return cls(graph=graph_to_dict(problem.graph),
+                   deadline=problem.deadline, model=kind, s_max=s_max,
+                   modes=modes, alpha=problem.power.alpha, method=method,
+                   exact=exact, options=dict(options or {}),
+                   keep_speeds=keep_speeds, validate=validate,
+                   name=problem.name)
+
+    # -- problem materialisation -------------------------------------- #
+    def build_model(self):
+        """The :class:`~repro.core.models.EnergyModel` this request names."""
+        from repro.core.models import (
+            ContinuousModel, DiscreteModel, IncrementalModel, VddHoppingModel)
+
+        cap = math.inf if self.s_max is None else float(self.s_max)
+        if self.model == "continuous":
+            return ContinuousModel(s_max=cap)
+        modes = self.modes or (0.4, 0.6, 0.8, 1.0)
+        if self.model == "discrete":
+            return DiscreteModel(modes=modes)
+        if self.model == "vdd":
+            return VddHoppingModel(modes=modes)
+        # incremental: mirror the CLI's reconstruction (grid + inferred step)
+        if self.modes:
+            grid = sorted(modes)
+            delta = grid[1] - grid[0] if len(grid) > 1 else grid[0]
+            return IncrementalModel.from_range(grid[0], grid[-1], delta)
+        hi = 1.0 if self.s_max is None else float(self.s_max)
+        return IncrementalModel.from_range(0.2 * hi, hi, 0.2 * hi)
+
+    def build_problem(self) -> "MinEnergyProblem":
+        """Materialise the full problem object (slow path / fallbacks)."""
+        from repro.core.power import CUBIC, PowerLaw
+        from repro.core.problem import MinEnergyProblem
+        from repro.graphs.io import graph_from_dict
+
+        graph = graph_from_dict(self.graph)
+        model = self.build_model()
+        if self.deadline is not None:
+            deadline = float(self.deadline)
+        else:
+            s_max = model.max_speed
+            if not (s_max < math.inf):
+                raise InvalidModelError(
+                    "slack-relative deadlines need a finite maximum speed; "
+                    "pass an absolute deadline instead")
+            from repro.graphs.analysis import longest_path_length
+
+            deadline = float(self.slack) * longest_path_length(
+                graph, weight=lambda n: graph.work(n) / s_max)
+        power = CUBIC if self.alpha == 3.0 else PowerLaw(alpha=self.alpha)
+        return MinEnergyProblem(graph=graph, deadline=deadline, model=model,
+                                power=power, name=self.name)
+
+    def to_instance(self) -> "InstanceSpec | MinEnergyProblem":
+        """What the batch solver should consume for this request.
+
+        Deadline-given Continuous requests lower straight to an
+        :class:`~repro.batch.vectorized.InstanceSpec` (no ``TaskGraph``
+        construction on the fast path); everything else materialises the
+        problem object.
+        """
+        if self.model == "continuous" and self.deadline is not None \
+                and not self.options:
+            from repro.batch.vectorized import spec_from_graph_dict
+
+            cap = math.inf if self.s_max is None else float(self.s_max)
+            return spec_from_graph_dict(
+                self.graph, deadline=float(self.deadline), alpha=self.alpha,
+                s_max=cap, name=self.name)
+        return self.build_problem()
+
+    # -- wire format --------------------------------------------------- #
+    def to_wire(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"schema_version": SCHEMA_VERSION}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[f.name] = value
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "SolveRequest":
+        """Decode and validate a wire payload into a request.
+
+        Raises :class:`SchemaVersionError` for unknown versions and
+        :class:`TransportError` for structurally malformed payloads.
+        """
+        if not isinstance(payload, Mapping):
+            raise TransportError(
+                f"malformed solve request: expected a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        check_schema_version(payload, what="solve request")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known - {"schema_version"}
+        if unknown:
+            raise TransportError(
+                f"malformed solve request: unknown fields {sorted(unknown)}")
+        graph = payload.get("graph")
+        if not isinstance(graph, Mapping) \
+                or not isinstance(graph.get("tasks"), Mapping):
+            raise TransportError(
+                "malformed solve request: graph must be an object with a "
+                "tasks mapping")
+        try:
+            deadline = payload.get("deadline")
+            slack = payload.get("slack")
+            s_max = payload.get("s_max", cls.s_max)
+            return cls(
+                graph=dict(graph),
+                deadline=None if deadline is None else float(deadline),
+                slack=None if slack is None else float(slack),
+                model=str(payload.get("model", cls.model)),
+                s_max=None if s_max is None else float(s_max),
+                modes=tuple(float(m) for m in payload.get("modes") or ()),
+                alpha=float(payload.get("alpha", cls.alpha)),
+                method=(None if payload.get("method") is None
+                        else str(payload["method"])),
+                exact=(None if payload.get("exact") is None
+                       else bool(payload["exact"])),
+                options=dict(payload.get("options") or {}),
+                keep_speeds=bool(payload.get("keep_speeds", False)),
+                validate=bool(payload.get("validate", False)),
+                name=str(payload.get("name", "")),
+            )
+        except (InvalidModelError, InvalidOptionError):
+            raise
+        except (TypeError, ValueError, KeyError, IndexError) as exc:
+            raise TransportError(f"malformed solve request: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """The answer to one :class:`SolveRequest` (solved or captured failure).
+
+    Field-for-field a :class:`~repro.batch.engine.BatchResult` row minus
+    the in-process metadata: ``ok`` distinguishes solved instances from
+    captured failures, which carry the library exception's class name in
+    ``error_type`` so :meth:`raise_for_error` re-raises it typed on any
+    transport.
+    """
+
+    ok: bool = True
+    name: str = ""
+    n_tasks: int = 0
+    energy: float | None = None
+    makespan: float | None = None
+    solver: str | None = None
+    optimal: bool | None = None
+    lower_bound: float | None = None
+    seconds: float = 0.0
+    error: str | None = None
+    error_type: str | None = None
+    speeds: dict[str, float] | None = None
+
+    @classmethod
+    def from_result(cls, result: "BatchResult") -> "SolveResponse":
+        """Project a batch row onto the wire shape."""
+        return cls(ok=result.ok, name=result.name, n_tasks=result.n_tasks,
+                   energy=result.energy, makespan=result.makespan,
+                   solver=result.solver, optimal=result.optimal,
+                   lower_bound=result.lower_bound, seconds=result.seconds,
+                   error=result.error, error_type=result.error_type,
+                   speeds=dict(result.speeds) if result.speeds else None)
+
+    @classmethod
+    def from_failure(cls, exc: BaseException, *, name: str = "",
+                     n_tasks: int = 0) -> "SolveResponse":
+        """Capture a request-level failure (bad payload, bad model) as a
+        row, the same shape a failed solve comes back in."""
+        return cls(ok=False, name=name, n_tasks=n_tasks,
+                   error=str(exc), error_type=type(exc).__name__)
+
+    def raise_for_error(self) -> "SolveResponse":
+        """Re-raise a captured failure as its typed exception; return self."""
+        if self.ok:
+            return self
+        message = self.error or "solve failed"
+        cls = _WIRE_ERRORS.get(self.error_type or "")
+        if cls is None:
+            raise SolverError(f"{self.error_type or 'error'}: {message}")
+        raise cls(message)
+
+    def to_wire(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"schema_version": SCHEMA_VERSION}
+        for f in fields(self):
+            payload[f.name] = getattr(self, f.name)
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "SolveResponse":
+        if not isinstance(payload, Mapping) or "ok" not in payload:
+            raise TransportError(
+                "malformed solve response: expected a JSON object with ok")
+        check_schema_version(payload, what="solve response")
+        try:
+            speeds = payload.get("speeds")
+            return cls(
+                ok=bool(payload["ok"]),
+                name=str(payload.get("name", "")),
+                n_tasks=int(payload.get("n_tasks") or 0),
+                energy=_opt_float(payload.get("energy")),
+                makespan=_opt_float(payload.get("makespan")),
+                solver=(None if payload.get("solver") is None
+                        else str(payload["solver"])),
+                optimal=(None if payload.get("optimal") is None
+                         else bool(payload["optimal"])),
+                lower_bound=_opt_float(payload.get("lower_bound")),
+                seconds=float(payload.get("seconds") or 0.0),
+                error=(None if payload.get("error") is None
+                       else str(payload["error"])),
+                error_type=(None if payload.get("error_type") is None
+                            else str(payload["error_type"])),
+                speeds=(None if speeds is None else
+                        {str(k): float(v) for k, v in dict(speeds).items()}),
+            )
+        except (TypeError, ValueError, KeyError) as exc:
+            raise TransportError(f"malformed solve response: {exc}") from exc
+
+
+def _opt_float(value: Any) -> float | None:
+    return None if value is None else float(value)
 
 
 @dataclass(frozen=True)
@@ -446,6 +757,7 @@ _WIRE_ERRORS: dict[str, type[ReproError]] = {
     cls.__name__: cls for cls in (
         AuthError,
         InfeasibleProblemError,
+        InvalidGraphError,
         InvalidModelError,
         InvalidOptionError,
         JobStateError,

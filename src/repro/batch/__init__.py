@@ -57,6 +57,13 @@ grids, gaps and overlaps::
 """
 
 from repro.batch.engine import BatchResult, failed, solve_many, summarize
+from repro.batch.vectorized import (
+    VECTORIZE_MAX_TASKS,
+    InstanceSpec,
+    solve_batch,
+    spec_from_graph_dict,
+    spec_from_problem,
+)
 from repro.batch.merge import (
     ShardDump,
     dump_payload,
@@ -91,11 +98,13 @@ from repro.batch.sweep import (
 __all__ = [
     "BatchResult",
     "COORD_COLUMNS",
+    "InstanceSpec",
     "SHARD_STRATEGIES",
     "SWEEP_COLUMNS",
     "ShardDump",
     "ShardSpec",
     "SweepPlan",
+    "VECTORIZE_MAX_TASKS",
     "assign_shards",
     "priors_from_rows",
     "build_sweep_coords",
@@ -110,7 +119,10 @@ __all__ = [
     "merge_shard_dumps",
     "plan_sweep",
     "rows_signature",
+    "solve_batch",
     "solve_many",
+    "spec_from_graph_dict",
+    "spec_from_problem",
     "summarize",
     "sweep",
     "sweep_cache_stats",

@@ -71,10 +71,8 @@ from repro.core.models import (
     VddHoppingModel,
 )
 from repro.core.problem import MinEnergyProblem
-from repro.core.validation import check_solution
 from repro.graphs.analysis import longest_path_length
 from repro.graphs.io import graph_from_json
-from repro.solve import solve
 from repro.utils.errors import ReproError
 
 
@@ -107,6 +105,8 @@ def _build_model(args: argparse.Namespace) -> EnergyModel:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.api import HTTPTransport, LocalTransport, SolverClient
+
     with open(args.graph, "r", encoding="utf-8") as handle:
         graph = graph_from_json(handle.read())
     model = _build_model(args)
@@ -120,20 +120,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             graph, weight=lambda n: graph.work(n) / s_max)
     problem = MinEnergyProblem(graph=graph, deadline=deadline, model=model)
     options = {"backend": args.backend} if args.backend else {}
-    solution = solve(problem, method=args.method or None,
-                     exact=args.exact or None, options=options or None)
-    check_solution(solution)
+    if getattr(args, "url", ""):
+        transport = HTTPTransport(args.url,
+                                  token=getattr(args, "token", "") or None)
+    else:
+        transport = LocalTransport(workers=1, use_threads=True)
+    with SolverClient(transport) as client:
+        response = client.solve(problem, method=args.method or None,
+                                exact=args.exact or None,
+                                options=options or None,
+                                keep_speeds=True, validate=True)
     payload = {
         "graph": graph.name,
         "n_tasks": graph.n_tasks,
         "model": model.name,
         "deadline": deadline,
-        "solver": solution.solver,
-        "energy": solution.energy,
-        "makespan": solution.makespan,
-        "lower_bound": solution.lower_bound,
-        "optimal": solution.optimal,
-        "speeds": {k: round(v, 9) for k, v in sorted(solution.speeds().items())},
+        "solver": response.solver,
+        "energy": response.energy,
+        "makespan": response.makespan,
+        "lower_bound": response.lower_bound,
+        "optimal": response.optimal,
+        "speeds": {k: round(v, 9)
+                   for k, v in sorted((response.speeds or {}).items())},
     }
     print(json.dumps(payload, indent=2))
     return 0
@@ -457,7 +465,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve(host=args.host, port=args.port, jobs_dir=args.jobs_dir,
                  cache_dir=args.cache_dir or None,
                  workers=max(1, args.workers), verbose=args.verbose,
-                 token=args.token or None)
+                 token=args.token or None,
+                 batch_window_ms=max(0.0, args.batch_window_ms),
+                 batch_max=max(1, args.batch_max))
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -646,6 +656,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="modeling-layer LP/convex backend for methods "
                                    "that accept one (see 'repro backends'); an "
                                    "unknown name fails with the available set")
+    solve_parser.add_argument("--url", default="",
+                              help="solve on a remote 'repro serve' backend "
+                                   "(POST /v1/solve) instead of in-process")
+    solve_parser.add_argument("--token", default="",
+                              help="bearer token for --url (default: the "
+                                   "REPRO_TOKEN environment variable)")
     solve_parser.set_defaults(handler=_cmd_solve)
 
     backends_parser = sub.add_parser(
@@ -817,6 +833,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "on every route except /v1/healthz "
                                    "(default: the REPRO_TOKEN environment "
                                    "variable; empty = open server)")
+    serve_parser.add_argument("--batch-window-ms", type=float, default=2.0,
+                              help="coalescing window of the /v1/solve "
+                                   "micro-batcher in milliseconds (default 2; "
+                                   "0 = drain-only, minimal added latency)")
+    serve_parser.add_argument("--batch-max", type=int, default=512,
+                              help="execute a batch tick as soon as this many "
+                                   "solves are queued (default 512)")
     serve_parser.set_defaults(handler=_cmd_serve)
 
     status_parser = sub.add_parser(

@@ -8,6 +8,9 @@ at will.  Routes (all under :data:`repro.api.protocol.PROTOCOL_PREFIX`):
 =======  ==========================  ===========================================
 Method   Path                        Body / response
 =======  ==========================  ===========================================
+POST     ``/v1/solve``               :class:`SolveRequest` wire -> solve response
+POST     ``/v1/solve_batch``         request batch -> one packed row frame
+GET      ``/v1/batch_stats``         micro-batcher coalescing statistics
 POST     ``/v1/jobs``                :class:`SweepRequest` wire -> job record
 GET      ``/v1/jobs``                ``{"jobs": [record, ...]}``
 GET      ``/v1/jobs/<id>``           job record
@@ -17,6 +20,16 @@ GET      ``/v1/jobs/<id>/events``    chunked ndjson stream of progress events
 GET      ``/v1/healthz``             liveness probe (never requires auth)
 GET      ``/v1/queue``               queue depth / lease health counters
 =======  ==========================  ===========================================
+
+``/v1/solve`` is the synchronous fast path: no job record, no polling —
+the request is solved inline (coalesced with concurrent requests by the
+server's :class:`repro.service.MicroBatcher`) and answered in the same
+round-trip with a :class:`~repro.api.protocol.SolveResponse` body, 200
+even for a captured solve failure (``ok=false`` + typed ``error_type``).
+``/v1/solve_batch`` takes ``{"requests": [...], "keep_speeds": bool}``
+and answers with one compact binary row frame
+(:mod:`repro.api.rowcodec`): all numeric columns of all rows in a single
+base64 float64 matrix, decoded client-side back into response rows.
 
 Failures are **typed error bodies** (:func:`repro.api.protocol.error_to_wire`),
 mapped onto status codes: unknown job -> 404, malformed payload or
@@ -48,14 +61,26 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.api.client import DiskTransport, Transport
+import numpy as np
+
+from repro.api.client import (
+    DiskTransport,
+    Transport,
+    execute_solve,
+    execute_solve_batch,
+)
 from repro.api.protocol import (
     PROTOCOL_PREFIX,
     SCHEMA_VERSION,
+    SolveRequest,
+    SolveResponse,
     SweepRequest,
+    check_schema_version,
     error_to_wire,
     table_to_wire,
 )
+from repro.api.rowcodec import encode_rows
+from repro.service.batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_MS
 from repro.utils.errors import (
     AuthError,
     JobStateError,
@@ -89,11 +114,24 @@ def _status_for(exc: BaseException) -> int:
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-solver/1"
+    # buffer the response so status line + headers + body leave as one TCP
+    # segment, and disable Nagle: an unbuffered wfile writes each header as
+    # its own packet, which interacts with delayed ACKs into ~40ms stalls
+    # on the latency-sensitive /v1/solve round-trip (handle_one_request
+    # flushes after every response, and the chunked event stream flushes
+    # explicitly, so buffering never delays a reply)
+    wbufsize = 64 * 1024
+    disable_nagle_algorithm = True
 
-    # the owning SolverHTTPServer sets this on the server object
+    # the owning SolverHTTPServer sets these on the server object
     @property
     def transport(self) -> Transport:
         return self.server.transport  # type: ignore[attr-defined]
+
+    @property
+    def solver(self):
+        """The shared solve-path service (micro-batcher + vector core)."""
+        return self.server.solver  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -154,6 +192,12 @@ class _Handler(BaseHTTPRequestHandler):
             if path == f"{PROTOCOL_PREFIX}/healthz" and method == "GET":
                 return self._healthz()  # liveness probes skip auth
             self._check_auth()
+            if path == f"{PROTOCOL_PREFIX}/solve" and method == "POST":
+                return self._solve()
+            if path == f"{PROTOCOL_PREFIX}/solve_batch" and method == "POST":
+                return self._solve_batch()
+            if path == f"{PROTOCOL_PREFIX}/batch_stats" and method == "GET":
+                return self._batch_stats()
             if path == f"{PROTOCOL_PREFIX}/queue" and method == "GET":
                 return self._queue()
             if path == f"{PROTOCOL_PREFIX}/jobs":
@@ -205,6 +249,61 @@ class _Handler(BaseHTTPRequestHandler):
         stats = (queue_stats(store) if stale_after is None
                  else queue_stats(store, stale_after=stale_after))
         self._send_json({"schema_version": SCHEMA_VERSION, **stats})
+
+    def _solve(self) -> None:
+        """The synchronous fast path: solve inline, answer in-band.
+
+        Coalesces with concurrent requests through the solver service's
+        micro-batcher; a captured failure is a 200 with ``ok=false`` (the
+        client re-raises it typed), only a malformed payload is a 4xx.
+        """
+        request = SolveRequest.from_wire(self._read_body())
+        self._send_json(execute_solve(self.solver, request).to_wire())
+
+    def _solve_batch(self) -> None:
+        """One request, one batch tick, one packed binary row frame."""
+        body = self._read_body()
+        if not isinstance(body, dict) or \
+                not isinstance(body.get("requests"), list):
+            raise TransportError(
+                "malformed batch solve: expected an object with a "
+                "requests array")
+        check_schema_version(body, what="batch solve request")
+        keep_speeds = bool(body.get("keep_speeds", False))
+        rows: list[SolveResponse | None] = [None] * len(body["requests"])
+        parsed: list[tuple[int, SolveRequest]] = []
+        for i, payload in enumerate(body["requests"]):
+            try:
+                parsed.append((i, SolveRequest.from_wire(payload)))
+            except ReproError as exc:  # a bad instance is a row, not a 4xx
+                name = str(payload.get("name", "")) \
+                    if isinstance(payload, dict) else ""
+                rows[i] = SolveResponse.from_failure(exc, name=name)
+        responses = execute_solve_batch(
+            self.solver, [request for _i, request in parsed],
+            keep_speeds=keep_speeds)
+        order_of: dict[int, list[str]] = {}
+        for (i, request), response in zip(parsed, responses):
+            rows[i] = response
+            order_of[i] = list((request.graph.get("tasks") or {}).keys())
+        speeds_vectors = None
+        if any(row.speeds for row in rows):
+            # re-emit each speed map as a vector in the request's own task
+            # order, which the client reattaches without names travelling
+            speeds_vectors = []
+            for i, row in enumerate(rows):
+                order = order_of.get(i)
+                if row.speeds and order \
+                        and all(t in row.speeds for t in order):
+                    speeds_vectors.append(np.array(
+                        [row.speeds[t] for t in order], dtype="<f8"))
+                else:
+                    speeds_vectors.append(None)
+        self._send_json(encode_rows(rows, speeds_vectors=speeds_vectors))
+
+    def _batch_stats(self) -> None:
+        self._send_json({"schema_version": SCHEMA_VERSION,
+                         **self.solver.batch_stats()})
 
     def _submit(self) -> None:
         request = SweepRequest.from_wire(self._read_body())
@@ -276,10 +375,21 @@ class SolverHTTPServer:
 
     def __init__(self, transport: Transport, *, host: str = "127.0.0.1",
                  port: int = 0, verbose: bool = False,
-                 token: str | None = None) -> None:
+                 token: str | None = None,
+                 batch_window_ms: float = DEFAULT_WINDOW_MS,
+                 batch_max: int = DEFAULT_MAX_BATCH) -> None:
+        from repro.service import SolverService
+
         self.transport = transport
+        # the synchronous solve fast path: its own single-thread service
+        # (the vector core never hops to a pool), shared by all handler
+        # threads so concurrent /v1/solve requests coalesce into ticks
+        self.solver = SolverService(workers=1, use_threads=True,
+                                    batch_window_ms=batch_window_ms,
+                                    batch_max=batch_max)
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.transport = transport  # type: ignore[attr-defined]
+        self.httpd.solver = self.solver  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
         self.httpd.token = token or None  # type: ignore[attr-defined]
         self.httpd.daemon_threads = True
@@ -316,6 +426,7 @@ class SolverHTTPServer:
         self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+        self.solver.shutdown()
         self.transport.close()
 
     def __enter__(self) -> "SolverHTTPServer":
@@ -328,13 +439,17 @@ class SolverHTTPServer:
 def serve(*, host: str = "127.0.0.1", port: int = 8731,
           jobs_dir: str = ".repro-jobs", cache_dir: str | None = None,
           workers: int = 2, use_threads: bool = False,
-          verbose: bool = False, token: str | None = None) -> int:
+          verbose: bool = False, token: str | None = None,
+          batch_window_ms: float = DEFAULT_WINDOW_MS,
+          batch_max: int = DEFAULT_MAX_BATCH) -> int:
     """Run the solver service in the foreground (the ``repro serve`` body).
 
     Jobs are executed by a :class:`DiskTransport`, so every submission is
     durably recorded under ``jobs_dir`` and survives a server restart as a
-    re-attachable record.  ``token`` (default: the ``REPRO_TOKEN``
-    environment variable) turns on bearer-token auth for every route but
+    re-attachable record; synchronous ``/v1/solve`` requests coalesce into
+    vectorized batch ticks governed by ``batch_window_ms`` /
+    ``batch_max``.  ``token`` (default: the ``REPRO_TOKEN`` environment
+    variable) turns on bearer-token auth for every route but
     ``/v1/healthz``.  Returns the process exit code.
     """
     if token is None:
@@ -343,12 +458,15 @@ def serve(*, host: str = "127.0.0.1", port: int = 8731,
                               use_threads=use_threads)
     try:
         server = SolverHTTPServer(transport, host=host, port=port,
-                                  verbose=verbose, token=token)
+                                  verbose=verbose, token=token,
+                                  batch_window_ms=batch_window_ms,
+                                  batch_max=batch_max)
     except OSError as exc:
         print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
         return 2
     print(f"repro solver service on {server.url} "
           f"(jobs: {transport.store.directory}, workers: {workers}, "
+          f"batch window: {batch_window_ms:g}ms, "
           f"auth: {'bearer token' if token else 'open'}); "
           "Ctrl+C to stop", file=sys.stderr)
     try:
@@ -357,5 +475,6 @@ def serve(*, host: str = "127.0.0.1", port: int = 8731,
         print("shutting down", file=sys.stderr)
     finally:
         server.httpd.server_close()
+        server.solver.shutdown()
         transport.close()
     return 0

@@ -23,6 +23,7 @@ From the command line::
     python -m repro jobs
 """
 
+from repro.service.batcher import MicroBatcher
 from repro.service.jobs import JobHandle, JobProgress, JobStatus
 from repro.service.service import SolverService
 
@@ -30,5 +31,6 @@ __all__ = [
     "JobHandle",
     "JobProgress",
     "JobStatus",
+    "MicroBatcher",
     "SolverService",
 ]

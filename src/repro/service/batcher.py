@@ -1,0 +1,205 @@
+"""Request coalescing for the synchronous solve fast path.
+
+A :class:`MicroBatcher` sits between concurrent single-solve submitters
+(HTTP handler threads, :meth:`SolverService.solve` callers) and the
+struct-of-arrays batch solver.  Submissions land in a queue; a single tick
+thread wakes on the first item, waits up to ``window_ms`` for company (or
+until ``max_batch`` items arrived), then drains the queue and executes
+*one* vectorized :func:`repro.batch.vectorized.solve_batch` call for the
+whole tick.  N concurrent submitters therefore cost a handful of batch
+ticks instead of N scalar solve pipelines — the occupancy histogram in
+:meth:`stats` is the direct measurement.
+
+Submissions with different solver parameters may share a tick; the drain
+groups them by ``(method, exact, options)`` so each group still makes a
+single batch call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from concurrent.futures import Future
+from typing import Any, Sequence
+
+from repro.batch.engine import BatchResult
+from repro.batch.vectorized import InstanceSpec, solve_batch
+from repro.core.problem import MinEnergyProblem
+
+#: Default coalescing window: how long the first submission of a tick
+#: waits for company before the batch executes.
+DEFAULT_WINDOW_MS = 2.0
+
+#: Default tick-size cap: a full tick executes immediately.
+DEFAULT_MAX_BATCH = 512
+
+
+class MicroBatcher:
+    """Coalesce concurrent solve submissions into vectorized batch ticks.
+
+    Parameters
+    ----------
+    window_ms:
+        Coalescing window in milliseconds.  ``0`` disables waiting: each
+        tick drains whatever is queued the moment the thread wakes (still
+        coalescing under concurrency, minimal added latency).
+    max_batch:
+        A tick executes as soon as this many submissions are queued.
+    """
+
+    def __init__(self, *, window_ms: float = DEFAULT_WINDOW_MS,
+                 max_batch: int = DEFAULT_MAX_BATCH) -> None:
+        if window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {window_ms}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window = window_ms / 1000.0
+        self.max_batch = max_batch
+        self._cond = threading.Condition()
+        self._queue: list[tuple[Any, dict[str, Any], Future]] = []
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        # stats (guarded by _cond's lock)
+        self._ticks = 0
+        self._submitted = 0
+        self._direct = 0
+        self._occupancy: Counter[int] = Counter()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, item: "MinEnergyProblem | InstanceSpec", *,
+               method: str | None = None, exact: bool | None = None,
+               options: dict[str, Any] | None = None,
+               keep_speeds: bool = False,
+               validate: bool = False) -> "Future[BatchResult]":
+        """Queue one instance; the future resolves to its ``BatchResult``.
+
+        The future never carries a solve failure as an exception — failed
+        instances resolve to ``ok=False`` rows exactly like
+        :func:`repro.batch.solve_many`.  It only errors if the batcher is
+        shut down underneath the submission.
+        """
+        key = (method, exact,
+               tuple(sorted((options or {}).items())), keep_speeds, validate)
+        future: "Future[BatchResult]" = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is shut down")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-batcher", daemon=True)
+                self._thread.start()
+            self._queue.append((item, {"key": key, "method": method,
+                                       "exact": exact,
+                                       "options": dict(options or {}),
+                                       "keep_speeds": keep_speeds,
+                                       "validate": validate}, future))
+            self._submitted += 1
+            self._cond.notify()
+        return future
+
+    def solve(self, item: "MinEnergyProblem | InstanceSpec", *,
+              method: str | None = None, exact: bool | None = None,
+              options: dict[str, Any] | None = None,
+              keep_speeds: bool = False, validate: bool = False,
+              timeout: float | None = None) -> BatchResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(item, method=method, exact=exact, options=options,
+                           keep_speeds=keep_speeds,
+                           validate=validate).result(timeout=timeout)
+
+    def record_direct(self, batch_size: int) -> None:
+        """Fold an out-of-band batch call into the occupancy statistics.
+
+        ``solve_batch`` requests execute directly (they arrive pre-batched)
+        but still count as one tick of the given occupancy, so the
+        histogram reflects everything the vector core swallowed.
+        """
+        with self._cond:
+            self._ticks += 1
+            self._direct += 1
+            self._submitted += batch_size
+            self._occupancy[batch_size] += 1
+
+    # ------------------------------------------------------------------ #
+    # the tick loop
+    # ------------------------------------------------------------------ #
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._queue:
+                    return
+                if self.window > 0.0:
+                    deadline = time.monotonic() + self.window
+                    while len(self._queue) < self.max_batch and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            break
+                batch = self._queue[:self.max_batch]
+                del self._queue[:self.max_batch]
+                self._ticks += 1
+                self._occupancy[len(batch)] += 1
+            self._execute(batch)
+
+    def _execute(self, batch: list[tuple[Any, dict[str, Any], Future]]) -> None:
+        # group by solver parameters; typical ticks are uniform -> one call
+        groups: dict[tuple, list[tuple[int, Any, dict[str, Any]]]] = {}
+        for pos, (item, spec, _future) in enumerate(batch):
+            groups.setdefault(spec["key"], []).append((pos, item, spec))
+        for members in groups.values():
+            futures = [batch[pos][2] for pos, _item, _spec in members]
+            params = members[0][2]
+            try:
+                results = solve_batch(
+                    [item for _pos, item, _spec in members],
+                    method=params["method"], exact=params["exact"],
+                    options=params["options"] or None,
+                    keep_speeds=params["keep_speeds"],
+                    validate=params["validate"])
+            except BaseException as exc:  # defensive: never strand futures
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for future, result in zip(futures, results):
+                future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Coalescing statistics: ticks, occupancy histogram, averages."""
+        with self._cond:
+            occupancy = dict(sorted(self._occupancy.items()))
+            ticks = self._ticks
+            submitted = self._submitted
+            return {
+                "ticks": ticks,
+                "submitted": submitted,
+                "direct_batches": self._direct,
+                "window_ms": self.window * 1000.0,
+                "max_batch": self.max_batch,
+                "occupancy": occupancy,
+                "mean_occupancy": (submitted / ticks) if ticks else 0.0,
+                "max_occupancy": max(occupancy) if occupancy else 0,
+            }
+
+    def close(self) -> None:
+        """Drain the queue and stop the tick thread (idempotent)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        thread = self._thread
+        if thread is not None and thread.is_alive() \
+                and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -27,10 +27,12 @@ import uuid
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
-from repro.batch.engine import _WorkItem, _result_from_envelope, _solve_one
+from repro.batch.engine import BatchResult, _WorkItem, _result_from_envelope, _solve_one
 from repro.batch.shard import ShardSpec
 from repro.batch.sweep import plan_sweep, sweep_table
+from repro.batch.vectorized import VECTORIZE_MAX_TASKS, InstanceSpec, solve_batch
 from repro.core.problem import MinEnergyProblem
+from repro.service.batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_MS, MicroBatcher
 from repro.service.jobs import JobHandle, JobStatus
 from repro.utils.tables import Table
 
@@ -58,11 +60,17 @@ class SolverService:
         :func:`repro.core.validation.check_solution` in the worker.
     keep_speeds:
         Include per-task speeds in every result.
+    batch_window_ms / batch_max:
+        Coalescing window and tick-size cap of the synchronous solve fast
+        path (:meth:`solve` / :meth:`solve_batch`), which runs on a
+        :class:`~repro.service.batcher.MicroBatcher` instead of the pool.
     """
 
     def __init__(self, *, workers: int = 2, use_threads: bool = False,
                  cache: "ResultCache | None" = None,
-                 validate: bool = True, keep_speeds: bool = False) -> None:
+                 validate: bool = True, keep_speeds: bool = False,
+                 batch_window_ms: float = DEFAULT_WINDOW_MS,
+                 batch_max: int = DEFAULT_MAX_BATCH) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.cache = cache
@@ -77,6 +85,9 @@ class SolverService:
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
         self._closed = False
+        self._batch_window_ms = batch_window_ms
+        self._batch_max = batch_max
+        self._batcher: MicroBatcher | None = None
 
     # ------------------------------------------------------------------ #
     # submission
@@ -224,6 +235,71 @@ class SolverService:
         return write
 
     # ------------------------------------------------------------------ #
+    # synchronous solves (micro-batched fast path)
+    # ------------------------------------------------------------------ #
+    def batcher(self) -> MicroBatcher:
+        """The lazily started micro-batcher behind :meth:`solve`."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SolverService is shut down")
+            if self._batcher is None:
+                self._batcher = MicroBatcher(
+                    window_ms=self._batch_window_ms,
+                    max_batch=self._batch_max)
+            return self._batcher
+
+    def solve(self, item: "MinEnergyProblem | InstanceSpec", *,
+              method: str | None = None, exact: bool | None = None,
+              options: dict[str, Any] | None = None,
+              keep_speeds: bool = False, validate: bool = False,
+              timeout: float | None = None) -> BatchResult:
+        """Solve one instance synchronously, coalescing with concurrent calls.
+
+        Small instances queue on the micro-batcher (one vectorized batch
+        tick per coalescing window); large ones solve immediately in the
+        calling thread — no job record, no cache, no pool hop either way.
+        Failures come back as ``ok=False`` rows, never as raised
+        exceptions (use :meth:`repro.api.SolverClient.solve` for the
+        raising flavour).
+        """
+        n_tasks = item.n_tasks
+        if n_tasks > VECTORIZE_MAX_TASKS:
+            return solve_batch([item], method=method, exact=exact,
+                               options=options, keep_speeds=keep_speeds,
+                               validate=validate)[0]
+        return self.batcher().solve(
+            item, method=method, exact=exact, options=options,
+            keep_speeds=keep_speeds, validate=validate, timeout=timeout)
+
+    def solve_many_now(self, items: "Sequence[MinEnergyProblem | InstanceSpec]",
+                       *, method: str | None = None, exact: bool | None = None,
+                       options: dict[str, Any] | None = None,
+                       keep_speeds: bool = False,
+                       validate: bool = False) -> list[BatchResult]:
+        """Solve a pre-assembled batch in one vectorized call (one tick).
+
+        The transport-level twin of :func:`repro.batch.solve_many` for
+        callers that already hold all their instances: executes
+        immediately in the calling thread and records one
+        occupancy-``len(items)`` tick in :meth:`batch_stats`.
+        """
+        results = solve_batch(items, method=method, exact=exact,
+                              options=options, keep_speeds=keep_speeds,
+                              validate=validate)
+        self.batcher().record_direct(len(items))
+        return results
+
+    def batch_stats(self) -> dict[str, Any]:
+        """Coalescing statistics of the solve fast path."""
+        with self._lock:
+            if self._batcher is None:
+                return {"ticks": 0, "submitted": 0, "direct_batches": 0,
+                        "window_ms": self._batch_window_ms,
+                        "max_batch": self._batch_max, "occupancy": {},
+                        "mean_occupancy": 0.0, "max_occupancy": 0}
+        return self._batcher.stats()
+
+    # ------------------------------------------------------------------ #
     # job book-keeping
     # ------------------------------------------------------------------ #
     def job(self, job_id: str) -> JobHandle:
@@ -276,6 +352,10 @@ class SolverService:
     def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
         """Shut the pool down; optionally cancel not-yet-started instances."""
         self._closed = True
+        with self._lock:
+            batcher, self._batcher = self._batcher, None
+        if batcher is not None:
+            batcher.close()
         self._pool.shutdown(wait=wait, cancel_futures=cancel_pending)
 
     def __enter__(self) -> "SolverService":

@@ -1,0 +1,371 @@
+"""Tests for the vectorized batch solve path and the solve API.
+
+Covers: the struct-of-arrays batch solver against the scalar reference on
+every closed-form graph class (energies and speeds within 1e-9 over
+randomized instances, alphas and slacks), the fallback routes (convex-only
+graphs, s_max saturation, infeasible instances, non-continuous models),
+the micro-batcher's coalescing guarantee (N concurrent submissions cost
+far fewer than N ticks), the SolveRequest/SolveResponse wire envelopes,
+the binary row codec (round-trip plus malformed-frame rejection), solve /
+solve_batch parity across the Local, Disk and HTTP transports, and
+``repro solve --url``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DiskTransport,
+    HTTPTransport,
+    LocalTransport,
+    SolveRequest,
+    SolveResponse,
+    SolverClient,
+    decode_rows,
+    encode_rows,
+)
+from repro.batch import solve_batch, spec_from_graph_dict, spec_from_problem
+from repro.cli import main
+from repro.core.models import ContinuousModel, DiscreteModel
+from repro.core.power import CUBIC, PowerLaw
+from repro.core.problem import MinEnergyProblem
+from repro.graphs import generators
+from repro.graphs.analysis import longest_path_length
+from repro.graphs.io import graph_to_dict, graph_to_json
+from repro.server import SolverHTTPServer
+from repro.service import MicroBatcher, SolverService
+from repro.solve import solve as scalar_solve
+from repro.utils.errors import (
+    InfeasibleProblemError,
+    InvalidGraphError,
+    InvalidOptionError,
+    TransportError,
+)
+
+GRAPH_CLASSES = {
+    "chain": lambda seed: generators.chain(7, seed=seed),
+    "fork": lambda seed: generators.fork(6, seed=seed),
+    "join": lambda seed: generators.join(6, seed=seed),
+    "fork_join": lambda seed: generators.fork_join(5, seed=seed),
+    "random_tree": lambda seed: generators.random_tree(14, seed=seed),
+    "random_sp": lambda seed: generators.random_series_parallel(12, seed=seed),
+    "layered_dag": lambda seed: generators.layered_dag(10, seed=seed),
+}
+
+
+def make_problem(graph, *, slack=1.6, s_max=2.0, alpha=3.0):
+    # critical path at unit speed for uncapped models, else at the cap
+    pace = 1.0 if s_max == float("inf") else s_max
+    deadline = slack * longest_path_length(
+        graph, weight=lambda n: graph.work(n) / pace)
+    power = CUBIC if alpha == 3.0 else PowerLaw(alpha=alpha)
+    return MinEnergyProblem(graph=graph, deadline=deadline,
+                            model=ContinuousModel(s_max=s_max), power=power)
+
+
+@pytest.fixture(scope="module")
+def http_server(tmp_path_factory):
+    transport = DiskTransport(tmp_path_factory.mktemp("solve-server-jobs"),
+                              use_threads=True)
+    with SolverHTTPServer(transport, batch_window_ms=5.0).start() as server:
+        yield server
+
+
+class TestVectorizedVsScalar:
+    @pytest.mark.parametrize("alpha", [2.0, 3.0])
+    @pytest.mark.parametrize("slack", [1.25, 2.5])
+    def test_matches_scalar_on_every_class(self, alpha, slack):
+        problems = [make_problem(build(seed), slack=slack, alpha=alpha)
+                    for build in GRAPH_CLASSES.values()
+                    for seed in (3, 11)]
+        rows = solve_batch(problems, keep_speeds=True)
+        vectorized = 0
+        for problem, row in zip(problems, rows):
+            reference = scalar_solve(problem)
+            assert row.ok, (problem.graph.name, row.error)
+            assert row.energy == pytest.approx(reference.energy, abs=1e-9,
+                                               rel=1e-9)
+            for task, speed in reference.speeds().items():
+                assert row.speeds[task] == pytest.approx(speed, abs=1e-9,
+                                                         rel=1e-9)
+            vectorized += bool(row.metadata.get("vectorized"))
+        # the vector path must carry real traffic; how much depends on how
+        # many instances saturate the cap (those fall back per instance,
+        # and the parity checks above already proved them equal)
+        assert vectorized >= 1
+
+    def test_uncapped_model_and_wire_specs(self):
+        graph = generators.random_tree(16, seed=5)
+        problem = make_problem(graph, s_max=float("inf"), slack=1.0)
+        spec = spec_from_graph_dict(graph_to_dict(graph),
+                                    deadline=problem.deadline, alpha=3.0,
+                                    s_max=float("inf"), name="wire")
+        rows = solve_batch([problem, spec], keep_speeds=True)
+        reference = scalar_solve(problem)
+        for row in rows:
+            assert row.ok and row.metadata.get("vectorized")
+            assert row.energy == pytest.approx(reference.energy, rel=1e-9)
+
+    def test_saturated_instances_fall_back_exactly(self):
+        # slack 1.05 forces speeds at/over the cap on some instances:
+        # those must fall back to the scalar solver and agree with it
+        problems = [make_problem(generators.fork(5, seed=s), slack=1.05,
+                                 s_max=1.0) for s in range(6)]
+        rows = solve_batch(problems)
+        assert any(not r.metadata.get("vectorized") for r in rows if r.ok)
+        for problem, row in zip(problems, rows):
+            if row.ok:
+                assert row.energy == pytest.approx(
+                    scalar_solve(problem).energy, rel=1e-9)
+
+    def test_infeasible_and_invalid_are_rows_not_raises(self):
+        bad = MinEnergyProblem(graph=generators.chain(4),
+                               deadline=1e-4, model=ContinuousModel(s_max=1.0))
+        good = make_problem(generators.chain(4))
+        rows = solve_batch([bad, good])
+        assert not rows[0].ok
+        assert rows[0].error_type == "InfeasibleProblemError"
+        assert rows[1].ok
+
+    def test_non_continuous_models_use_the_scalar_engine(self):
+        graph = generators.chain(4)
+        problem = MinEnergyProblem(
+            graph=graph, deadline=2.0 * longest_path_length(graph),
+            model=DiscreteModel(modes=(0.4, 0.7, 1.0)))
+        (row,) = solve_batch([problem])
+        assert row.ok and not row.metadata.get("vectorized")
+        assert row.energy == pytest.approx(scalar_solve(problem).energy)
+
+    def test_validate_reproduces_the_deadline(self):
+        problem = make_problem(generators.random_tree(12, seed=2))
+        (row,) = solve_batch([problem], validate=True, keep_speeds=True)
+        assert row.ok and row.makespan == pytest.approx(problem.deadline)
+
+    def test_malformed_graph_dict_is_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            spec_from_graph_dict({"tasks": {"a": 1.0},
+                                  "edges": [["a", "missing"]]},
+                                 deadline=1.0, alpha=3.0,
+                                 s_max=1.0, name="bad")
+
+    def test_spec_from_problem_round_trips_the_name(self):
+        problem = make_problem(generators.random_tree(6, seed=9))
+        spec = spec_from_problem(problem)
+        assert spec.n_tasks == 6
+        assert spec.display_name == problem.name
+
+
+class TestMicroBatcherCoalescing:
+    def test_concurrent_submits_share_ticks(self):
+        problems = [make_problem(generators.random_tree(8, seed=s))
+                    for s in range(40)]
+        with MicroBatcher(window_ms=25.0) as batcher:
+            results: list = [None] * len(problems)
+
+            def run(i):
+                results[i] = batcher.solve(problems[i])
+
+            threads = [threading.Thread(target=run, args=(i,))
+                       for i in range(len(problems))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = batcher.stats()
+        assert all(r.ok for r in results)
+        assert stats["submitted"] == len(problems)
+        # the whole point: far fewer ticks than submissions
+        assert stats["ticks"] < len(problems) / 2
+        assert stats["mean_occupancy"] > 1.0
+
+    def test_closed_batcher_rejects_submissions(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(make_problem(generators.chain(3)))
+
+    def test_service_solve_routes_large_instances_directly(self):
+        with SolverService(workers=1, use_threads=True) as service:
+            small = service.solve(make_problem(generators.chain(5)))
+            big = service.solve(
+                make_problem(generators.random_tree(400, seed=1)))
+            assert small.ok and big.ok
+            stats = service.batch_stats()
+            # only the small instance went through the batcher queue
+            assert stats["submitted"] >= 1
+
+
+class TestSolveEnvelopes:
+    def test_request_round_trip(self):
+        problem = make_problem(generators.random_tree(9, seed=4))
+        request = SolveRequest.from_problem(problem, keep_speeds=True)
+        again = SolveRequest.from_wire(
+            json.loads(json.dumps(request.to_wire())))
+        assert again == request
+        rebuilt = again.build_problem()
+        assert rebuilt.deadline == pytest.approx(problem.deadline)
+
+    def test_request_needs_exactly_one_deadline_form(self):
+        graph = graph_to_dict(generators.chain(3))
+        with pytest.raises(InvalidOptionError):
+            SolveRequest(graph=graph)
+        with pytest.raises(InvalidOptionError):
+            SolveRequest(graph=graph, deadline=1.0, slack=1.5)
+
+    def test_request_rejects_unknown_fields(self):
+        wire = SolveRequest(graph=graph_to_dict(generators.chain(3)),
+                            deadline=5.0).to_wire()
+        wire["surprise"] = 1
+        with pytest.raises(TransportError):
+            SolveRequest.from_wire(wire)
+
+    def test_response_round_trip_and_typed_reraise(self):
+        response = SolveResponse.from_failure(
+            InfeasibleProblemError("too tight"), name="x", n_tasks=3)
+        again = SolveResponse.from_wire(
+            json.loads(json.dumps(response.to_wire())))
+        with pytest.raises(InfeasibleProblemError):
+            again.raise_for_error()
+
+    def test_codec_round_trip_with_speeds(self):
+        rows = [SolveResponse(ok=True, name="a", n_tasks=2, energy=1.5,
+                              makespan=2.0, solver="s1", optimal=True,
+                              seconds=0.01),
+                SolveResponse.from_failure(ValueError("boom"), name="b"),
+                SolveResponse(ok=True, name="c", n_tasks=1, energy=0.5,
+                              makespan=1.0, solver="s1", optimal=True,
+                              seconds=0.02)]
+        frame = encode_rows(rows, speeds_vectors=[
+            np.array([1.0, 2.0]), None, np.array([0.5])])
+        decoded = decode_rows(json.loads(json.dumps(frame)),
+                              task_names=[["t0", "t1"], None, ["u0"]])
+        assert decoded[0].speeds == {"t0": 1.0, "t1": 2.0}
+        assert decoded[1].error_type == "ValueError" and not decoded[1].ok
+        assert decoded[2].speeds == {"u0": 0.5}
+        assert [r.energy for r in decoded] == [1.5, None, 0.5]
+
+    @pytest.mark.parametrize("mutate", [
+        lambda f: f.update(kind="nope"),
+        lambda f: f.update(columns=["ok"]),
+        lambda f: f.update(data="@@@not-base64@@@"),
+        lambda f: f.update(count=99),
+    ])
+    def test_codec_rejects_malformed_frames(self, mutate):
+        frame = encode_rows([SolveResponse(ok=True, name="a", n_tasks=1,
+                                           energy=1.0, makespan=1.0,
+                                           solver="s", seconds=0.0)])
+        mutate(frame)
+        with pytest.raises(TransportError):
+            decode_rows(frame)
+
+
+class TestTransportParity:
+    @pytest.fixture
+    def make_client(self, tmp_path, http_server):
+        opened = []
+
+        def build(kind: str) -> SolverClient:
+            if kind == "local":
+                client = SolverClient(LocalTransport(workers=1,
+                                                     use_threads=True))
+            elif kind == "disk":
+                client = SolverClient(DiskTransport(tmp_path / "jobs",
+                                                    use_threads=True))
+            else:
+                client = SolverClient(HTTPTransport(http_server.url))
+            opened.append(client)
+            return client
+
+        yield build
+        for client in opened:
+            client.close()
+
+    @pytest.mark.parametrize("kind", ["local", "disk", "http"])
+    def test_solve_matches_the_scalar_reference(self, make_client, kind):
+        client = make_client(kind)
+        for name in ("random_tree", "layered_dag"):  # vector + convex routes
+            problem = make_problem(GRAPH_CLASSES[name](seed=8))
+            response = client.solve(problem)
+            reference = scalar_solve(problem)
+            assert response.ok
+            assert response.energy == pytest.approx(reference.energy,
+                                                    rel=1e-9)
+            assert response.speeds and len(response.speeds) == \
+                problem.graph.n_tasks
+
+    @pytest.mark.parametrize("kind", ["local", "disk", "http"])
+    def test_solve_batch_is_transport_identical(self, make_client, kind):
+        problems = [make_problem(build(seed))
+                    for build in GRAPH_CLASSES.values() for seed in (1, 2)]
+        client = make_client(kind)
+        rows = client.solve_batch(problems, keep_speeds=True)
+        assert len(rows) == len(problems)
+        for problem, row in zip(problems, rows):
+            reference = scalar_solve(problem)
+            assert row.ok, (kind, problem.graph.name, row.error)
+            assert row.energy == pytest.approx(reference.energy, rel=1e-9)
+            for task, speed in reference.speeds().items():
+                assert row.speeds[task] == pytest.approx(speed, abs=1e-9,
+                                                         rel=1e-9)
+
+    @pytest.mark.parametrize("kind", ["local", "disk", "http"])
+    def test_batch_errors_are_rows_and_solo_errors_raise(self, make_client,
+                                                         kind):
+        client = make_client(kind)
+        bad = MinEnergyProblem(graph=generators.chain(4), deadline=1e-4,
+                               model=ContinuousModel(s_max=1.0))
+        good = make_problem(generators.chain(4))
+        rows = client.solve_batch([bad, good])
+        assert not rows[0].ok
+        assert rows[0].error_type == "InfeasibleProblemError"
+        assert rows[1].ok and rows[1].speeds is None
+        with pytest.raises(InfeasibleProblemError):
+            client.solve(bad)
+
+    def test_http_batch_coalesces_concurrent_singles(self, http_server):
+        client = SolverClient(HTTPTransport(http_server.url))
+        problems = [make_problem(generators.random_tree(8, seed=s))
+                    for s in range(24)]
+        before = json.loads(__import__("urllib.request", fromlist=["request"])
+                            .urlopen(http_server.url + "/v1/batch_stats")
+                            .read())
+        results: list = [None] * len(problems)
+
+        def run(i):
+            results[i] = client.solve(problems[i])
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(len(problems))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        after = json.loads(__import__("urllib.request", fromlist=["request"])
+                           .urlopen(http_server.url + "/v1/batch_stats")
+                           .read())
+        assert all(r.ok for r in results)
+        assert after["submitted"] - before["submitted"] >= len(problems)
+        assert after["ticks"] - before["ticks"] < len(problems)
+
+
+class TestSolveCLI:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        path = tmp_path / "tree.json"
+        path.write_text(graph_to_json(generators.random_tree(10, seed=6)))
+        return path
+
+    def test_solve_url_matches_local(self, graph_file, http_server, capsys):
+        assert main(["solve", str(graph_file), "--slack", "1.5"]) == 0
+        local = json.loads(capsys.readouterr().out)
+        assert main(["solve", str(graph_file), "--slack", "1.5",
+                     "--url", http_server.url]) == 0
+        remote = json.loads(capsys.readouterr().out)
+        assert remote == local
+        assert remote["energy"] == pytest.approx(local["energy"])
+        assert len(remote["speeds"]) == 10
