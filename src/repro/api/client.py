@@ -33,6 +33,7 @@ Quickstart
 
 from __future__ import annotations
 
+import dataclasses
 import http.client as httpclient
 import json
 import os
@@ -61,9 +62,20 @@ from repro.api.protocol import (
     table_from_wire,
 )
 from repro.api.rowcodec import decode_rows
+from repro.reliability import failpoints
+from repro.reliability.policy import (
+    DEADLINE_HEADER,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    current_deadline,
+    deadline_scope,
+)
 from repro.utils.errors import (
     JobStateError,
     ReproError,
+    ServerShutdownError,
+    TransientTransportError,
     TransportError,
     UnknownJobError,
 )
@@ -127,12 +139,15 @@ def _request_failure(request: SolveRequest, exc: BaseException) -> SolveResponse
         n_tasks=len(request.graph.get("tasks") or ()))
 
 
-def execute_solve(service: "SolverService",
-                  request: SolveRequest) -> SolveResponse:
+def execute_solve(service: "SolverService", request: SolveRequest, *,
+                  deadline: "Deadline | None" = None) -> SolveResponse:
     """Run one solve request on a service's coalescing fast path.
 
     Request-level failures (bad graph, bad model) come back as ``ok=False``
     rows exactly like solve failures, so every transport sees one shape.
+    ``deadline`` bounds the solve (the batcher honours it);
+    :class:`~repro.utils.errors.DeadlineExceededError` propagates to the
+    caller — a spent budget is a request-level refusal, not a row.
     """
     try:
         item = request.to_instance()
@@ -141,7 +156,7 @@ def execute_solve(service: "SolverService",
     result = service.solve(item, method=request.method, exact=request.exact,
                            options=request.options or None,
                            keep_speeds=request.keep_speeds,
-                           validate=request.validate)
+                           validate=request.validate, deadline=deadline)
     return SolveResponse.from_result(result)
 
 
@@ -234,21 +249,52 @@ class Transport:
     # ------------------------------------------------------------------ #
     # shared polling
     # ------------------------------------------------------------------ #
+    #: Consecutive transient status failures a polling loop rides out
+    #: before giving up.  A long-running ``wait`` must survive a server
+    #: restart or a dropped connection — one reset killing an hour-long
+    #: poll is exactly the bug this bounds — while a server that stays
+    #: down still fails with the last typed error instead of hanging.
+    POLL_TRANSIENT_TOLERANCE = 5
+
+    def _poll_status(self, job_id: str, failures: list[int]) -> "JobRecord | None":
+        """One tolerant status poll: a transient failure increments the
+        shared counter and returns ``None`` (skip this tick); success
+        resets it; the failure past the tolerance (or any terminal
+        transport error) propagates."""
+        try:
+            record = self.status(job_id)
+        except TransientTransportError:
+            failures[0] += 1
+            if failures[0] > self.POLL_TRANSIENT_TOLERANCE:
+                raise
+            return None
+        failures[0] = 0
+        return record
+
     def wait(self, job_id: str, *, timeout: float | None = None,
              poll_interval: float = 0.05) -> JobRecord:
-        """Poll with full-jitter exponential backoff until terminal."""
+        """Poll with full-jitter exponential backoff until terminal.
+
+        Transient transport failures (connection resets, an overloaded or
+        restarting server) are ridden out up to
+        :data:`POLL_TRANSIENT_TOLERANCE` consecutive polls instead of
+        killing the wait.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
+        failures = [0]
         for interval in backoff_intervals(poll_interval, jitter=POLL_JITTER):
-            record = self.status(job_id)
-            if record.terminal:
+            record = self._poll_status(job_id, failures)
+            if record is not None and record.terminal:
                 return record
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
+                    detail = ("transport errors while polling"
+                              if record is None else
+                              f"still {record.status} "
+                              f"({record.done}/{record.total} done)")
                     raise TimeoutError(
-                        f"job {job_id}: still {record.status} "
-                        f"({record.done}/{record.total} done) after {timeout}s"
-                    )
+                        f"job {job_id}: {detail} after {timeout}s")
                 interval = min(interval, remaining)
             time.sleep(interval)
         raise AssertionError("unreachable")  # pragma: no cover
@@ -270,23 +316,26 @@ class Transport:
         """Progress events derived from status polling (backoff-paced).
 
         Emits an event whenever the (status, done, failed) triple changes,
-        and always emits the terminal event last.
+        and always emits the terminal event last.  Transient status
+        failures are ridden out like :meth:`wait` does.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         seq = 0
         last: tuple | None = None
+        failures = [0]
         for interval in backoff_intervals(poll_interval, jitter=POLL_JITTER):
-            record = self.status(job_id)
-            key = (record.status, record.done, record.failed)
-            if key != last:
-                last = key
-                event = ProgressEvent.from_record(record, seq)
-                seq += 1
-                yield event
-                if event.terminal:
+            record = self._poll_status(job_id, failures)
+            if record is not None:
+                key = (record.status, record.done, record.failed)
+                if key != last:
+                    last = key
+                    event = ProgressEvent.from_record(record, seq)
+                    seq += 1
+                    yield event
+                    if event.terminal:
+                        return
+                elif record.terminal:  # pragma: no cover - first poll terminal
                     return
-            elif record.terminal:  # pragma: no cover - first poll terminal
-                return
             if deadline is not None and time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"job {job_id}: event stream timed out after {timeout}s")
@@ -299,10 +348,39 @@ class SolverClient:
 
     Context-manageable: ``with SolverClient(DiskTransport(...)) as c: ...``
     closes the transport (and any pool it owns) on exit.
+
+    Reliability knobs apply uniformly over every transport:
+    ``retry_policy`` re-issues verbs that died with a
+    :class:`~repro.utils.errors.TransientTransportError` (``submit`` is
+    retried only when the failure provably happened before the backend
+    acted, so jobs are never duplicated), and ``deadline`` (seconds)
+    bounds each verb — propagated to an HTTP backend in the
+    ``X-Repro-Deadline`` header, raising
+    :class:`~repro.utils.errors.DeadlineExceededError` when spent.
     """
 
-    def __init__(self, transport: Transport) -> None:
+    def __init__(self, transport: Transport, *,
+                 retry_policy: "RetryPolicy | None" = None,
+                 deadline: float | None = None) -> None:
         self.transport = transport
+        self.retry_policy = retry_policy
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+        self.deadline = deadline
+
+    def _invoke(self, fn: Callable[[], Any], *,
+                idempotent: bool = True) -> Any:
+        """Run one transport verb under the client's policies."""
+        deadline = (Deadline.after(self.deadline)
+                    if self.deadline is not None else None)
+        with deadline_scope(deadline if deadline is not None
+                            else current_deadline()):
+            if self.retry_policy is None:
+                if deadline is not None:
+                    deadline.require("request")
+                return fn()
+            return self.retry_policy.call(fn, idempotent=idempotent,
+                                          deadline=deadline)
 
     def submit(self, request: "SweepRequest | None" = None,
                **grid: Any) -> JobRecord:
@@ -312,7 +390,9 @@ class SolverClient:
         elif grid:
             raise ValueError(
                 "pass either a SweepRequest or grid keyword arguments, not both")
-        return self.transport.submit(request)
+        final = request
+        return self._invoke(lambda: self.transport.submit(final),
+                            idempotent=False)
 
     @staticmethod
     def _as_request(problem: "MinEnergyProblem | SolveRequest", *,
@@ -343,7 +423,8 @@ class SolverClient:
         request = self._as_request(problem, method=method, exact=exact,
                                    options=options, keep_speeds=keep_speeds,
                                    validate=validate)
-        return self.transport.solve(request).raise_for_error()
+        response = self._invoke(lambda: self.transport.solve(request))
+        return response.raise_for_error()
 
     def solve_batch(self, problems: "Sequence[MinEnergyProblem | SolveRequest]",
                     *, method: str | None = None, exact: bool | None = None,
@@ -359,27 +440,37 @@ class SolverClient:
         requests = [self._as_request(p, method=method, exact=exact,
                                      options=options, keep_speeds=False,
                                      validate=validate) for p in problems]
-        return self.transport.solve_batch(requests, keep_speeds=keep_speeds)
+        return self._invoke(lambda: self.transport.solve_batch(
+            requests, keep_speeds=keep_speeds))
 
     def status(self, job_id: str) -> JobRecord:
-        return self.transport.status(job_id)
+        return self._invoke(lambda: self.transport.status(job_id))
 
     def results(self, job_id: str, *, timeout: float | None = None,
                 poll_interval: float = 0.05) -> Table:
-        return self.transport.results(job_id, timeout=timeout,
-                                      poll_interval=poll_interval)
+        # wait() has its own transient tolerance; the policy layer only
+        # scopes the deadline and retries the final table fetch
+        deadline = (Deadline.after(self.deadline)
+                    if self.deadline is not None else None)
+        with deadline_scope(deadline if deadline is not None
+                            else current_deadline()):
+            if deadline is not None:
+                timeout = (deadline.remaining() if timeout is None
+                           else min(timeout, deadline.remaining()))
+            return self.transport.results(job_id, timeout=timeout,
+                                          poll_interval=poll_interval)
 
     def cancel(self, job_id: str) -> JobRecord:
-        return self.transport.cancel(job_id)
+        return self._invoke(lambda: self.transport.cancel(job_id))
 
     def jobs(self) -> list[JobRecord]:
-        return self.transport.jobs()
+        return self._invoke(lambda: self.transport.jobs())
 
     def scan_jobs(self) -> tuple[list[JobRecord], list[tuple[str, str]]]:
-        return self.transport.scan_jobs()
+        return self._invoke(lambda: self.transport.scan_jobs())
 
     def attach(self, job_id: str) -> JobRecord:
-        return self.transport.attach(job_id)
+        return self._invoke(lambda: self.transport.attach(job_id))
 
     def wait(self, job_id: str, *, timeout: float | None = None,
              poll_interval: float = 0.05) -> JobRecord:
@@ -440,7 +531,8 @@ class LocalTransport(Transport):
         return JobRecord.from_handle(handle)
 
     def solve(self, request: SolveRequest) -> SolveResponse:
-        return execute_solve(self.service(), request)
+        return execute_solve(self.service(), request,
+                             deadline=current_deadline())
 
     def solve_batch(self, requests: Sequence[SolveRequest], *,
                     keep_speeds: bool = False) -> list[SolveResponse]:
@@ -598,6 +690,12 @@ class DiskTransport(Transport):
         self._runners: dict[str, threading.Thread] = {}
         self._lock = threading.Lock()
         self._solve_service: "SolverService | None" = None
+        # a small fixed policy around every job-store write: a transient
+        # write failure (flaky filesystem, injected fault) must not turn
+        # into a "failed" record or a lost heartbeat.  JobStateError is
+        # not transient and still propagates immediately.
+        self._store_retry = RetryPolicy(retries=4, initial=0.01,
+                                        maximum=0.1, jitter=0.0)
 
     @property
     def cache(self) -> "ResultCache":
@@ -608,7 +706,9 @@ class DiskTransport(Transport):
         return self._cache
 
     def submit(self, request: SweepRequest, *, start: bool = True) -> JobRecord:
-        record = self.store.create(request, job_id=new_job_id())
+        job_id = new_job_id()  # fixed across write retries: no duplicates
+        record = self._store_retry.call(
+            lambda: self.store.create(request, job_id=job_id))
         if start:
             self._start_runner(record["job_id"], request)
         return JobRecord.from_wire(record)
@@ -701,12 +801,33 @@ class DiskTransport(Transport):
             return self._solve_service
 
     def solve(self, request: SolveRequest) -> SolveResponse:
-        return execute_solve(self._solver(), request)
+        return execute_solve(self._solver(), request,
+                             deadline=current_deadline())
 
     def solve_batch(self, requests: Sequence[SolveRequest], *,
                     keep_speeds: bool = False) -> list[SolveResponse]:
         return execute_solve_batch(self._solver(), requests,
                                    keep_speeds=keep_speeds)
+
+    def drain(self, *, timeout: float | None = None) -> int:
+        """Wait for the in-flight runner threads to finish their jobs.
+
+        The graceful-shutdown half of the transport: ``repro serve``
+        calls it on SIGTERM so accepted jobs reach a terminal record
+        before the process exits.  Returns the number of runners still
+        alive when ``timeout`` ran out (0 = fully drained).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            runners = list(self._runners.values())
+        still_alive = 0
+        for thread in runners:
+            wait = (None if deadline is None
+                    else max(0.0, deadline - time.monotonic()))
+            thread.join(timeout=wait)
+            if thread.is_alive():
+                still_alive += 1
+        return still_alive
 
     def close(self) -> None:
         with self._lock:
@@ -735,7 +856,8 @@ class DiskTransport(Transport):
         """
         try:
             try:
-                self.store.claim(job_id, self.worker_id, self.lease_seconds)
+                self._store_retry.call(lambda: self.store.claim(
+                    job_id, self.worker_id, self.lease_seconds))
             except JobStateError:
                 return
             self.run_claimed(job_id, request)
@@ -775,26 +897,28 @@ class DiskTransport(Transport):
                     exact=request.exact, options=request.options or None,
                     name=request.name or job_id, shard=request.shard_spec(),
                     priors=request.fit_priors())
-                self.store.update(job_id, expected_worker=self.worker_id,
-                                  total=handle.total,
-                                  grid_fingerprint=handle.fingerprint,
-                                  params=dict(handle.params))
+                self._store_retry.call(lambda: self.store.update(
+                    job_id, expected_worker=self.worker_id,
+                    total=handle.total,
+                    grid_fingerprint=handle.fingerprint,
+                    params=dict(handle.params)))
                 outcome = self._poll_to_completion(job_id, handle,
                                                    should_stop=should_stop)
                 if outcome == "released":
                     handle.cancel()
-                    self.store.release(job_id, self.worker_id)
+                    self._store_retry.call(
+                        lambda: self.store.release(job_id, self.worker_id))
                     return "released"
                 table = service.job_table(handle.job_id, timeout=60)
             progress = handle.progress()
             status = "cancelled" if outcome == "cancelled" else "done"
-            self.store.transition(
+            self._store_retry.call(lambda: self.store.transition(
                 job_id, status, expected_worker=self.worker_id,
                 done=progress.done, failed=progress.failed,
                 cache_hits=progress.cache_hits,
                 title=table.title, columns=list(table.columns),
                 rows=[list(row) for row in table.rows],
-                manifest=getattr(table, "manifest", None))
+                manifest=getattr(table, "manifest", None)))
             return status
         except JobStateError:
             # the lease was lost (reclaimed after an expiry) or the record
@@ -803,11 +927,11 @@ class DiskTransport(Transport):
             return "lost"
         except Exception as exc:  # the record must reflect the blow-up
             try:
-                self.store.transition(job_id, "failed",
-                                      expected_worker=self.worker_id,
-                                      error=f"{type(exc).__name__}: {exc}")
-            except JobStateError:  # cancel or a reclaim raced us
-                pass
+                self._store_retry.call(lambda: self.store.transition(
+                    job_id, "failed", expected_worker=self.worker_id,
+                    error=f"{type(exc).__name__}: {exc}"))
+            except (JobStateError, TransientTransportError):
+                pass  # cancel/reclaim raced us, or the store stayed down
             return "failed"
 
     def _poll_to_completion(self, job_id: str, handle, *,
@@ -829,6 +953,12 @@ class DiskTransport(Transport):
         cancelled = False
         last: tuple | None = None
         last_beat = 0.0
+        missed_beats = 0
+        # how many consecutive beats may fail before the lease itself is
+        # at risk (never fewer than 1: one missed beat is always
+        # survivable because the lease outlives the heartbeat cadence)
+        max_missed = max(1, int(self.lease_seconds
+                                / self.heartbeat_seconds) - 1)
         for interval in backoff_intervals(0.02, maximum=0.5):
             if should_stop is not None and should_stop():
                 return "released"
@@ -836,18 +966,32 @@ class DiskTransport(Transport):
             key = (progress.done, progress.failed, progress.cache_hits)
             now = time.time()
             if key != last or now - last_beat >= self.heartbeat_seconds:
-                last = key
-                last_beat = now
-                self.store.renew_lease(job_id, self.worker_id,
-                                       self.lease_seconds,
-                                       done=progress.done,
-                                       failed=progress.failed,
-                                       cache_hits=progress.cache_hits)
+                try:
+                    failpoints.fire("worker.heartbeat", job_id=job_id,
+                                    worker=self.worker_id)
+                    self.store.renew_lease(job_id, self.worker_id,
+                                           self.lease_seconds,
+                                           done=progress.done,
+                                           failed=progress.failed,
+                                           cache_hits=progress.cache_hits)
+                except TransientTransportError:
+                    # a flaky store (or an armed worker.heartbeat
+                    # failpoint) skips this beat; the next tick retries
+                    missed_beats += 1
+                    if missed_beats > max_missed:
+                        raise
+                else:
+                    missed_beats = 0
+                    last = key
+                    last_beat = now
             if handle.done():
                 return "cancelled" if cancelled else "done"
             if not cancelled:
-                payload = self.store.load(job_id)
-                if payload.get("cancel_requested"):
+                try:
+                    payload = self.store.load(job_id)
+                except TransientTransportError:
+                    payload = None  # check again next tick
+                if payload is not None and payload.get("cancel_requested"):
                     handle.cancel()
                     cancelled = True
             time.sleep(interval)
@@ -863,13 +1007,28 @@ class HTTPTransport(Transport):
     Speaks the ``/v1`` JSON protocol with stdlib ``urllib`` only.  Typed
     error bodies re-raise as their library exception classes
     (:class:`UnknownJobError` for 404s, :class:`SchemaVersionError` for
-    version mismatches, ...); connection-level failures raise
-    :class:`TransportError`.  ``events`` consumes the server's chunked
+    version mismatches, ...).  ``events`` consumes the server's chunked
     ndjson stream instead of polling.
+
+    Connection-level failures are *classified*: resets, timeouts,
+    refused connections and garbled bodies raise
+    :class:`~repro.utils.errors.TransientTransportError` (refused
+    connections additionally carry ``maybe_executed=False`` — the server
+    provably never saw the request), everything else stays a terminal
+    :class:`TransportError`.  ``retry_policy`` (default: 2 retries,
+    ``REPRO_RETRIES`` overrides) re-issues idempotent calls on transient
+    failures; a job submission is retried only when the failure was
+    provably pre-execution.  ``breaker`` fails fast with
+    :class:`~repro.utils.errors.CircuitOpenError` once the backend has
+    refused enough consecutive connections.  An ambient
+    :func:`~repro.reliability.deadline_scope` deadline is stamped onto
+    every request as the ``X-Repro-Deadline`` header.
     """
 
     def __init__(self, base_url: str, *, timeout: float = 30.0,
-                 token: str | None = None) -> None:
+                 token: str | None = None,
+                 retry_policy: "RetryPolicy | None" = None,
+                 breaker: "CircuitBreaker | None" = None) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise TransportError(
                 f"HTTP transport needs an http(s):// URL, got {base_url!r}")
@@ -879,6 +1038,10 @@ class HTTPTransport(Transport):
         # every CLI verb inherits auth without per-command plumbing
         self.token = token if token is not None else (
             os.environ.get("REPRO_TOKEN") or None)
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy.from_env(default_retries=2,
+                                                       maximum=1.0))
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
 
     def _url(self, path: str) -> str:
         return f"{self.base_url}{PROTOCOL_PREFIX}{path}"
@@ -887,24 +1050,75 @@ class HTTPTransport(Transport):
         headers = {"Content-Type": "application/json"}
         if self.token:
             headers["Authorization"] = f"Bearer {self.token}"
+        deadline = current_deadline()
+        if deadline is not None:
+            headers[DEADLINE_HEADER] = deadline.to_header()
         return headers
 
-    def _call(self, method: str, path: str, *,
-              body: dict | None = None) -> Any:
+    def _classify_urlerror(self, exc: urlerror.URLError) -> TransportError:
+        """A typed, retryability-classified error for a connection failure."""
+        reason = exc.reason
+        if isinstance(reason, ConnectionRefusedError) or (
+                isinstance(reason, OSError)
+                and reason.errno in (111, 61)):  # ECONNREFUSED linux/mac
+            # the server never accepted the connection: provably
+            # pre-execution, so even a submission may retry
+            error = TransientTransportError(
+                f"cannot reach {self.base_url}: connection refused")
+            error.maybe_executed = False
+            return error
+        if isinstance(reason, (ConnectionError, socket.timeout, TimeoutError,
+                               OSError)):
+            return TransientTransportError(
+                f"cannot reach {self.base_url}: {reason}")
+        return TransportError(f"cannot reach {self.base_url}: {reason}")
+
+    def _call(self, method: str, path: str, *, body: dict | None = None,
+              idempotent: bool = True) -> Any:
+        """One request under the transport's policies: circuit breaker,
+        failure classification, and transient-failure retries."""
+        return self.retry_policy.call(
+            lambda: self._call_once(method, path, body=body),
+            idempotent=idempotent, deadline=current_deadline())
+
+    def _call_once(self, method: str, path: str, *,
+                   body: dict | None = None) -> Any:
+        self.breaker.allow(what=f"{method} {path}")
+        # "garbage" asks us to corrupt the response body we are about to
+        # read; "raise" and "latency" act inside fire() itself
+        action = failpoints.fire("http.request", method=method, path=path)
         data = None if body is None else json.dumps(body).encode("utf-8")
         req = urlrequest.Request(self._url(path), data=data, method=method,
                                  headers=self._headers())
         try:
             with urlrequest.urlopen(req, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
+                raw = resp.read()
         except urlerror.HTTPError as exc:
+            # the server answered: the backend is alive
+            self.breaker.record_success()
             self._raise_http_error(exc)
         except urlerror.URLError as exc:
-            raise TransportError(
-                f"cannot reach {self.base_url}: {exc.reason}") from exc
-        except json.JSONDecodeError as exc:
-            raise TransportError(
-                f"{self.base_url} returned non-JSON output: {exc}") from exc
+            error = self._classify_urlerror(exc)
+            if isinstance(error, TransientTransportError):
+                self.breaker.record_failure()
+            raise error from exc
+        except (socket.timeout, TimeoutError, ConnectionError,
+                httpclient.HTTPException, OSError) as exc:
+            # died mid-exchange (reset, truncated chunk, socket timeout):
+            # the request may have executed, but it is safe to retry reads
+            self.breaker.record_failure()
+            raise TransientTransportError(
+                f"request to {self.base_url} broke: {exc}") from exc
+        self.breaker.record_success()
+        if action == "garbage":
+            raw = b"\xffgarbage\xff" + raw[: len(raw) // 3]
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # a truncated/garbled body reads as a transient wire glitch,
+            # not a protocol violation: the next attempt usually parses
+            raise TransientTransportError(
+                f"{self.base_url} returned a garbled body: {exc}") from exc
 
     @staticmethod
     def _raise_http_error(exc: urlerror.HTTPError) -> None:
@@ -918,7 +1132,8 @@ class HTTPTransport(Transport):
 
     def submit(self, request: SweepRequest) -> JobRecord:
         return JobRecord.from_wire(
-            self._call("POST", "/jobs", body=request.to_wire()))
+            self._call("POST", "/jobs", body=request.to_wire(),
+                       idempotent=False))
 
     def solve(self, request: SolveRequest) -> SolveResponse:
         return SolveResponse.from_wire(
@@ -965,43 +1180,79 @@ class HTTPTransport(Transport):
 
     def events(self, job_id: str, *, poll_interval: float = 0.05,
                timeout: float | None = None) -> Iterator[ProgressEvent]:
-        """Consume the server's chunked ndjson progress stream."""
+        """Consume the server's chunked ndjson progress stream.
+
+        A *transient* break (connection reset mid-stream, an armed
+        ``http.stream`` failpoint) reconnects — up to the retry policy's
+        attempt count — deduplicating the fresh connection's leading
+        snapshot event and renumbering ``seq`` continuously, so the
+        consumer sees one uninterrupted stream.  Typed in-band errors
+        from the server (a draining server's
+        :class:`~repro.utils.errors.ServerShutdownError` line) propagate
+        as their exception class, never as a silent truncation.
+        """
+        stream_timeout = timeout if timeout is not None else 3600.0
+        seq = 0
+        last_key: tuple | None = None
+        breaks = 0
+        max_breaks = max(1, self.retry_policy.retries)
+        while True:
+            try:
+                resp = self._open_stream(job_id, stream_timeout)
+                with resp:
+                    while True:
+                        failpoints.fire("http.stream", job_id=job_id)
+                        try:
+                            raw = resp.readline()
+                        except (OSError,
+                                httpclient.HTTPException) as exc:
+                            # the server died or the socket timed out
+                            # mid-stream: typed, and retryable
+                            raise TransientTransportError(
+                                f"event stream from {self.base_url} "
+                                f"broke: {exc}") from exc
+                        if not raw:
+                            return
+                        line = raw.strip()
+                        if not line:
+                            continue
+                        try:
+                            payload = json.loads(line.decode("utf-8"))
+                        except (ValueError, UnicodeDecodeError) as exc:
+                            raise TransientTransportError(
+                                f"malformed event-stream line: "
+                                f"{line[:120]!r}") from exc
+                        if isinstance(payload, dict) and "error" in payload:
+                            raise_wire_error(payload)
+                        event = ProgressEvent.from_wire(payload)
+                        key = (event.status, event.done, event.failed)
+                        if key == last_key:
+                            continue  # reconnect replayed the snapshot
+                        last_key = key
+                        event = dataclasses.replace(event, seq=seq)
+                        seq += 1
+                        yield event
+                        if event.terminal:
+                            return
+            except TransientTransportError as exc:
+                if isinstance(exc, ServerShutdownError):
+                    # the server's typed in-band drain line is the
+                    # contract (satellite of the drain behaviour): the
+                    # consumer must see it, not a quiet reconnect loop
+                    raise
+                breaks += 1
+                if breaks > max_breaks:
+                    raise
+                time.sleep(min(0.05 * breaks, 0.5))
+
+    def _open_stream(self, job_id: str, stream_timeout: float):
+        """Open the chunked event stream (typed connection errors)."""
         req = urlrequest.Request(self._url(f"/jobs/{job_id}/events"),
                                  headers=self._headers())
-        stream_timeout = timeout if timeout is not None else 3600.0
         try:
-            resp = urlrequest.urlopen(req, timeout=stream_timeout)
+            return urlrequest.urlopen(req, timeout=stream_timeout)
         except urlerror.HTTPError as exc:
             self._raise_http_error(exc)
             raise AssertionError("unreachable")  # pragma: no cover
         except urlerror.URLError as exc:
-            raise TransportError(
-                f"cannot reach {self.base_url}: {exc.reason}") from exc
-        with resp:
-            while True:
-                try:
-                    raw = resp.readline()
-                except (OSError, httpclient.HTTPException) as exc:
-                    # the server died or the socket timed out mid-stream:
-                    # keep the typed-error contract instead of leaking a
-                    # raw socket exception through the generator
-                    raise TransportError(
-                        f"event stream from {self.base_url} broke: {exc}"
-                    ) from exc
-                if not raw:
-                    return
-                line = raw.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line.decode("utf-8"))
-                except (ValueError, UnicodeDecodeError) as exc:
-                    raise TransportError(
-                        f"malformed event-stream line: {line[:120]!r}"
-                    ) from exc
-                if isinstance(payload, dict) and "error" in payload:
-                    raise_wire_error(payload)
-                event = ProgressEvent.from_wire(payload)
-                yield event
-                if event.terminal:
-                    return
+            raise self._classify_urlerror(exc) from exc

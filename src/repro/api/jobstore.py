@@ -54,7 +54,9 @@ from repro.api.protocol import (
     SweepRequest,
     check_schema_version,
 )
+from repro.reliability import failpoints
 from repro.utils.errors import (
+    InjectedFaultError,
     JobStateError,
     TransportError,
     UnknownJobError,
@@ -457,8 +459,21 @@ class JobStore:
     def _write(self, record: dict[str, Any]) -> None:
         path = self.path(record["job_id"])
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(record, indent=2, default=repr) + "\n",
-                       encoding="utf-8")
+        payload = json.dumps(record, indent=2, default=repr) + "\n"
+        action = failpoints.fire("jobstore.write",
+                                 job_id=record.get("job_id"),
+                                 status=record.get("status"),
+                                 worker=record.get("worker_id"))
+        if action == "torn":
+            # a torn write dies mid-flush: only the temp file holds the
+            # truncated bytes, the visible record is untouched — this is
+            # exactly the crash the atomic os.replace protects against
+            tmp.write_text(payload[: max(1, len(payload) // 2)],
+                           encoding="utf-8")
+            raise InjectedFaultError(
+                f"failpoint 'jobstore.write' tore the write of "
+                f"{record.get('job_id')!r} (temp file truncated)")
+        tmp.write_text(payload, encoding="utf-8")
         os.replace(tmp, path)
 
     # ------------------------------------------------------------------ #

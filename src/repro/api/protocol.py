@@ -47,15 +47,21 @@ from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.utils.errors import (
     AuthError,
+    CircuitOpenError,
+    DeadlineExceededError,
     InfeasibleProblemError,
+    InjectedFaultError,
     InvalidGraphError,
     InvalidModelError,
     InvalidOptionError,
     JobStateError,
     MergeError,
+    OverloadedError,
     ReproError,
     SchemaVersionError,
+    ServerShutdownError,
     SolverError,
+    TransientTransportError,
     TransportError,
     UnknownJobError,
     UnknownSolverError,
@@ -756,28 +762,40 @@ def table_from_wire(payload: Any, *, what: str = "result table") -> Table:
 _WIRE_ERRORS: dict[str, type[ReproError]] = {
     cls.__name__: cls for cls in (
         AuthError,
+        CircuitOpenError,
+        DeadlineExceededError,
         InfeasibleProblemError,
+        InjectedFaultError,
         InvalidGraphError,
         InvalidModelError,
         InvalidOptionError,
         JobStateError,
         MergeError,
+        OverloadedError,
         ReproError,
         SchemaVersionError,
+        ServerShutdownError,
         SolverError,
+        TransientTransportError,
         TransportError,
         UnknownJobError,
         UnknownSolverError,
     )
 }
 
+#: Wire errors whose constructor accepts a ``retry_after`` keyword.
+_RETRY_AFTER_ERRORS = (OverloadedError, ServerShutdownError)
+
 
 def error_to_wire(exc: BaseException) -> dict[str, Any]:
     """Typed error body of an exception (the 4xx/5xx HTTP payload)."""
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "error": {"type": type(exc).__name__, "message": str(exc)},
+    detail: dict[str, Any] = {
+        "type": type(exc).__name__, "message": str(exc),
     }
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        detail["retry_after"] = float(retry_after)
+    return {"schema_version": SCHEMA_VERSION, "error": detail}
 
 
 def raise_wire_error(payload: Any, *, fallback: str = "backend error") -> None:
@@ -794,4 +812,8 @@ def raise_wire_error(payload: Any, *, fallback: str = "backend error") -> None:
     cls = _WIRE_ERRORS.get(name)
     if cls is None:
         raise TransportError(f"{name or 'unknown error'}: {message}")
+    if issubclass(cls, _RETRY_AFTER_ERRORS):
+        retry_after = detail.get("retry_after")
+        raise cls(message, retry_after=(
+            float(retry_after) if retry_after is not None else None))
     raise cls(message)

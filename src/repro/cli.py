@@ -120,12 +120,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             graph, weight=lambda n: graph.work(n) / s_max)
     problem = MinEnergyProblem(graph=graph, deadline=deadline, model=model)
     options = {"backend": args.backend} if args.backend else {}
+    policy, request_deadline = _reliability_kwargs(args)
     if getattr(args, "url", ""):
         transport = HTTPTransport(args.url,
-                                  token=getattr(args, "token", "") or None)
+                                  token=getattr(args, "token", "") or None,
+                                  retry_policy=policy)
+        client_policy = None  # the transport retries at the wire
     else:
         transport = LocalTransport(workers=1, use_threads=True)
-    with SolverClient(transport) as client:
+        client_policy = policy
+    with SolverClient(transport, retry_policy=client_policy,
+                      deadline=request_deadline) as client:
         response = client.solve(problem, method=args.method or None,
                                 exact=args.exact or None,
                                 options=options or None,
@@ -313,14 +318,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reliability_kwargs(args: argparse.Namespace):
+    """Resolve --retries / --deadline (with ``REPRO_RETRIES`` /
+    ``REPRO_DEADLINE`` environment defaults) into a
+    :class:`~repro.reliability.RetryPolicy` and a deadline budget."""
+    import os
+
+    from repro.reliability import DEADLINE_ENV, RetryPolicy
+
+    retries = getattr(args, "retries", None)
+    try:
+        policy = (RetryPolicy.from_env(default_retries=2, maximum=1.0)
+                  if retries is None
+                  else RetryPolicy(max(0, retries), maximum=1.0))
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    deadline = getattr(args, "request_deadline", None)
+    if deadline is None:
+        raw = os.environ.get(DEADLINE_ENV, "").strip()
+        if raw:
+            try:
+                deadline = float(raw)
+            except ValueError:
+                raise ReproError(
+                    f"{DEADLINE_ENV} must be a number of seconds, "
+                    f"got {raw!r}") from None
+    if deadline is not None and deadline <= 0:
+        raise ReproError(f"--deadline must be > 0 seconds, got {deadline}")
+    return policy, deadline
+
+
 def _make_transport(args: argparse.Namespace):
     """Resolve --url / --jobs-dir into the matching client transport."""
+    policy, _deadline = _reliability_kwargs(args)
     if getattr(args, "url", ""):
         from repro.api import HTTPTransport
 
         # --token falls back to REPRO_TOKEN inside the transport
         return HTTPTransport(args.url,
-                             token=getattr(args, "token", "") or None)
+                             token=getattr(args, "token", "") or None,
+                             retry_policy=policy)
     from repro.api import DiskTransport
 
     return DiskTransport(
@@ -328,6 +365,20 @@ def _make_transport(args: argparse.Namespace):
         cache_dir=getattr(args, "cache_dir", "") or None,
         workers=max(1, getattr(args, "workers", 2)),
     )
+
+
+def _make_client(args: argparse.Namespace):
+    """A :class:`repro.api.SolverClient` with the reliability policies.
+
+    The HTTP transport retries at the wire (where transient failures
+    happen); the other transports retry at the client layer instead, so
+    all three behave uniformly without nesting two retry loops."""
+    from repro.api import HTTPTransport, SolverClient
+
+    policy, deadline = _reliability_kwargs(args)
+    transport = _make_transport(args)
+    retry = None if isinstance(transport, HTTPTransport) else policy
+    return SolverClient(transport, retry_policy=retry, deadline=deadline)
 
 
 def _build_request(args: argparse.Namespace):
@@ -374,13 +425,14 @@ def _stream_to_table(client, job_id: str, args: argparse.Namespace):
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.api import DiskTransport, SolverClient
+    from repro.api import DiskTransport
 
     if getattr(args, "shards", 0):
         return _submit_sharded(args)
     request = _build_request(args)
-    transport = _make_transport(args)
-    with SolverClient(transport) as client:
+    client = _make_client(args)
+    transport = client.transport
+    with client:
         if args.detach:
             if isinstance(transport, DiskTransport):
                 # durable record only; whoever attaches first executes it
@@ -434,7 +486,7 @@ def _submit_sharded(args: argparse.Namespace) -> int:
 
 def _cmd_work(args: argparse.Namespace) -> int:
     """``repro work``: one fleet worker draining the shared job store."""
-    from repro.fleet import FleetWorker
+    from repro.fleet import FleetWorker, WorkerCrashLoopError
 
     try:
         worker = FleetWorker(
@@ -445,6 +497,7 @@ def _cmd_work(args: argparse.Namespace) -> int:
             lease_seconds=args.lease if args.lease > 0 else None,
             heartbeat_seconds=(args.heartbeat if args.heartbeat > 0 else None),
             drain=args.drain if args.drain > 0 else None,
+            max_strikes=args.max_strikes,
         )
     except ValueError as exc:  # bad timing pairings, bad --drain
         raise ReproError(str(exc)) from exc
@@ -454,7 +507,15 @@ def _cmd_work(args: argparse.Namespace) -> int:
           f"{worker.transport.heartbeat_seconds}s"
           + (f", exits after {args.drain}s idle" if args.drain > 0 else "")
           + ")", file=sys.stderr)
-    summary = worker.run()
+    try:
+        summary = worker.run()
+    except WorkerCrashLoopError as exc:
+        # the claim loop struck out against a broken store: report and
+        # exit non-zero so a supervisor sees the failure instead of a
+        # clean drain
+        print(json.dumps(worker.summary()))
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     print(json.dumps(summary))
     return 0
 
@@ -467,13 +528,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                  workers=max(1, args.workers), verbose=args.verbose,
                  token=args.token or None,
                  batch_window_ms=max(0.0, args.batch_window_ms),
-                 batch_max=max(1, args.batch_max))
+                 batch_max=max(1, args.batch_max),
+                 max_inflight=max(1, args.max_inflight),
+                 max_queue=max(0, args.max_queue))
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
-    from repro.api import SolverClient
-
-    with SolverClient(_make_transport(args)) as client:
+    with _make_client(args) as client:
         record = client.status(args.job_id)
     if args.json:
         print(json.dumps(record.to_wire(), indent=2, default=repr))
@@ -486,9 +547,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_results(args: argparse.Namespace) -> int:
-    from repro.api import SolverClient
-
-    with SolverClient(_make_transport(args)) as client:
+    with _make_client(args) as client:
         table = client.results(args.job_id, timeout=args.timeout,
                                poll_interval=args.poll_interval)
     _print_table(table, args)
@@ -496,9 +555,7 @@ def _cmd_results(args: argparse.Namespace) -> int:
 
 
 def _cmd_cancel(args: argparse.Namespace) -> int:
-    from repro.api import SolverClient
-
-    with SolverClient(_make_transport(args)) as client:
+    with _make_client(args) as client:
         record = client.cancel(args.job_id)
     print(f"{record.job_id}: {record.status} "
           f"({record.done}/{record.total} done)", file=sys.stderr)
@@ -506,9 +563,7 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
 
 
 def _cmd_attach(args: argparse.Namespace) -> int:
-    from repro.api import SolverClient
-
-    with SolverClient(_make_transport(args)) as client:
+    with _make_client(args) as client:
         record = client.attach(args.job_id)
         print(f"attached to {record.job_id} ({record.status})",
               file=sys.stderr)
@@ -579,11 +634,9 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         return _cmd_jobs_prune(args)
     skipped: list[tuple[str, str]] = []
     if args.url:
-        from repro.api import SolverClient
-
         # scan_jobs carries the server-side skip list, so --strict audits
         # a remote job store exactly like a local one
-        with SolverClient(_make_transport(args)) as client:
+        with _make_client(args) as client:
             listed, skipped = client.scan_jobs()
         records = [r.to_wire() for r in listed]
         for name, reason in skipped:
@@ -662,6 +715,17 @@ def build_parser() -> argparse.ArgumentParser:
     solve_parser.add_argument("--token", default="",
                               help="bearer token for --url (default: the "
                                    "REPRO_TOKEN environment variable)")
+    solve_parser.add_argument("--retries", type=int, default=None,
+                              help="transient-failure retry attempts "
+                                   "(default: the REPRO_RETRIES environment "
+                                   "variable, or 2)")
+    solve_parser.add_argument("--request-deadline", dest="request_deadline",
+                              type=float, default=None,
+                              help="end-to-end request deadline budget in "
+                                   "seconds (--deadline is the problem's D), "
+                                   "propagated via X-Repro-Deadline "
+                                   "(default: the REPRO_DEADLINE environment "
+                                   "variable, or none)")
     solve_parser.set_defaults(handler=_cmd_solve)
 
     backends_parser = sub.add_parser(
@@ -754,6 +818,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bearer token for a --token'd server "
                             "(default: the REPRO_TOKEN environment "
                             "variable)")
+        add_reliability_arguments(p)
+
+    def add_reliability_arguments(p: argparse.ArgumentParser,
+                                  deadline_flag: str = "--deadline") -> None:
+        p.add_argument("--retries", type=int, default=None,
+                       help="transient-failure retry attempts per request; "
+                            "non-idempotent calls only retry failures that "
+                            "provably never executed (default: the "
+                            "REPRO_RETRIES environment variable, or 2)")
+        p.add_argument(deadline_flag, dest="request_deadline",
+                       type=float, default=None,
+                       help="end-to-end deadline budget in seconds for each "
+                            "client call, propagated to the server in the "
+                            "X-Repro-Deadline header (default: the "
+                            "REPRO_DEADLINE environment variable, or none)")
 
     def add_poll_argument(p: argparse.ArgumentParser) -> None:
         p.add_argument("--poll-interval", "--poll", dest="poll_interval",
@@ -809,6 +888,11 @@ def build_parser() -> argparse.ArgumentParser:
     work_parser.add_argument("--drain", type=float, default=0.0,
                              help="exit once nothing has been claimable for "
                                   "this many seconds (default: run forever)")
+    work_parser.add_argument("--max-strikes", type=int, default=5,
+                             help="give up (exit non-zero) after this many "
+                                  "consecutive claim-loop failures; between "
+                                  "strikes the loop backs off exponentially "
+                                  "instead of crash-looping (default 5)")
     work_parser.set_defaults(handler=_cmd_work)
 
     serve_parser = sub.add_parser(
@@ -840,6 +924,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--batch-max", type=int, default=512,
                               help="execute a batch tick as soon as this many "
                                    "solves are queued (default 512)")
+    serve_parser.add_argument("--max-inflight", type=int, default=8,
+                              help="work requests executing concurrently "
+                                   "before admission queueing starts "
+                                   "(default 8)")
+    serve_parser.add_argument("--max-queue", type=int, default=32,
+                              help="admission-queue depth; beyond it requests "
+                                   "are shed with 503 + Retry-After "
+                                   "(default 32)")
     serve_parser.set_defaults(handler=_cmd_serve)
 
     status_parser = sub.add_parser(

@@ -30,10 +30,11 @@ from repro.fleet.submit import (
     shard_dump_from_record,
     submit_sharded,
 )
-from repro.fleet.worker import FleetWorker
+from repro.fleet.worker import FleetWorker, WorkerCrashLoopError
 
 __all__ = [
     "FleetWorker",
+    "WorkerCrashLoopError",
     "execute_merge_job",
     "parse_duration",
     "prune_records",

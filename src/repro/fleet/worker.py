@@ -35,12 +35,22 @@ from typing import Any
 from repro.api.client import DiskTransport
 from repro.utils.errors import JobStateError, TransportError, UnknownJobError
 
-__all__ = ["FleetWorker"]
+__all__ = ["FleetWorker", "WorkerCrashLoopError", "DEFAULT_MAX_STRIKES"]
 
 #: Idle backoff bounds of the claim loop (seconds between empty polls).
 _IDLE_INITIAL = 0.1
 _IDLE_MAX = 2.0
 _IDLE_FACTOR = 1.6
+
+#: Crash-loop guard: consecutive loop-level failures tolerated before the
+#: worker gives up, and the backoff bounds between strikes.
+DEFAULT_MAX_STRIKES = 5
+_STRIKE_INITIAL = 0.2
+_STRIKE_MAX = 5.0
+
+
+class WorkerCrashLoopError(TransportError):
+    """The claim loop failed ``max_strikes`` consecutive times."""
 
 
 class FleetWorker:
@@ -63,9 +73,12 @@ class FleetWorker:
                  lease_seconds: float | None = None,
                  drain: float | None = None,
                  poll_interval: float = _IDLE_INITIAL,
+                 max_strikes: int = DEFAULT_MAX_STRIKES,
                  rng: "random.Random | None" = None) -> None:
         if drain is not None and drain <= 0:
             raise ValueError(f"--drain must be > 0 seconds, got {drain}")
+        if max_strikes < 1:
+            raise ValueError(f"--max-strikes must be >= 1, got {max_strikes}")
         self.transport = DiskTransport(
             jobs_dir, cache_dir=cache_dir, workers=workers,
             use_threads=use_threads, stale_after=stale_after,
@@ -75,7 +88,9 @@ class FleetWorker:
         self.worker_id = self.transport.worker_id
         self.drain = drain
         self.poll_interval = poll_interval
-        self.stats: dict[str, Any] = {"claimed": 0, "outcomes": {}}
+        self.max_strikes = max_strikes
+        self.stats: dict[str, Any] = {"claimed": 0, "outcomes": {},
+                                      "strikes": 0, "last_error": None}
         self._stop = threading.Event()
         self._rng = rng if rng is not None else random.Random()
 
@@ -145,11 +160,40 @@ class FleetWorker:
         return None
 
     def run(self) -> dict[str, Any]:
-        """Drain the queue until stopped (or idle past ``drain``)."""
+        """Drain the queue until stopped (or idle past ``drain``).
+
+        A loop-level failure (the store raising out of :meth:`run_one`
+        itself, not a job merely *failing*) is a strike: the loop sleeps
+        with exponential backoff instead of spinning at full speed against
+        a broken store, and after ``max_strikes`` consecutive strikes it
+        raises :class:`WorkerCrashLoopError` so the process exits non-zero
+        instead of crash-looping forever.  Any successful poll — even an
+        empty one — clears the strike count.
+        """
         idle_since: float | None = None
         interval = self.poll_interval
+        strikes = 0
+        strike_sleep = _STRIKE_INITIAL
         while not self._stop.is_set():
-            outcome = self.run_one()
+            try:
+                outcome = self.run_one()
+            except TransportError as exc:
+                strikes += 1
+                self.stats["strikes"] = strikes
+                self.stats["last_error"] = f"{type(exc).__name__}: {exc}"
+                if strikes >= self.max_strikes:
+                    raise WorkerCrashLoopError(
+                        f"worker {self.worker_id} struck out: "
+                        f"{strikes} consecutive loop failures, last: "
+                        f"{type(exc).__name__}: {exc}") from exc
+                # full-jitter crash backoff; Event.wait so stop() wakes us
+                self._stop.wait(
+                    strike_sleep - strike_sleep * self._rng.random())
+                strike_sleep = min(strike_sleep * 2.0, _STRIKE_MAX)
+                continue
+            strikes = 0
+            strike_sleep = _STRIKE_INITIAL
+            self.stats["strikes"] = 0
             if outcome is not None:
                 idle_since = None
                 interval = self.poll_interval
@@ -171,4 +215,6 @@ class FleetWorker:
             "claimed": self.stats["claimed"],
             "outcomes": dict(self.stats["outcomes"]),
             "stopped": self._stop.is_set(),
+            "strikes": self.stats["strikes"],
+            "last_error": self.stats["last_error"],
         }

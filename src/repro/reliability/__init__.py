@@ -1,0 +1,45 @@
+"""Reliability layer: failpoint injection and retry/deadline/breaker policies.
+
+Two halves:
+
+:mod:`repro.reliability.failpoints`
+    Deterministic fault injection at named sites (``jobstore.write``,
+    ``http.request``, ``http.stream``, ``worker.heartbeat``,
+    ``batcher.tick``), armable by tests or the ``REPRO_FAILPOINTS``
+    environment spec.  Disarmed sites cost one module-global boolean check.
+
+:mod:`repro.reliability.policy`
+    :class:`RetryPolicy` (budgeted exponential full-jitter retries),
+    :class:`Deadline` (monotonic budgets propagated in the
+    ``X-Repro-Deadline`` header), and :class:`CircuitBreaker` (fail fast
+    against a dead backend with a typed
+    :class:`~repro.utils.errors.CircuitOpenError`).
+"""
+
+from repro.reliability import failpoints
+from repro.reliability.failpoints import FailpointSpecError
+from repro.reliability.policy import (
+    DEADLINE_ENV,
+    DEADLINE_HEADER,
+    RETRIES_ENV,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    current_deadline,
+    deadline_scope,
+    is_retryable,
+)
+
+__all__ = [
+    "DEADLINE_ENV",
+    "DEADLINE_HEADER",
+    "RETRIES_ENV",
+    "CircuitBreaker",
+    "Deadline",
+    "FailpointSpecError",
+    "RetryPolicy",
+    "current_deadline",
+    "deadline_scope",
+    "failpoints",
+    "is_retryable",
+]

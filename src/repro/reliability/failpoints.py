@@ -1,0 +1,352 @@
+"""Deterministic failpoint injection for chaos testing.
+
+A **failpoint** is a named site in the codebase where a test (or the
+``REPRO_FAILPOINTS`` environment variable) can arm a deterministic fault
+plan.  The instrumented sites call :func:`fire` with their site name; when
+nothing is armed the call is a single module-global boolean check — the
+production no-op branch — and when a plan is armed the site deterministically
+raises, sleeps, or asks the caller to corrupt its effect.
+
+Instrumented sites (grep for ``failpoints.fire``):
+
+===================  ========================================================
+``jobstore.write``   before every :meth:`repro.api.jobstore.JobStore` record
+                     write (create / transition / update / claim / renew)
+``http.request``     before :class:`repro.api.HTTPTransport` sends a request
+``http.stream``      per line read of the chunked ``/events`` stream
+``worker.heartbeat`` before a runner's lease-renewing progress heartbeat
+``batcher.tick``     before a :class:`~repro.service.batcher.MicroBatcher`
+                     tick executes its batch
+===================  ========================================================
+
+Fault plans (:class:`FailPlan`) fire on a deterministic subset of a site's
+hits, so a chaos run is exactly reproducible:
+
+``raise``
+    Raise :class:`~repro.utils.errors.InjectedFaultError` (a retryable
+    :class:`~repro.utils.errors.TransientTransportError`).
+``latency``
+    Sleep ``param`` seconds, then continue normally.
+``torn``
+    Return the action string ``"torn"`` — the site implements its own
+    torn-effect semantics (the job store writes a truncated temp file and
+    raises, proving the atomic-replace contract).
+``garbage``
+    Return ``"garbage"`` — the site substitutes garbage for its payload
+    (the HTTP transport corrupts the response body it just read).
+``flaky``
+    Raise with probability ``param`` per hit, drawn from a
+    ``random.Random(seed)`` — probabilistic in shape, bit-reproducible in
+    fact.
+
+The environment spec (``REPRO_FAILPOINTS``) is a comma- or
+semicolon-separated list of ``site=mode`` entries with optional decorations::
+
+    REPRO_FAILPOINTS="http.request=raise*2,jobstore.write=torn*1~3"
+                               |        |  |                    |
+                               mode ----+  +-- fire on 2 hits   +-- skip 3 first
+
+Grammar per entry: ``site=mode[:param][*times][~skip][@seed]`` — ``times``
+(default 1) hits fire after ``skip`` (default 0) hits pass; ``param`` is the
+latency seconds or flaky probability; ``seed`` seeds the flaky RNG.  The
+module arms itself from the environment at import time, so a ``repro serve``
+or ``repro work`` subprocess started with the variable set is born armed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.utils.errors import InjectedFaultError, ReproError
+
+__all__ = [
+    "FailPlan",
+    "FailpointSpecError",
+    "active",
+    "arm",
+    "arm_spec",
+    "armed",
+    "disarm",
+    "fire",
+    "reset",
+    "stats",
+]
+
+#: Modes a plan may use (see the module docstring).
+MODES = ("raise", "latency", "torn", "garbage", "flaky")
+
+#: Modes whose ``fire`` returns an action string for the site to implement.
+_ACTION_MODES = ("torn", "garbage")
+
+
+class FailpointSpecError(ReproError):
+    """A ``REPRO_FAILPOINTS`` spec (or an :func:`arm` argument) is malformed."""
+
+
+@dataclass
+class FailPlan:
+    """One armed fault plan: which hits of a site fire, and how.
+
+    ``times`` hits fire after the first ``skip`` hits pass through; a
+    ``when`` mapping restricts firing to calls whose context matches every
+    key (e.g. ``when={"worker": "w1"}`` freezes only one worker's writes).
+    """
+
+    mode: str = "raise"
+    times: int = 1
+    skip: int = 0
+    param: float | None = None
+    seed: int = 0
+    when: dict[str, Any] | None = None
+    # mutable counters (guarded by the registry lock)
+    hits: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+    _rng: random.Random | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise FailpointSpecError(
+                f"unknown failpoint mode {self.mode!r}; choose from "
+                f"{', '.join(MODES)}")
+        if self.times < 1:
+            raise FailpointSpecError(
+                f"a fail plan must fire at least once, got times={self.times}")
+        if self.skip < 0:
+            raise FailpointSpecError(
+                f"skip must be >= 0, got {self.skip}")
+        if self.mode == "latency" and (self.param is None or self.param < 0):
+            raise FailpointSpecError(
+                "latency plans need a non-negative seconds param "
+                "(site=latency:0.05)")
+        if self.mode == "flaky":
+            p = self.param
+            if p is None or not 0.0 < p <= 1.0:
+                raise FailpointSpecError(
+                    "flaky plans need a probability param in (0, 1] "
+                    "(site=flaky:0.5)")
+            self._rng = random.Random(self.seed)
+
+    def matches(self, context: dict[str, Any]) -> bool:
+        if not self.when:
+            return True
+        return all(context.get(k) == v for k, v in self.when.items())
+
+    def should_fire(self) -> bool:
+        """Advance the hit counter; decide whether this hit fires."""
+        self.hits += 1
+        if self.fired >= self.times:
+            return False
+        if self.hits <= self.skip:
+            return False
+        if self.mode == "flaky":
+            # the RNG advances on every eligible hit, so the firing
+            # pattern is a pure function of (seed, hit sequence)
+            if self._rng.random() >= float(self.param):  # type: ignore[union-attr]
+                return False
+        self.fired += 1
+        return True
+
+
+class _Registry:
+    """Process-global registry of armed plans (one plan per site)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._plans: dict[str, FailPlan] = {}
+
+    def arm(self, site: str, plan: FailPlan) -> None:
+        if not site or "=" in site:
+            raise FailpointSpecError(f"invalid failpoint site {site!r}")
+        with self._lock:
+            self._plans[site] = plan
+            _set_active(bool(self._plans))
+
+    def disarm(self, site: str) -> None:
+        with self._lock:
+            self._plans.pop(site, None)
+            _set_active(bool(self._plans))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            _set_active(False)
+
+    def plan(self, site: str) -> FailPlan | None:
+        with self._lock:
+            return self._plans.get(site)
+
+    def decide(self, site: str,
+               context: dict[str, Any]) -> tuple[str, FailPlan] | None:
+        """The armed action for this hit, or ``None`` (pass through)."""
+        with self._lock:
+            plan = self._plans.get(site)
+            if plan is None or not plan.matches(context):
+                return None
+            if not plan.should_fire():
+                return None
+            return plan.mode, plan
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        with self._lock:
+            return {site: {"mode": p.mode, "hits": p.hits, "fired": p.fired,
+                           "times": p.times, "skip": p.skip}
+                    for site, p in self._plans.items()}
+
+
+_REGISTRY = _Registry()
+
+#: Fast-path flag: ``fire`` returns immediately while nothing is armed.
+_ACTIVE = False
+
+
+def _set_active(value: bool) -> None:
+    global _ACTIVE
+    _ACTIVE = value
+
+
+def active() -> bool:
+    """Whether any failpoint is currently armed (the production answer: no)."""
+    return _ACTIVE
+
+
+def arm(site: str, mode: str = "raise", *, times: int = 1, skip: int = 0,
+        param: float | None = None, seed: int = 0,
+        when: dict[str, Any] | None = None) -> FailPlan:
+    """Arm ``site`` with a fault plan; returns the live plan (its counters
+    update as the site is hit, so tests can assert ``plan.fired``)."""
+    plan = FailPlan(mode=mode, times=times, skip=skip, param=param,
+                    seed=seed, when=dict(when) if when else None)
+    _REGISTRY.arm(site, plan)
+    return plan
+
+
+def disarm(site: str) -> None:
+    """Remove ``site``'s plan (a no-op when nothing is armed there)."""
+    _REGISTRY.disarm(site)
+
+
+def reset() -> None:
+    """Disarm every site and clear all counters."""
+    _REGISTRY.reset()
+
+
+def stats() -> dict[str, dict[str, Any]]:
+    """Per-site hit/fired counters of the armed plans (for assertions)."""
+    return _REGISTRY.stats()
+
+
+class armed:
+    """Context manager: arm a site for the duration of a ``with`` block.
+
+    >>> with armed("jobstore.write", "raise", times=2) as plan:
+    ...     ...  # the first two job-store writes raise InjectedFaultError
+    >>> plan.fired
+    2
+    """
+
+    def __init__(self, site: str, mode: str = "raise", **kwargs: Any) -> None:
+        self._site = site
+        self._mode = mode
+        self._kwargs = kwargs
+
+    def __enter__(self) -> FailPlan:
+        self._plan = arm(self._site, self._mode, **self._kwargs)
+        return self._plan
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        disarm(self._site)
+
+
+def fire(site: str, **context: Any) -> str | None:
+    """The instrumented-site hook: act out ``site``'s armed plan, if any.
+
+    Returns ``None`` (continue normally), raises
+    :class:`~repro.utils.errors.InjectedFaultError` (``raise``/``flaky``
+    modes), sleeps then returns ``None`` (``latency``), or returns the
+    action string ``"torn"``/``"garbage"`` for the caller to implement.
+    When nothing is armed this is one global-boolean check.
+    """
+    if not _ACTIVE:
+        return None
+    decision = _REGISTRY.decide(site, context)
+    if decision is None:
+        return None
+    mode, plan = decision
+    if mode in _ACTION_MODES:
+        return mode
+    if mode == "latency":
+        time.sleep(float(plan.param or 0.0))
+        return None
+    raise InjectedFaultError(
+        f"failpoint {site!r} injected fault "
+        f"{plan.fired}/{plan.times} (hit {plan.hits})")
+
+
+# --------------------------------------------------------------------- #
+# the REPRO_FAILPOINTS spec
+# --------------------------------------------------------------------- #
+def _parse_entry(entry: str) -> tuple[str, FailPlan]:
+    text = entry.strip()
+    if "=" not in text:
+        raise FailpointSpecError(
+            f"failpoint entry {entry!r} is not of the form site=mode"
+            "[:param][*times][~skip][@seed]")
+    site, _, rest = text.partition("=")
+    site = site.strip()
+    rest = rest.strip()
+    if not site or not rest:
+        raise FailpointSpecError(f"failpoint entry {entry!r} is incomplete")
+
+    def split_tail(text: str, marker: str) -> tuple[str, str | None]:
+        head, sep, tail = text.partition(marker)
+        return head, (tail if sep else None)
+
+    rest, seed_text = split_tail(rest, "@")
+    rest, skip_text = split_tail(rest, "~")
+    rest, times_text = split_tail(rest, "*")
+    mode, param_text = split_tail(rest, ":")
+    try:
+        times = int(times_text) if times_text is not None else 1
+        skip = int(skip_text) if skip_text is not None else 0
+        seed = int(seed_text) if seed_text is not None else 0
+        param = float(param_text) if param_text is not None else None
+    except ValueError as exc:
+        raise FailpointSpecError(
+            f"failpoint entry {entry!r} has a non-numeric decoration: {exc}"
+        ) from None
+    return site, FailPlan(mode=mode.strip(), times=times, skip=skip,
+                          param=param, seed=seed)
+
+
+def _iter_entries(spec: str) -> Iterator[str]:
+    for chunk in spec.replace(";", ",").split(","):
+        if chunk.strip():
+            yield chunk
+
+
+def arm_spec(spec: str) -> dict[str, FailPlan]:
+    """Arm every entry of a ``REPRO_FAILPOINTS``-style spec string."""
+    plans: dict[str, FailPlan] = {}
+    for entry in _iter_entries(spec):
+        site, plan = _parse_entry(entry)
+        plans[site] = plan
+    # validate the whole spec before arming any of it
+    for site, plan in plans.items():
+        _REGISTRY.arm(site, plan)
+    return plans
+
+
+def arm_from_env(env_var: str = "REPRO_FAILPOINTS") -> dict[str, FailPlan]:
+    """Arm from the environment (called once at import); empty spec = no-op."""
+    spec = os.environ.get(env_var, "").strip()
+    if not spec:
+        return {}
+    return arm_spec(spec)
+
+
+arm_from_env()

@@ -1,0 +1,336 @@
+"""End-to-end reliability policies: retries, deadlines, circuit breaking.
+
+Three cooperating pieces, all transport-agnostic:
+
+:class:`RetryPolicy`
+    Budgeted exponential full-jitter retries over the shared
+    :func:`repro.api.client.backoff_intervals` schedule.  Only
+    :class:`~repro.utils.errors.TransientTransportError` (and subclasses:
+    overload shedding, server drain, injected faults) is retryable;
+    everything else propagates immediately.  A non-idempotent call
+    (``idempotent=False``) additionally requires ``maybe_executed`` to be
+    ``False`` — a job submission that *might* have reached the server is
+    never blindly re-sent.
+
+:class:`Deadline`
+    A monotonic-clock budget propagated client -> server in the
+    ``X-Repro-Deadline`` header as *seconds remaining* (never as wall-clock
+    time, so clock skew between machines cannot corrupt it).  The active
+    deadline travels through a :mod:`contextvars` scope
+    (:func:`deadline_scope` / :func:`current_deadline`) so the HTTP
+    transport stamps it onto every request without per-call plumbing.
+
+:class:`CircuitBreaker`
+    Consecutive connection-level failures trip the breaker open; while
+    open every call fails fast with a typed
+    :class:`~repro.utils.errors.CircuitOpenError` instead of burning its
+    full retry budget against a dead server.  After ``reset_seconds`` one
+    half-open probe is let through; its outcome closes or re-opens the
+    circuit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import random
+import time
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.utils.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    TransientTransportError,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "RetryPolicy",
+    "current_deadline",
+    "deadline_scope",
+    "is_retryable",
+]
+
+T = TypeVar("T")
+
+#: Header carrying the request's remaining deadline budget in seconds.
+DEADLINE_HEADER = "X-Repro-Deadline"
+
+#: Environment defaults consumed by :meth:`RetryPolicy.from_env` and the CLI.
+RETRIES_ENV = "REPRO_RETRIES"
+DEADLINE_ENV = "REPRO_DEADLINE"
+
+
+def is_retryable(exc: BaseException, *, idempotent: bool = True) -> bool:
+    """Whether the retry layer may re-issue the call that raised ``exc``.
+
+    Transient transport failures are retryable; for a non-idempotent call
+    the failure must additionally be provably pre-execution
+    (``maybe_executed`` false — connection refused, load shedding,
+    client-side injected faults), so a submission that may have landed is
+    never duplicated.
+    """
+    if not isinstance(exc, TransientTransportError):
+        return False
+    if idempotent:
+        return True
+    return not getattr(exc, "maybe_executed", True)
+
+
+# --------------------------------------------------------------------- #
+# deadlines
+# --------------------------------------------------------------------- #
+class Deadline:
+    """A monotonic-clock completion budget.
+
+    Constructed with :meth:`after` (``seconds`` from now) or
+    :meth:`from_header` (the budget a client sent); queried with
+    :meth:`remaining` / :attr:`expired`; enforced with :meth:`require`,
+    which raises the typed
+    :class:`~repro.utils.errors.DeadlineExceededError`.
+    """
+
+    __slots__ = ("_at", "budget")
+
+    def __init__(self, at: float, *, budget: float) -> None:
+        self._at = at
+        self.budget = budget
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        if seconds <= 0:
+            raise ValueError(f"a deadline must be > 0 seconds, got {seconds}")
+        return cls(time.monotonic() + seconds, budget=seconds)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (clamped at 0)."""
+        return max(0.0, self._at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._at
+
+    def require(self, what: str = "request") -> "Deadline":
+        """Raise the typed error if the budget is spent; chainable."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} deadline exceeded ({self.budget:.3f}s budget spent)")
+        return self
+
+    def to_header(self) -> str:
+        """The wire form: seconds remaining at send time."""
+        return f"{self.remaining():.3f}"
+
+    @classmethod
+    def from_header(cls, value: str) -> "Deadline | None":
+        """Parse an ``X-Repro-Deadline`` header; garbage returns ``None``
+        (a malformed deadline must not break an otherwise-valid request)."""
+        try:
+            seconds = float(str(value).strip())
+        except (TypeError, ValueError):
+            return None
+        if seconds <= 0:  # already expired when sent
+            return cls(time.monotonic(), budget=max(seconds, 0.0))
+        return cls.after(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+_CURRENT_DEADLINE: contextvars.ContextVar["Deadline | None"] = \
+    contextvars.ContextVar("repro_deadline", default=None)
+
+
+def current_deadline() -> "Deadline | None":
+    """The deadline of the enclosing :func:`deadline_scope`, if any."""
+    return _CURRENT_DEADLINE.get()
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: "Deadline | None") -> Iterator["Deadline | None"]:
+    """Make ``deadline`` the ambient deadline of the enclosed calls.
+
+    The HTTP transport reads it via :func:`current_deadline` and stamps
+    the remaining budget onto every outgoing request; ``None`` scopes are
+    pass-through so call sites need no conditional.
+    """
+    token = _CURRENT_DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _CURRENT_DEADLINE.reset(token)
+
+
+# --------------------------------------------------------------------- #
+# retries
+# --------------------------------------------------------------------- #
+class RetryPolicy:
+    """Budgeted exponential full-jitter retries for transient failures.
+
+    Parameters
+    ----------
+    retries:
+        Retry attempts *after* the first call (0 = never retry).
+    initial / factor / maximum:
+        The exponential backoff schedule, shared with every polling path
+        via :func:`repro.api.client.backoff_intervals`.
+    jitter:
+        Downward jitter fraction in ``[0, 1]``; 1.0 (the default) is AWS
+        full jitter, so a fleet of retriers decorrelates.
+    budget:
+        Optional cap on *cumulative sleep seconds* across the retries of
+        one call — a hard bound on how long a caller can be stalled by
+        backoff regardless of ``retries``.
+    rng:
+        Seedable RNG for reproducible jitter in tests.
+    """
+
+    def __init__(self, retries: int = 2, *, initial: float = 0.05,
+                 factor: float = 2.0, maximum: float = 2.0,
+                 jitter: float = 1.0, budget: float | None = None,
+                 rng: "random.Random | None" = None) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be > 0 seconds, got {budget}")
+        self.retries = retries
+        self.initial = initial
+        self.factor = factor
+        self.maximum = maximum
+        self.jitter = jitter
+        self.budget = budget
+        self._rng = rng
+
+    @classmethod
+    def from_env(cls, *, default_retries: int = 0,
+                 **kwargs: Any) -> "RetryPolicy":
+        """A policy whose retry count defaults from ``REPRO_RETRIES``."""
+        raw = os.environ.get(RETRIES_ENV, "").strip()
+        retries = default_retries
+        if raw:
+            try:
+                retries = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{RETRIES_ENV} must be an integer, got {raw!r}"
+                ) from None
+        return cls(max(0, retries), **kwargs)
+
+    def sleeps(self) -> Iterator[float]:
+        """The jittered backoff schedule (one interval per retry)."""
+        from repro.api.client import backoff_intervals
+
+        return backoff_intervals(self.initial, factor=self.factor,
+                                 maximum=self.maximum, jitter=self.jitter,
+                                 rng=self._rng)
+
+    def call(self, fn: Callable[[], T], *, idempotent: bool = True,
+             deadline: "Deadline | None" = None,
+             on_retry: "Callable[[BaseException, int], None] | None" = None
+             ) -> T:
+        """Run ``fn``, retrying transient failures within the budget.
+
+        A failure is retried when :func:`is_retryable` accepts it (given
+        ``idempotent``), attempts remain, the cumulative-sleep ``budget``
+        is not spent, and ``deadline`` (if any) has room for the next
+        backoff sleep.  The sleep before each retry honours an
+        :class:`~repro.utils.errors.OverloadedError`'s ``retry_after`` as
+        a floor.  The last failure propagates unchanged.
+        """
+        slept = 0.0
+        schedule = self.sleeps()
+        for attempt in range(self.retries + 1):
+            if deadline is not None:
+                deadline.require("call")
+            try:
+                return fn()
+            except BaseException as exc:
+                if attempt >= self.retries \
+                        or not is_retryable(exc, idempotent=idempotent):
+                    raise
+                interval = next(schedule)
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after:
+                    interval = max(interval, float(retry_after))
+                if self.budget is not None \
+                        and slept + interval > self.budget:
+                    raise
+                if deadline is not None \
+                        and interval >= deadline.remaining():
+                    raise
+                if on_retry is not None:
+                    on_retry(exc, attempt + 1)
+                time.sleep(interval)
+                slept += interval
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+# --------------------------------------------------------------------- #
+# circuit breaking
+# --------------------------------------------------------------------- #
+class CircuitBreaker:
+    """Fail fast once the backend has proven itself unreachable.
+
+    Closed (normal) -> open after ``failure_threshold`` *consecutive*
+    recorded failures; while open, :meth:`allow` raises
+    :class:`~repro.utils.errors.CircuitOpenError` without any I/O.  After
+    ``reset_seconds`` the next :meth:`allow` admits exactly one half-open
+    probe; :meth:`record_success` closes the circuit,
+    :meth:`record_failure` re-opens it for another cooldown.
+    """
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_seconds: float = 5.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_seconds <= 0:
+            raise ValueError(
+                f"reset_seconds must be > 0, got {reset_seconds}")
+        import threading
+
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if time.monotonic() - self._opened_at >= self.reset_seconds:
+                return "half-open"
+            return "open"
+
+    def allow(self, *, what: str = "request") -> None:
+        """Gate one call: pass when closed, admit one probe when half-open,
+        raise :class:`CircuitOpenError` when open."""
+        with self._lock:
+            if self._opened_at is None:
+                return
+            waited = time.monotonic() - self._opened_at
+            if waited >= self.reset_seconds and not self._probing:
+                self._probing = True  # this caller is the half-open probe
+                return
+            raise CircuitOpenError(
+                f"circuit breaker is open ({self._failures} consecutive "
+                f"failures; {what} refused, next probe in "
+                f"{max(0.0, self.reset_seconds - waited):.1f}s)")
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._failures >= self.failure_threshold:
+                self._opened_at = time.monotonic()

@@ -52,26 +52,31 @@ after the terminal event.
 
 from __future__ import annotations
 
+import contextlib
 import hmac
 import json
 import os
 import re
+import signal
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
 from repro.api.client import (
     DiskTransport,
     Transport,
+    backoff_intervals,
     execute_solve,
     execute_solve_batch,
 )
 from repro.api.protocol import (
     PROTOCOL_PREFIX,
     SCHEMA_VERSION,
+    ProgressEvent,
     SolveRequest,
     SolveResponse,
     SweepRequest,
@@ -80,12 +85,17 @@ from repro.api.protocol import (
     table_to_wire,
 )
 from repro.api.rowcodec import encode_rows
+from repro.reliability.policy import DEADLINE_HEADER, Deadline
 from repro.service.batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_MS
 from repro.utils.errors import (
     AuthError,
+    DeadlineExceededError,
     JobStateError,
+    OverloadedError,
     ReproError,
     SchemaVersionError,
+    ServerShutdownError,
+    TransientTransportError,
     TransportError,
     UnknownJobError,
 )
@@ -93,12 +103,18 @@ from repro.utils.errors import (
 _JOB_ROUTE = re.compile(
     rf"^{re.escape(PROTOCOL_PREFIX)}/jobs/([^/]+)(?:/(results|cancel|events))?$")
 
-#: HTTP status for each typed failure (anything else is a 500).
+#: HTTP status for each typed failure (anything else is a 500).  Order
+#: matters: subclasses before their bases (the overload/drain/transient
+#: errors all derive from TransportError, which maps to a plain 400).
 _STATUS_OF = (
     (AuthError, 401),
     (UnknownJobError, 404),
     (SchemaVersionError, 400),
     (JobStateError, 409),
+    (OverloadedError, 503),
+    (ServerShutdownError, 503),
+    (TransientTransportError, 503),
+    (DeadlineExceededError, 504),
     (TransportError, 400),
     (ReproError, 400),
 )
@@ -109,6 +125,99 @@ def _status_for(exc: BaseException) -> int:
         if isinstance(exc, cls):
             return code
     return 500
+
+
+#: Defaults of the admission controller (overridable per server and via
+#: ``repro serve --max-inflight/--max-queue``).
+DEFAULT_MAX_INFLIGHT = 8
+DEFAULT_MAX_QUEUE = 32
+DEFAULT_QUEUE_TIMEOUT = 2.0
+
+#: ``Retry-After`` seconds suggested to shed clients.
+DEFAULT_RETRY_AFTER = 0.25
+
+
+class AdmissionController:
+    """Bounded admission for the work routes: load shedding, not thrashing.
+
+    At most ``max_inflight`` requests execute concurrently; up to
+    ``max_queue`` more may wait ``queue_timeout`` seconds for a slot.
+    Everything beyond that — and every queued request whose wait times
+    out — is shed with a typed
+    :class:`~repro.utils.errors.OverloadedError` (a 503 with a
+    ``Retry-After`` header the client's retry policy honours as a
+    backoff floor), so an overloaded server answers in microseconds
+    instead of accepting unbounded work until it thrashes.
+    """
+
+    def __init__(self, *, max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                 max_queue: int = DEFAULT_MAX_QUEUE,
+                 queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
+                 retry_after: float = DEFAULT_RETRY_AFTER) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self.retry_after = retry_after
+        self._slots = threading.Semaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._inflight = 0
+        self._admitted = 0
+        self._shed = 0
+
+    def _shed_error(self, what: str, why: str) -> OverloadedError:
+        with self._lock:
+            self._shed += 1
+            inflight, waiting = self._inflight, self._waiting
+        return OverloadedError(
+            f"server overloaded: {what} shed ({why}; "
+            f"{inflight} in flight, {waiting} queued)",
+            retry_after=self.retry_after)
+
+    @contextlib.contextmanager
+    def admit(self, what: str) -> Iterator[None]:
+        """Hold one execution slot for the duration of the block."""
+        # a free slot admits immediately and never counts as queued, so
+        # max_queue=0 means "no waiting" rather than "no admission"
+        acquired = self._slots.acquire(blocking=False)
+        if not acquired:
+            with self._lock:
+                queue_full = self._waiting >= self.max_queue
+                if not queue_full:
+                    self._waiting += 1
+            if queue_full:
+                raise self._shed_error(what, "admission queue full")
+            acquired = self._slots.acquire(timeout=self.queue_timeout)
+            with self._lock:
+                self._waiting -= 1
+        if not acquired:
+            raise self._shed_error(what, f"no slot within "
+                                         f"{self.queue_timeout}s")
+        with self._lock:
+            self._inflight += 1
+            self._admitted += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+            self._slots.release()
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "inflight": self._inflight,
+                "queued": self._waiting,
+                "admitted": self._admitted,
+                "shed": self._shed,
+            }
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -140,16 +249,32 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):  # pragma: no cover
             sys.stderr.write("repro-serve: " + format % args + "\n")
 
-    def _send_json(self, payload: dict, *, status: int = 200) -> None:
+    def _send_json(self, payload: dict, *, status: int = 200,
+                   extra_headers: "dict[str, str] | None" = None) -> None:
         body = json.dumps(payload, default=repr).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_body(self, exc: BaseException) -> None:
-        self._send_json(error_to_wire(exc), status=_status_for(exc))
+        headers = None
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            headers = {"Retry-After": f"{float(retry_after):g}"}
+        self._send_json(error_to_wire(exc), status=_status_for(exc),
+                        extra_headers=headers)
+
+    def _deadline(self) -> "Deadline | None":
+        """The request's propagated deadline budget, if the client sent
+        one (a malformed header is ignored, never a 400)."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        return Deadline.from_header(raw)
 
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -186,23 +311,46 @@ class _Handler(BaseHTTPRequestHandler):
                 "REPRO_TOKEN)"
             )
 
+    @property
+    def _admission(self) -> AdmissionController:
+        return self.server.admission  # type: ignore[attr-defined]
+
+    @property
+    def _draining(self) -> threading.Event:
+        return self.server.draining  # type: ignore[attr-defined]
+
+    def _refuse_if_draining(self, what: str) -> None:
+        if self._draining.is_set():
+            raise ServerShutdownError(
+                f"server is draining: {what} refused; retry against the "
+                "restarted server", retry_after=1.0)
+
     def _route(self, method: str) -> None:
         try:
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
             if path == f"{PROTOCOL_PREFIX}/healthz" and method == "GET":
                 return self._healthz()  # liveness probes skip auth
             self._check_auth()
+            # the work routes (everything that executes solves or creates
+            # records) sit behind bounded admission and refuse new work
+            # during a drain; the cheap read routes always answer
             if path == f"{PROTOCOL_PREFIX}/solve" and method == "POST":
-                return self._solve()
+                self._refuse_if_draining("solve")
+                with self._admission.admit("POST /solve"):
+                    return self._solve()
             if path == f"{PROTOCOL_PREFIX}/solve_batch" and method == "POST":
-                return self._solve_batch()
+                self._refuse_if_draining("batch solve")
+                with self._admission.admit("POST /solve_batch"):
+                    return self._solve_batch()
             if path == f"{PROTOCOL_PREFIX}/batch_stats" and method == "GET":
                 return self._batch_stats()
             if path == f"{PROTOCOL_PREFIX}/queue" and method == "GET":
                 return self._queue()
             if path == f"{PROTOCOL_PREFIX}/jobs":
                 if method == "POST":
-                    return self._submit()
+                    self._refuse_if_draining("job submission")
+                    with self._admission.admit("POST /jobs"):
+                        return self._submit()
                 return self._list_jobs()
             match = _JOB_ROUTE.match(path)
             if match:
@@ -229,11 +377,14 @@ class _Handler(BaseHTTPRequestHandler):
     # verbs
     # ------------------------------------------------------------------ #
     def _healthz(self) -> None:
+        draining = self._draining.is_set()
         self._send_json({
             "schema_version": SCHEMA_VERSION,
-            "status": "ok",
+            "status": "draining" if draining else "ok",
             "protocol": PROTOCOL_PREFIX,
             "auth": bool(getattr(self.server, "token", None)),
+            "draining": draining,
+            "admission": self._admission.stats(),
         })
 
     def _queue(self) -> None:
@@ -257,11 +408,18 @@ class _Handler(BaseHTTPRequestHandler):
         micro-batcher; a captured failure is a 200 with ``ok=false`` (the
         client re-raises it typed), only a malformed payload is a 4xx.
         """
+        deadline = self._deadline()
         request = SolveRequest.from_wire(self._read_body())
-        self._send_json(execute_solve(self.solver, request).to_wire())
+        if deadline is not None:
+            deadline.require("solve")  # arrived with a spent budget: 504
+        self._send_json(
+            execute_solve(self.solver, request, deadline=deadline).to_wire())
 
     def _solve_batch(self) -> None:
         """One request, one batch tick, one packed binary row frame."""
+        deadline = self._deadline()
+        if deadline is not None:
+            deadline.require("batch solve")
         body = self._read_body()
         if not isinstance(body, dict) or \
                 not isinstance(body.get("requests"), list):
@@ -344,7 +502,7 @@ class _Handler(BaseHTTPRequestHandler):
         # re-raises it), never as a second HTTP response into the body
         try:
             try:
-                for event in self.transport.events(job_id, poll_interval=0.05):
+                for event in self._event_ticks(job_id):
                     self._write_chunk(
                         json.dumps(event.to_wire()).encode("utf-8") + b"\n")
             except BrokenPipeError:
@@ -355,6 +513,40 @@ class _Handler(BaseHTTPRequestHandler):
             self._write_chunk(b"")  # terminating zero-length chunk
         except BrokenPipeError:  # pragma: no cover - client went away
             self.close_connection = True
+
+    def _event_ticks(self, job_id: str) -> "Iterator[ProgressEvent]":
+        """The stream's event source: status polling that a drain can
+        interrupt *immediately*.
+
+        The generic ``Transport.events`` backoff sleeps up to two seconds
+        between polls; a draining server cannot afford to sit in that
+        sleep with the socket open.  This loop waits on the drain event
+        instead of sleeping, so SIGTERM turns into an in-band
+        :class:`~repro.utils.errors.ServerShutdownError` line within one
+        tick, which the client re-raises typed — never a dead socket.
+        """
+        draining = self._draining
+        seq = 0
+        last: tuple | None = None
+        for interval in backoff_intervals(0.05, maximum=0.5):
+            if draining.is_set():
+                raise ServerShutdownError(
+                    f"server is draining: event stream for job {job_id} "
+                    "terminated; re-attach to the restarted server",
+                    retry_after=1.0)
+            record = self.transport.status(job_id)
+            key = (record.status, record.done, record.failed)
+            if key != last:
+                last = key
+                event = ProgressEvent.from_record(record, seq)
+                seq += 1
+                yield event
+                if event.terminal:
+                    return
+            elif record.terminal:  # pragma: no cover - raced to terminal
+                return
+            if draining.wait(timeout=interval):
+                continue  # woke early: deliver the drain line now
 
     def _write_chunk(self, data: bytes) -> None:
         self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
@@ -377,7 +569,10 @@ class SolverHTTPServer:
                  port: int = 0, verbose: bool = False,
                  token: str | None = None,
                  batch_window_ms: float = DEFAULT_WINDOW_MS,
-                 batch_max: int = DEFAULT_MAX_BATCH) -> None:
+                 batch_max: int = DEFAULT_MAX_BATCH,
+                 max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                 max_queue: int = DEFAULT_MAX_QUEUE,
+                 queue_timeout: float = DEFAULT_QUEUE_TIMEOUT) -> None:
         from repro.service import SolverService
 
         self.transport = transport
@@ -387,11 +582,17 @@ class SolverHTTPServer:
         self.solver = SolverService(workers=1, use_threads=True,
                                     batch_window_ms=batch_window_ms,
                                     batch_max=batch_max)
+        self.admission = AdmissionController(max_inflight=max_inflight,
+                                             max_queue=max_queue,
+                                             queue_timeout=queue_timeout)
+        self.draining = threading.Event()
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.transport = transport  # type: ignore[attr-defined]
         self.httpd.solver = self.solver  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
         self.httpd.token = token or None  # type: ignore[attr-defined]
+        self.httpd.admission = self.admission  # type: ignore[attr-defined]
+        self.httpd.draining = self.draining  # type: ignore[attr-defined]
         self.httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
 
@@ -421,7 +622,23 @@ class SolverHTTPServer:
         """Serve on the calling thread (the ``repro serve`` foreground)."""
         self.httpd.serve_forever()
 
+    def drain(self, *, grace: float = 0.2) -> None:
+        """Enter graceful-drain mode: refuse new work, finish what's in.
+
+        New POSTs get a typed 503 :class:`ServerShutdownError`; live
+        ``/events`` streams deliver an in-band error line (their clients
+        raise typed, instead of seeing a dead socket); ``grace`` gives
+        the streaming handlers a beat to flush those lines.
+        """
+        self.draining.set()
+        if grace > 0:
+            time.sleep(grace)
+
     def shutdown(self) -> None:
+        # drain first so live event streams terminate with a typed
+        # in-band line instead of being abandoned mid-chunk
+        if not self.draining.is_set():
+            self.drain()
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:
@@ -441,7 +658,10 @@ def serve(*, host: str = "127.0.0.1", port: int = 8731,
           workers: int = 2, use_threads: bool = False,
           verbose: bool = False, token: str | None = None,
           batch_window_ms: float = DEFAULT_WINDOW_MS,
-          batch_max: int = DEFAULT_MAX_BATCH) -> int:
+          batch_max: int = DEFAULT_MAX_BATCH,
+          max_inflight: int = DEFAULT_MAX_INFLIGHT,
+          max_queue: int = DEFAULT_MAX_QUEUE,
+          drain_timeout: float = 30.0) -> int:
     """Run the solver service in the foreground (the ``repro serve`` body).
 
     Jobs are executed by a :class:`DiskTransport`, so every submission is
@@ -450,7 +670,14 @@ def serve(*, host: str = "127.0.0.1", port: int = 8731,
     vectorized batch ticks governed by ``batch_window_ms`` /
     ``batch_max``.  ``token`` (default: the ``REPRO_TOKEN`` environment
     variable) turns on bearer-token auth for every route but
-    ``/v1/healthz``.  Returns the process exit code.
+    ``/v1/healthz``.
+
+    The work routes sit behind bounded admission (``max_inflight`` /
+    ``max_queue``; excess load is shed with typed 503s + ``Retry-After``),
+    and SIGTERM triggers a **graceful drain**: stop accepting work, send
+    live event streams their in-band shutdown line, finish in-flight jobs
+    (up to ``drain_timeout`` seconds), then exit.  Returns the process
+    exit code.
     """
     if token is None:
         token = os.environ.get("REPRO_TOKEN") or None
@@ -460,21 +687,51 @@ def serve(*, host: str = "127.0.0.1", port: int = 8731,
         server = SolverHTTPServer(transport, host=host, port=port,
                                   verbose=verbose, token=token,
                                   batch_window_ms=batch_window_ms,
-                                  batch_max=batch_max)
+                                  batch_max=batch_max,
+                                  max_inflight=max_inflight,
+                                  max_queue=max_queue)
     except OSError as exc:
         print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
         return 2
+
+    def _sigterm(_signum, _frame) -> None:
+        # refuse new work immediately; stop the accept loop off-thread
+        # (BaseServer.shutdown blocks until serve_forever exits, so it
+        # must never run on the serving thread itself)
+        print("SIGTERM: draining", file=sys.stderr)
+        server.draining.set()
+        threading.Thread(target=server.httpd.shutdown,
+                         name="repro-serve-drain", daemon=True).start()
+
+    previous = None
+    try:  # pragma: no branch - signal module is always importable here
+        previous = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     print(f"repro solver service on {server.url} "
           f"(jobs: {transport.store.directory}, workers: {workers}, "
           f"batch window: {batch_window_ms:g}ms, "
+          f"admission: {max_inflight} in flight / {max_queue} queued, "
           f"auth: {'bearer token' if token else 'open'}); "
           "Ctrl+C to stop", file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
+        server.draining.set()
         print("shutting down", file=sys.stderr)
     finally:
+        if server.draining.is_set():
+            # graceful path: let in-flight jobs reach a terminal record
+            remaining = transport.drain(timeout=drain_timeout)
+            if remaining:
+                print(f"drain timeout: {remaining} job(s) still running "
+                      "(their records stay resumable)", file=sys.stderr)
+            else:
+                print("drained: all in-flight jobs finished",
+                      file=sys.stderr)
         server.httpd.server_close()
         server.solver.shutdown()
         transport.close()
+        if previous is not None:  # pragma: no cover - process exits anyway
+            signal.signal(signal.SIGTERM, previous)
     return 0

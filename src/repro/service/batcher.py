@@ -26,6 +26,9 @@ from typing import Any, Sequence
 from repro.batch.engine import BatchResult
 from repro.batch.vectorized import InstanceSpec, solve_batch
 from repro.core.problem import MinEnergyProblem
+from repro.reliability import failpoints
+from repro.reliability.policy import Deadline
+from repro.utils.errors import DeadlineExceededError, TransientTransportError
 
 #: Default coalescing window: how long the first submission of a tick
 #: waits for company before the batch executes.
@@ -73,13 +76,18 @@ class MicroBatcher:
                method: str | None = None, exact: bool | None = None,
                options: dict[str, Any] | None = None,
                keep_speeds: bool = False,
-               validate: bool = False) -> "Future[BatchResult]":
+               validate: bool = False,
+               deadline: "Deadline | None" = None) -> "Future[BatchResult]":
         """Queue one instance; the future resolves to its ``BatchResult``.
 
         The future never carries a solve failure as an exception — failed
         instances resolve to ``ok=False`` rows exactly like
         :func:`repro.batch.solve_many`.  It only errors if the batcher is
-        shut down underneath the submission.
+        shut down underneath the submission, or if ``deadline`` expires
+        before the submission's tick executes
+        (:class:`~repro.utils.errors.DeadlineExceededError`): the
+        coalescing window never waits past the earliest queued deadline,
+        and an expired submission is resolved, not solved.
         """
         key = (method, exact,
                tuple(sorted((options or {}).items())), keep_speeds, validate)
@@ -95,7 +103,8 @@ class MicroBatcher:
                                        "exact": exact,
                                        "options": dict(options or {}),
                                        "keep_speeds": keep_speeds,
-                                       "validate": validate}, future))
+                                       "validate": validate,
+                                       "deadline": deadline}, future))
             self._submitted += 1
             self._cond.notify()
         return future
@@ -104,11 +113,15 @@ class MicroBatcher:
               method: str | None = None, exact: bool | None = None,
               options: dict[str, Any] | None = None,
               keep_speeds: bool = False, validate: bool = False,
-              timeout: float | None = None) -> BatchResult:
+              timeout: float | None = None,
+              deadline: "Deadline | None" = None) -> BatchResult:
         """Blocking convenience wrapper around :meth:`submit`."""
+        if deadline is not None:
+            timeout = (deadline.remaining() if timeout is None
+                       else min(timeout, deadline.remaining()))
         return self.submit(item, method=method, exact=exact, options=options,
-                           keep_speeds=keep_speeds,
-                           validate=validate).result(timeout=timeout)
+                           keep_speeds=keep_speeds, validate=validate,
+                           deadline=deadline).result(timeout=timeout)
 
     def record_direct(self, batch_size: int) -> None:
         """Fold an out-of-band batch call into the occupancy statistics.
@@ -134,21 +147,50 @@ class MicroBatcher:
                 if self._closed and not self._queue:
                     return
                 if self.window > 0.0:
-                    deadline = time.monotonic() + self.window
+                    until = time.monotonic() + self.window
+                    # never coalesce past the earliest queued deadline: a
+                    # request with 5ms of budget left must not sit out a
+                    # full window waiting for company
+                    for _item, spec, _future in self._queue:
+                        d = spec.get("deadline")
+                        if d is not None:
+                            until = min(until,
+                                        time.monotonic() + d.remaining())
                     while len(self._queue) < self.max_batch and not self._closed:
-                        remaining = deadline - time.monotonic()
+                        remaining = until - time.monotonic()
                         if remaining <= 0 or not self._cond.wait(remaining):
                             break
                 batch = self._queue[:self.max_batch]
                 del self._queue[:self.max_batch]
                 self._ticks += 1
                 self._occupancy[len(batch)] += 1
+            try:
+                failpoints.fire("batcher.tick", size=len(batch))
+            except TransientTransportError:
+                # an injected transient tick failure re-queues the batch
+                # untouched; the next tick retries it, so no future is
+                # ever stranded and results are unchanged
+                with self._cond:
+                    self._queue[:0] = batch
+                    self._ticks -= 1
+                    self._occupancy[len(batch)] -= 1
+                    self._cond.notify()
+                continue
             self._execute(batch)
 
     def _execute(self, batch: list[tuple[Any, dict[str, Any], Future]]) -> None:
         # group by solver parameters; typical ticks are uniform -> one call
         groups: dict[tuple, list[tuple[int, Any, dict[str, Any]]]] = {}
-        for pos, (item, spec, _future) in enumerate(batch):
+        for pos, (item, spec, future) in enumerate(batch):
+            deadline = spec.get("deadline")
+            if deadline is not None and deadline.expired:
+                # resolved, not solved: the submitter's budget is gone
+                if not future.done():
+                    future.set_exception(DeadlineExceededError(
+                        f"solve deadline expired after "
+                        f"{deadline.budget:.3f}s while waiting for a "
+                        "batch tick"))
+                continue
             groups.setdefault(spec["key"], []).append((pos, item, spec))
         for members in groups.values():
             futures = [batch[pos][2] for pos, _item, _spec in members]

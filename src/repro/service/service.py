@@ -38,6 +38,7 @@ from repro.utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache import ResultCache
+    from repro.reliability.policy import Deadline
 
 
 class SolverService:
@@ -252,7 +253,8 @@ class SolverService:
               method: str | None = None, exact: bool | None = None,
               options: dict[str, Any] | None = None,
               keep_speeds: bool = False, validate: bool = False,
-              timeout: float | None = None) -> BatchResult:
+              timeout: float | None = None,
+              deadline: "Deadline | None" = None) -> BatchResult:
         """Solve one instance synchronously, coalescing with concurrent calls.
 
         Small instances queue on the micro-batcher (one vectorized batch
@@ -260,8 +262,14 @@ class SolverService:
         calling thread — no job record, no cache, no pool hop either way.
         Failures come back as ``ok=False`` rows, never as raised
         exceptions (use :meth:`repro.api.SolverClient.solve` for the
-        raising flavour).
+        raising flavour).  ``deadline`` (a
+        :class:`repro.reliability.Deadline`) bounds the wait: the batcher
+        never coalesces past it, and an expired request raises
+        :class:`~repro.utils.errors.DeadlineExceededError` instead of
+        solving.
         """
+        if deadline is not None:
+            deadline.require("solve")
         n_tasks = item.n_tasks
         if n_tasks > VECTORIZE_MAX_TASKS:
             return solve_batch([item], method=method, exact=exact,
@@ -269,7 +277,8 @@ class SolverService:
                                validate=validate)[0]
         return self.batcher().solve(
             item, method=method, exact=exact, options=options,
-            keep_speeds=keep_speeds, validate=validate, timeout=timeout)
+            keep_speeds=keep_speeds, validate=validate, timeout=timeout,
+            deadline=deadline)
 
     def solve_many_now(self, items: "Sequence[MinEnergyProblem | InstanceSpec]",
                        *, method: str | None = None, exact: bool | None = None,

@@ -128,6 +128,101 @@ class TransportError(ReproError):
     """
 
 
+class TransientTransportError(TransportError):
+    """A transport failure that is safe and sensible to retry.
+
+    Connection resets, refused connections, socket timeouts, truncated or
+    garbled response bodies: the request may simply be re-issued (for
+    idempotent verbs) and the operation usually succeeds on the next
+    attempt.  The retry layer (:class:`repro.reliability.RetryPolicy`)
+    treats exactly this class as retryable; every other
+    :class:`TransportError` is terminal.
+
+    ``maybe_executed`` records whether the failed request might have
+    reached the backend before dying: ``True`` (the default) means a
+    non-idempotent verb (job submission) must not be blindly retried,
+    ``False`` (connection refused, client-side injected faults, explicit
+    server-side load shedding) means the backend provably did not act and
+    any verb may retry.
+    """
+
+    #: Whether the failed request may have been executed server-side.
+    maybe_executed = True
+
+
+class OverloadedError(TransientTransportError):
+    """The server shed this request because its admission queue is full.
+
+    Returned as a typed 503 body with a ``Retry-After`` header by an
+    overloaded ``repro serve``; the client's retry policy honours
+    ``retry_after`` (seconds) as the minimum backoff before the next
+    attempt.  The request was rejected *before* any work happened, so
+    retrying is always safe (``maybe_executed`` is ``False``).
+    """
+
+    maybe_executed = False
+
+    def __init__(self, message: str, *, retry_after: "float | None" = None
+                 ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServerShutdownError(TransientTransportError):
+    """The server is draining (SIGTERM) and refused or truncated the work.
+
+    New requests during a graceful drain get it as a typed 503 body, and
+    live ``/v1/jobs/<id>/events`` streams receive it as an in-band error
+    line instead of a silently truncated stream.  It is transient — a
+    drained server is usually being restarted — and pre-execution
+    (``maybe_executed`` is ``False``), so retrying against the restarted
+    server (or a peer) is safe.
+    """
+
+    maybe_executed = False
+
+    def __init__(self, message: str, *, retry_after: "float | None" = None
+                 ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class InjectedFaultError(TransientTransportError):
+    """A deterministic fault injected by an armed failpoint.
+
+    Raised by :mod:`repro.reliability.failpoints` at the instrumented
+    sites (``http.request``, ``jobstore.write``, ...) so the chaos suite
+    can prove the retry/lease machinery masks transient failures without
+    changing results.  Injected faults fire *before* the guarded effect
+    executes, so ``maybe_executed`` is ``False`` and retries are safe.
+    """
+
+    maybe_executed = False
+
+
+class CircuitOpenError(TransportError):
+    """The client's circuit breaker is open: the backend looks dead.
+
+    Raised by :class:`repro.api.HTTPTransport` *without touching the
+    network* once enough consecutive connection failures have been
+    recorded — a fleet of clients fails fast instead of each burning its
+    full retry budget against a dead server.  Deliberately **not** a
+    :class:`TransientTransportError`: the retry policy does not spin on
+    it; the breaker itself re-probes after its cooldown.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A request's propagated deadline expired before it could complete.
+
+    Deadlines travel client -> server in the ``X-Repro-Deadline`` header
+    (seconds of budget remaining at send time); the server answers 504
+    with this typed body when the budget is gone — before solving when
+    the request arrives late, or mid-wait when the micro-batcher cannot
+    serve it in time.  Not retryable: the caller's budget is spent.
+    """
+
+
 class UnknownJobError(TransportError):
     """No job with the requested id exists on the queried backend.
 
