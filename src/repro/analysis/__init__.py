@@ -1,0 +1,33 @@
+"""AST-based invariant checker (``repro lint``).
+
+Static analysis over the ``repro`` package enforcing the contracts the
+test suite can't economically cover: typed errors that survive the wire,
+single-site sparse assembly, atomic durable writes, lock discipline,
+failpoint-registry consistency, retry idempotency declarations, and
+wire-schema symmetry.  See :mod:`repro.analysis.rules` for the rules and
+:mod:`repro.analysis.runner` for the CLI driver.
+"""
+
+from repro.analysis.baseline import (DEFAULT_BASELINE, load_baseline,
+                                     save_baseline)
+from repro.analysis.core import Finding, Rule
+from repro.analysis.model import ProjectModel
+from repro.analysis.rules import ALL_RULES, rules_by_name
+from repro.analysis.runner import (LintReport, render_json, render_text,
+                                   run_cli, run_lint)
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "LintReport",
+    "ProjectModel",
+    "Rule",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rules_by_name",
+    "run_cli",
+    "run_lint",
+    "save_baseline",
+]

@@ -1,0 +1,67 @@
+"""Baseline ratchet for ``repro lint``.
+
+The baseline file is a JSON document listing finding keys that are
+*temporarily* accepted.  Findings whose key appears in the baseline are
+reported as baselined (and don't fail the run); baseline entries that no
+longer match any finding are reported as stale so the file only ever
+shrinks.  The repo ships an empty baseline: new violations fail CI
+immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding
+from repro.utils.atomicio import atomic_write_text
+from repro.utils.errors import InvalidParameterError
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "save_baseline",
+           "split_baselined"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+_SCHEMA_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Finding keys accepted by the baseline at ``path``."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise InvalidParameterError(f"baseline file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(
+            f"baseline file {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise InvalidParameterError(
+            f"baseline file {path} must be an object with a "
+            f"'findings' list")
+    keys = payload["findings"]
+    if not isinstance(keys, list) \
+            or not all(isinstance(k, str) for k in keys):
+        raise InvalidParameterError(
+            f"baseline file {path}: 'findings' must be a list of "
+            f"finding keys")
+    return set(keys)
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the keys of ``findings`` as the new baseline (atomically)."""
+    payload = {
+        "schema_version": _SCHEMA_VERSION,
+        "findings": sorted(finding.key for finding in findings),
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+
+def split_baselined(
+    findings: list[Finding], accepted: set[str],
+) -> tuple[list[Finding], list[Finding], set[str]]:
+    """Partition into (new, baselined) findings plus stale baseline keys."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        (baselined if finding.key in accepted else new).append(finding)
+    stale = accepted - {finding.key for finding in baselined}
+    return new, baselined, stale

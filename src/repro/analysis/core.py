@@ -1,0 +1,54 @@
+"""Findings and the rule base class of ``repro lint``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.model import ProjectModel
+
+__all__ = ["Finding", "Rule"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to ``file:line``."""
+
+    file: str          #: path relative to the lint root (posix)
+    line: int
+    rule: str          #: rule id, e.g. ``typed-errors``
+    message: str
+    severity: str = "error"
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by the baseline ratchet."""
+        return f"{self.rule}|{self.file}|{self.line}|{self.message}"
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule:
+    """One invariant check over the :class:`ProjectModel`.
+
+    Subclasses set ``name``/``description`` and implement :meth:`check`
+    as a whole-program pass (iterate ``project.files`` for per-file
+    checks).  Findings are yielded; suppression and baselining happen in
+    the runner, so rules stay pure.
+
+    To add a rule: subclass, implement ``check``, and register the
+    instance in :data:`repro.analysis.rules.ALL_RULES`.
+    """
+
+    name: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def check(self, project: "ProjectModel") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, file: str, line: int, message: str) -> Finding:
+        return Finding(file=file, line=line, rule=self.name,
+                       message=message, severity=self.severity)

@@ -1,0 +1,341 @@
+"""The whole-program project model behind ``repro lint``.
+
+A :class:`ProjectModel` parses every ``.py`` file under one package root
+exactly once and exposes the indexes the rules share: per-file ASTs with
+resolved import maps, a class index with transitive-subclass queries, a
+parent map for enclosing-scope questions, and the inline
+``# repro-lint: disable=RULE`` suppression table.
+
+Name resolution is deliberately static and best-effort: a dotted
+expression resolves through the file's import bindings (chasing project
+re-exports, so ``from repro.utils.errors import X`` re-exported through
+another module still lands on the defining module) and falls back to the
+spelled name.  Rules treat an unresolvable name as "unknown" and stay
+quiet — the analyser's contract is no false alarms on dynamic code, not
+completeness.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.utils.errors import InvalidParameterError
+
+__all__ = ["ClassInfo", "ProjectModel", "SourceFile"]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+#: Re-export chases are bounded so a pathological import cycle can not
+#: hang resolution.
+_MAX_CHASE = 10
+
+
+@dataclass
+class SourceFile:
+    """One parsed module of the project."""
+
+    path: Path
+    relpath: str                      #: posix path relative to the root
+    module: str                       #: dotted module name
+    source: str
+    tree: ast.Module
+    imports: dict[str, str]           #: local binding -> dotted target
+    toplevel: set[str]                #: names defined at module level
+    suppressions: dict[int, set[str]]  #: line -> suppressed rule names
+    _parents: "dict[ast.AST, ast.AST] | None" = field(
+        default=None, repr=False, compare=False)
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent for every node (built lazily, cached)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def enclosing_function(self, node: ast.AST) -> "ast.AST | None":
+        """Nearest enclosing function/method of ``node`` (or ``None``)."""
+        parents = self.parent_map()
+        cursor = parents.get(node)
+        while cursor is not None:
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cursor
+            cursor = parents.get(cursor)
+        return None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its statically resolved base names."""
+
+    name: str
+    qualname: str                     #: ``module.ClassName``
+    module: str
+    node: ast.ClassDef
+    file: SourceFile
+    bases: list[str]                  #: resolved dotted base names
+
+
+class ProjectModel:
+    """Parse a package tree once; answer the rules' shared questions."""
+
+    def __init__(self, root: "str | Path", package: str | None = None) -> None:
+        self.root = Path(root).resolve()
+        if not self.root.is_dir():
+            raise InvalidParameterError(
+                f"lint root {self.root} is not a directory")
+        self.package = package if package is not None else self.root.name
+        self.files: list[SourceFile] = []
+        self.by_module: dict[str, SourceFile] = {}
+        self.by_relpath: dict[str, SourceFile] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        for path in sorted(self.root.rglob("*.py")):
+            self._load(path)
+        for file in self.files:
+            self._index_classes(file)
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+    def _load(self, path: Path) -> None:
+        relpath = path.relative_to(self.root).as_posix()
+        parts = [self.package] + relpath[:-3].split("/")
+        if parts[-1] == "__init__":
+            parts.pop()
+        module = ".".join(parts)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise InvalidParameterError(
+                f"cannot lint {relpath}: {exc}") from exc
+        file = SourceFile(
+            path=path, relpath=relpath, module=module, source=source,
+            tree=tree,
+            imports=self._imports(tree, module,
+                                  is_package=path.name == "__init__.py"),
+            toplevel=self._toplevel(tree),
+            suppressions=self._suppressions(source),
+        )
+        self.files.append(file)
+        self.by_module[module] = file
+        self.by_relpath[relpath] = file
+
+    @staticmethod
+    def _imports(tree: ast.Module, module: str, *,
+                 is_package: bool) -> dict[str, str]:
+        bindings: dict[str, str] = {}
+        package = module if is_package else module.rsplit(".", 1)[0]
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        bindings[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".", 1)[0]
+                        bindings[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    anchor = package.split(".")
+                    anchor = anchor[:len(anchor) - (node.level - 1)]
+                    base = ".".join(anchor + ([node.module]
+                                              if node.module else []))
+                else:
+                    base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    bindings[bound] = (f"{base}.{alias.name}"
+                                       if base else alias.name)
+        return bindings
+
+    @staticmethod
+    def _toplevel(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+        return names
+
+    @staticmethod
+    def _suppressions(source: str) -> dict[int, set[str]]:
+        table: dict[int, set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")
+                         if part.strip()}
+                if rules:
+                    table[lineno] = rules
+        return table
+
+    def _index_classes(self, file: SourceFile) -> None:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = []
+            for base in node.bases:
+                resolved = self.resolve_expr(file, base)
+                if resolved:
+                    bases.append(resolved)
+            qualname = f"{file.module}.{node.name}"
+            self.classes[qualname] = ClassInfo(
+                name=node.name, qualname=qualname, module=file.module,
+                node=node, file=file, bases=bases)
+
+    # ------------------------------------------------------------------ #
+    # name resolution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def dotted_parts(expr: ast.AST) -> "list[str] | None":
+        """``a.b.c`` -> ``["a", "b", "c"]``; ``None`` for anything else."""
+        parts: list[str] = []
+        cursor = expr
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        parts.append(cursor.id)
+        parts.reverse()
+        return parts
+
+    def resolve_expr(self, file: SourceFile, expr: ast.AST) -> str | None:
+        """Resolve a Name/Attribute expression to a canonical dotted name."""
+        parts = self.dotted_parts(expr)
+        if parts is None:
+            return None
+        return self.resolve_parts(file, parts)
+
+    def resolve_parts(self, file: SourceFile, parts: list[str]) -> str:
+        head, rest = parts[0], parts[1:]
+        if head in file.imports:
+            target = file.imports[head]
+        elif head in file.toplevel:
+            target = f"{file.module}.{head}"
+        else:
+            target = head
+        dotted = ".".join([target] + rest)
+        return self._chase(dotted)
+
+    def _chase(self, dotted: str) -> str:
+        """Follow project re-exports: ``pkg.mod.Name`` where ``pkg.mod``
+        merely imports ``Name`` resolves to the importing module's own
+        binding, until the defining module is reached."""
+        for _ in range(_MAX_CHASE):
+            if "." not in dotted:
+                return dotted
+            module, _, name = dotted.rpartition(".")
+            file = self.by_module.get(module)
+            if file is None:
+                # maybe the tail crosses an attribute boundary:
+                # pkg.mod.Name.attr -> chase pkg.mod.Name, keep .attr
+                head, _, tail = module.rpartition(".")
+                inner = self.by_module.get(head)
+                if inner is not None and tail in inner.imports:
+                    dotted = f"{inner.imports[tail]}.{name}"
+                    continue
+                return dotted
+            if name in file.toplevel:
+                return dotted
+            if name in file.imports:
+                dotted = file.imports[name]
+                continue
+            return dotted
+        return dotted
+
+    def resolve_call(self, file: SourceFile, call: ast.Call) -> str | None:
+        """Canonical dotted name of a call's callee (or ``None``)."""
+        return self.resolve_expr(file, call.func)
+
+    # ------------------------------------------------------------------ #
+    # whole-program queries
+    # ------------------------------------------------------------------ #
+    def subclasses_of(self, base_name: str,
+                      include_base: bool = False) -> list[ClassInfo]:
+        """Classes transitively deriving from any class named ``base_name``.
+
+        Matching is by resolved qualified base names, so re-exported and
+        aliased inheritance chains are followed.
+        """
+        known = {qual for qual, info in self.classes.items()
+                 if info.name == base_name}
+        seeds = set(known)
+        changed = True
+        while changed:
+            changed = False
+            for qual, info in self.classes.items():
+                if qual in known:
+                    continue
+                if any(base in known for base in info.bases):
+                    known.add(qual)
+                    changed = True
+        out = [info for qual, info in sorted(self.classes.items())
+               if qual in known and (include_base or qual not in seeds)]
+        return out
+
+    def find_tuple_constant(self, name: str
+                            ) -> "tuple[SourceFile, int, list[str]] | None":
+        """First module-level ``NAME = (A, B, ...)`` assignment of names.
+
+        Returns the file, line and the element names (``ast.Name``
+        identifiers) of the tuple — how the wire-error table is indexed.
+        """
+        for file in self.files:
+            for node in file.tree.body:
+                target = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                else:
+                    continue
+                if not (isinstance(target, ast.Name) and target.id == name):
+                    continue
+                if not isinstance(value, (ast.Tuple, ast.List)):
+                    continue
+                names = [el.id for el in value.elts
+                         if isinstance(el, ast.Name)]
+                return file, node.lineno, names
+        return None
+
+    def find_string_collection(self, name: str
+                               ) -> "tuple[SourceFile, int, list[str]] | None":
+        """First module-level ``NAME = (...)``/``frozenset({...})`` of
+        string constants; returns file, line and the strings."""
+        for file in self.files:
+            for node in file.tree.body:
+                target = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                else:
+                    continue
+                if not (isinstance(target, ast.Name) and target.id == name):
+                    continue
+                if value is None:
+                    continue
+                if isinstance(value, ast.Call) and value.args:
+                    value = value.args[0]
+                if not isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    continue
+                strings = [el.value for el in value.elts
+                           if isinstance(el, ast.Constant)
+                           and isinstance(el.value, str)]
+                return file, node.lineno, strings
+        return None

@@ -1,0 +1,29 @@
+"""Rule registry for ``repro lint``."""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.assembly import ModelingOnlyAssemblyRule
+from repro.analysis.rules.atomic_writes import AtomicWritesRule
+from repro.analysis.rules.failpoint_registry import FailpointRegistryRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.retry_safety import RetrySafetyRule
+from repro.analysis.rules.schema_drift import SchemaDriftRule
+from repro.analysis.rules.typed_errors import TypedErrorsRule
+
+__all__ = ["ALL_RULES", "rules_by_name"]
+
+#: Every shipped rule, in report order.
+ALL_RULES: tuple[Rule, ...] = (
+    TypedErrorsRule(),
+    ModelingOnlyAssemblyRule(),
+    AtomicWritesRule(),
+    LockDisciplineRule(),
+    FailpointRegistryRule(),
+    RetrySafetyRule(),
+    SchemaDriftRule(),
+)
+
+
+def rules_by_name() -> dict[str, Rule]:
+    return {rule.name: rule for rule in ALL_RULES}

@@ -1,0 +1,55 @@
+"""Rule ``modeling-only-assembly``: sparse matrices are built in one place.
+
+PR 6 centralised every COO/CSR assembly in :mod:`repro.modeling` (one
+materialisation path, one fingerprint recipe); this rule keeps it that
+way by flagging any ``scipy.sparse`` constructor call outside the
+``modeling/`` package.  Predicates (``issparse``) and the solver side
+(``scipy.sparse.linalg``) are allowed everywhere — the contract is about
+*building* matrices, not consuming them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.model import ProjectModel
+
+__all__ = ["ModelingOnlyAssemblyRule"]
+
+#: Package (relative to the lint root) where assembly is allowed.
+ALLOWED_PREFIX = "modeling/"
+
+#: scipy.sparse callables that are not assembly.
+NON_ASSEMBLY = frozenset({
+    "issparse", "isspmatrix", "isspmatrix_coo", "isspmatrix_csc",
+    "isspmatrix_csr", "save_npz", "load_npz",
+})
+
+
+class ModelingOnlyAssemblyRule(Rule):
+    name = "modeling-only-assembly"
+    description = ("scipy.sparse matrix construction happens only in "
+                   "repro.modeling")
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for file in project.files:
+            if file.relpath.startswith(ALLOWED_PREFIX):
+                continue
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = project.resolve_call(file, node)
+                if not resolved or not resolved.startswith("scipy.sparse."):
+                    continue
+                if resolved.startswith("scipy.sparse.linalg."):
+                    continue
+                tail = resolved.rsplit(".", 1)[-1]
+                if tail in NON_ASSEMBLY:
+                    continue
+                yield self.finding(
+                    file.relpath, node.lineno,
+                    f"constructs scipy.sparse.{tail} outside "
+                    f"repro.modeling; route the assembly through the "
+                    f"model-builder layer")

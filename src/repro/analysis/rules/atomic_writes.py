@@ -1,0 +1,107 @@
+"""Rule ``atomic-writes``: durable-path files are written atomically.
+
+Job records, caches and shard dumps may be read concurrently by other
+processes (fleet workers, merges, servers), so every write in those
+packages must be temp-file + ``os.replace`` — either through
+:mod:`repro.utils.atomicio` or inline.  The rule flags ``open(..., "w")``
+/ ``write_text`` / ``write_bytes`` calls in the durable packages whose
+enclosing function neither calls ``os.replace`` nor one of the atomic
+helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.model import ProjectModel, SourceFile
+
+__all__ = ["AtomicWritesRule"]
+
+#: Packages (relative to the lint root) whose files other processes read.
+DURABLE_PREFIXES = ("api/", "cache/", "batch/", "fleet/", "service/",
+                    "server/")
+
+#: Method names that write a file in one call.
+WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+#: Callees that make the enclosing function atomic by construction.
+ATOMIC_CALLEES = frozenset({
+    "os.replace",
+    "repro.utils.atomicio.atomic_write_text",
+    "repro.utils.atomicio.atomic_write_bytes",
+})
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    """The literal mode of an ``open()`` call (``None`` if non-literal)."""
+    mode: ast.AST | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+class AtomicWritesRule(Rule):
+    name = "atomic-writes"
+    description = ("writes in durable packages go through temp-file + "
+                   "os.replace (repro.utils.atomicio)")
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for file in project.files:
+            if not file.relpath.startswith(DURABLE_PREFIXES):
+                continue
+            atomic_functions = self._atomic_functions(project, file)
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                what = self._write_kind(project, file, node)
+                if what is None:
+                    continue
+                enclosing = file.enclosing_function(node)
+                if enclosing is not None and enclosing in atomic_functions:
+                    continue
+                yield self.finding(
+                    file.relpath, node.lineno,
+                    f"{what} in a durable path without temp+os.replace; "
+                    f"use repro.utils.atomicio.atomic_write_text/_bytes so "
+                    f"concurrent readers never see a torn file")
+
+    @staticmethod
+    def _write_kind(project: ProjectModel, file: SourceFile,
+                    call: ast.Call) -> str | None:
+        if isinstance(call.func, ast.Name) and call.func.id == "open" \
+                and "open" not in file.imports:
+            mode = _open_mode(call)
+            if mode is not None and any(c in mode for c in "wax"):
+                return f'open(..., "{mode}")'
+            return None
+        if isinstance(call.func, ast.Attribute) \
+                and call.func.attr in WRITE_METHODS:
+            resolved = project.resolve_call(file, call)
+            if resolved in ATOMIC_CALLEES:
+                return None
+            return f".{call.func.attr}(...)"
+        return None
+
+    @staticmethod
+    def _atomic_functions(project: ProjectModel,
+                          file: SourceFile) -> set[ast.AST]:
+        """Functions containing an os.replace / atomic-helper call."""
+        atomic: set[ast.AST] = set()
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = project.resolve_call(file, node)
+            if resolved in ATOMIC_CALLEES:
+                enclosing = file.enclosing_function(node)
+                if enclosing is not None:
+                    atomic.add(enclosing)
+        return atomic

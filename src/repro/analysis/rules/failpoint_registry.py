@@ -1,0 +1,66 @@
+"""Rule ``failpoint-registry``: fire sites and the registry agree.
+
+The failpoint framework injects faults by site name, so a typo'd
+``fire("jobstore.wirte")`` silently never fires and a fault-injection
+test passes vacuously.  The rule cross-checks every literal
+``fire("<site>")`` call against :data:`repro.reliability.failpoints.SITES`
+in both directions: unknown names are flagged at the call site,
+registered-but-unreferenced names are flagged at the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.model import ProjectModel
+
+__all__ = ["FailpointRegistryRule"]
+
+#: Name of the registry constant (a set of site-name strings).
+REGISTRY = "SITES"
+
+#: Dotted suffixes that identify the fire entry point.
+FIRE_SUFFIXES = ("failpoints.fire",)
+
+
+class FailpointRegistryRule(Rule):
+    name = "failpoint-registry"
+    description = ("every fire(\"site\") literal is registered in "
+                   "failpoints.SITES and every registered site is used")
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        registry = project.find_string_collection(REGISTRY)
+        if registry is None:
+            return  # no failpoint framework in this tree (fixture projects)
+        reg_file, reg_line, sites = registry
+        registered = set(sites)
+        fired: set[str] = set()
+
+        for file in project.files:
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = project.resolve_call(file, node)
+                if not resolved or not resolved.endswith(FIRE_SUFFIXES):
+                    continue
+                if not node.args:
+                    continue
+                site = node.args[0]
+                if not (isinstance(site, ast.Constant)
+                        and isinstance(site.value, str)):
+                    continue  # dynamic site name: out of scope
+                fired.add(site.value)
+                if site.value not in registered:
+                    yield self.finding(
+                        file.relpath, node.lineno,
+                        f'fire("{site.value}") is not registered in '
+                        f"{REGISTRY} ({reg_file.relpath}:{reg_line}); "
+                        f"fault specs naming it would never trigger")
+
+        for site in sorted(registered - fired):
+            yield self.finding(
+                reg_file.relpath, reg_line,
+                f'registered failpoint site "{site}" has no fire() call; '
+                f"remove it or wire the site back in")

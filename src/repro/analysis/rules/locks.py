@@ -1,0 +1,224 @@
+"""Rule ``lock-discipline``: a lightweight static race detector.
+
+Three contracts over classes that own a ``threading`` lock (or spawn
+their own threads):
+
+1. **mixed guard** — an instance attribute accessed under ``with
+   self._lock`` somewhere must not be *written* outside the lock in any
+   other method (``__init__`` is exempt: it runs before the object is
+   shared);
+2. **thread-shared, no guard** — in a class that launches a
+   ``threading.Thread(target=self.method)``, an attribute written both
+   from the thread side (the target and everything it calls) and from
+   other methods must have every write guarded;
+3. **no blocking under a lock** — no ``time.sleep`` / ``urlopen`` /
+   ``subprocess`` call while a lock is held (condition waits release the
+   lock and are fine).
+
+The detector is lexical and per-class: it sees ``with self.<lock>:``
+blocks, not aliased locks — by design, since the codebase's locking
+convention is exactly that shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.model import ProjectModel, SourceFile
+
+__all__ = ["LockDisciplineRule"]
+
+#: Callables whose result makes an instance attribute a lock attribute.
+LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+})
+
+#: Calls that block (or sleep) and must never run while a lock is held.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+})
+
+
+@dataclass
+class _Access:
+    attr: str
+    line: int
+    guarded: bool
+    method: str
+    is_write: bool
+
+
+@dataclass
+class _ClassScan:
+    lock_attrs: set[str] = field(default_factory=set)
+    accesses: list[_Access] = field(default_factory=list)
+    blocking: list[tuple[str, int, str]] = field(default_factory=list)
+    entry_targets: set[str] = field(default_factory=set)
+    self_calls: dict[str, set[str]] = field(default_factory=dict)
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = ("shared instance attributes are written under the "
+                   "owning lock; nothing blocks while holding it")
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for file in project.files:
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(project, file, node)
+
+    # ------------------------------------------------------------------ #
+    def _check_class(self, project: ProjectModel, file: SourceFile,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = [n for n in cls.body
+                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        if not methods:
+            return
+        scan = _ClassScan()
+        for method in methods:
+            self._find_locks_and_entries(project, file, method, scan)
+        if not scan.lock_attrs and not scan.entry_targets:
+            return
+        for method in methods:
+            self._scan_method(project, file, method, scan)
+
+        for rel, line, callee in scan.blocking:
+            yield self.finding(
+                file.relpath, line,
+                f"{cls.name}.{rel} calls {callee} while holding a lock; "
+                f"move the blocking call outside the critical section")
+
+        thread_side = self._reachable(scan.entry_targets, scan.self_calls)
+        guarded_attrs = {a.attr for a in scan.accesses if a.guarded}
+        reported: set[tuple[str, int]] = set()
+        for access in scan.accesses:
+            if not access.is_write or access.guarded:
+                continue
+            if access.method == "__init__":
+                continue
+            site = (access.attr, access.line)
+            if site in reported:
+                continue
+            if scan.lock_attrs and access.attr in guarded_attrs:
+                reported.add(site)
+                lock_names = ", ".join(
+                    f"self.{name}" for name in sorted(scan.lock_attrs))
+                yield self.finding(
+                    file.relpath, access.line,
+                    f"{cls.name}.{access.method} writes self.{access.attr} "
+                    f"without holding {lock_names}, but the attribute is "
+                    f"accessed under the lock elsewhere")
+                continue
+            if thread_side and self._thread_shared(access, scan, thread_side):
+                reported.add(site)
+                yield self.finding(
+                    file.relpath, access.line,
+                    f"{cls.name}.{access.method} writes self.{access.attr} "
+                    f"unguarded, but the attribute is also written from the "
+                    f"thread target "
+                    f"{', '.join(sorted(scan.entry_targets))}")
+
+    @staticmethod
+    def _thread_shared(access: _Access, scan: _ClassScan,
+                       thread_side: set[str]) -> bool:
+        """Written on the thread side AND on the caller side?"""
+        writers = {a.method for a in scan.accesses
+                   if a.attr == access.attr and a.is_write}
+        writers.discard("__init__")
+        on_thread = writers & thread_side
+        off_thread = writers - thread_side
+        return bool(on_thread) and bool(off_thread)
+
+    @staticmethod
+    def _reachable(entries: set[str],
+                   calls: dict[str, set[str]]) -> set[str]:
+        seen = set(entries)
+        frontier = list(entries)
+        while frontier:
+            for callee in calls.get(frontier.pop(), ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen
+
+    # ------------------------------------------------------------------ #
+    def _find_locks_and_entries(self, project: ProjectModel,
+                                file: SourceFile, method: ast.AST,
+                                scan: _ClassScan) -> None:
+        name = method.name  # type: ignore[attr-defined]
+        scan.self_calls.setdefault(name, set())
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                if isinstance(node.value, ast.Call):
+                    resolved = project.resolve_call(file, node.value)
+                    if resolved in LOCK_FACTORIES:
+                        for target in node.targets:
+                            if self._self_attr(target) is not None:
+                                scan.lock_attrs.add(self._self_attr(target))
+            if isinstance(node, ast.Call):
+                resolved = project.resolve_call(file, node)
+                if resolved == "threading.Thread":
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            attr = self._self_attr(kw.value)
+                            if attr is not None:
+                                scan.entry_targets.add(attr)
+                if isinstance(node.func, ast.Attribute) \
+                        and isinstance(node.func.value, ast.Name) \
+                        and node.func.value.id == "self":
+                    scan.self_calls[name].add(node.func.attr)
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> str | None:
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return node.attr
+        return None
+
+    # ------------------------------------------------------------------ #
+    def _scan_method(self, project: ProjectModel, file: SourceFile,
+                     method: ast.AST, scan: _ClassScan) -> None:
+        name = method.name  # type: ignore[attr-defined]
+
+        def is_lock_item(expr: ast.AST) -> bool:
+            attr = self._self_attr(expr)
+            return attr is not None and attr in scan.lock_attrs
+
+        def visit(node: ast.AST, guard: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                takes_lock = any(is_lock_item(item.context_expr)
+                                 for item in node.items)
+                for item in node.items:
+                    visit(item.context_expr, guard)
+                    if item.optional_vars is not None:
+                        visit(item.optional_vars, guard)
+                inner = guard or takes_lock
+                for stmt in node.body:
+                    visit(stmt, inner)
+                return
+            if isinstance(node, ast.Attribute):
+                attr = self._self_attr(node)
+                if attr is not None and attr not in scan.lock_attrs:
+                    scan.accesses.append(_Access(
+                        attr=attr, line=node.lineno, guarded=guard,
+                        method=name,
+                        is_write=isinstance(node.ctx,
+                                            (ast.Store, ast.Del))))
+            if isinstance(node, ast.Call) and guard:
+                resolved = project.resolve_call(file, node)
+                if resolved in BLOCKING_CALLS:
+                    scan.blocking.append((name, node.lineno, resolved))
+            for child in ast.iter_child_nodes(node):
+                visit(child, guard)
+
+        for stmt in method.body:  # type: ignore[attr-defined]
+            visit(stmt, False)

@@ -1,0 +1,107 @@
+"""Rule ``retry-safety``: retried calls declare their idempotency.
+
+``RetryPolicy.call`` decides whether a *maybe-executed* failure (the
+request may have reached the server before the connection died) is safe
+to retry from the ``idempotent`` flag.  Wrapping a mutating verb —
+submit/create/claim/cancel — without stating the flag silently inherits
+the default and hides the at-most-once/at-least-once decision from the
+reader.  The rule requires an explicit ``idempotent=`` keyword whenever
+the wrapped callable invokes one of those verbs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.model import ProjectModel, SourceFile
+
+__all__ = ["RetrySafetyRule"]
+
+#: Method-name prefixes that mutate server state when invoked remotely.
+MUTATING_PREFIXES = ("submit", "create", "claim", "cancel")
+
+#: Variable names assumed to hold a RetryPolicy even when the assignment
+#: is not statically visible (constructor parameters, attributes).
+POLICY_NAME_HINTS = frozenset({"retry_policy"})
+
+
+class RetrySafetyRule(Rule):
+    name = "retry-safety"
+    description = ("RetryPolicy.call over a mutating verb passes an "
+                   "explicit idempotent= keyword")
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for file in project.files:
+            policies = self._policy_names(project, file)
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._is_policy_call(node, policies):
+                    continue
+                verb = self._mutating_verb(node)
+                if verb is None:
+                    continue
+                if any(kw.arg == "idempotent" for kw in node.keywords):
+                    continue
+                yield self.finding(
+                    file.relpath, node.lineno,
+                    f"RetryPolicy.call wraps .{verb}(...) without an "
+                    f"explicit idempotent= keyword; state whether the verb "
+                    f"is safe to retry after a maybe-executed failure")
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _policy_names(project: ProjectModel, file: SourceFile) -> set[str]:
+        """Names bound to a RetryPolicy in this file (plus hints)."""
+        names = set(POLICY_NAME_HINTS)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Assign) \
+                    or not isinstance(node.value, ast.Call):
+                continue
+            resolved = project.resolve_call(file, node.value)
+            if not resolved:
+                continue
+            if resolved.endswith("RetryPolicy") \
+                    or resolved.endswith("RetryPolicy.from_env"):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+                    elif isinstance(target, ast.Attribute):
+                        names.add(target.attr)
+        return names
+
+    @staticmethod
+    def _is_policy_call(call: ast.Call, policies: set[str]) -> bool:
+        """``<policy>.call(...)`` where <policy> is a known name?"""
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "call"):
+            return False
+        owner = func.value
+        if isinstance(owner, ast.Name):
+            return owner.id in policies
+        if isinstance(owner, ast.Attribute):  # self._store_retry.call(...)
+            return owner.attr in policies
+        return False
+
+    @staticmethod
+    def _mutating_verb(call: ast.Call) -> str | None:
+        """A mutating method name invoked inside the wrapped callable."""
+        if not call.args:
+            return None
+        wrapped = call.args[0]
+        if isinstance(wrapped, ast.Lambda):
+            scope: ast.AST = wrapped.body
+        else:
+            scope = wrapped
+        for node in ast.walk(scope):
+            name: str | None = None
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif node is scope and isinstance(node, ast.Attribute):
+                name = node.attr  # bound-method reference: p.call(store.claim)
+            if name and name.startswith(MUTATING_PREFIXES):
+                return name
+        return None

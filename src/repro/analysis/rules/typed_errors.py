@@ -1,0 +1,111 @@
+"""Rule ``typed-errors``: every raise is a wire-resolvable ReproError.
+
+Two halves of one contract:
+
+1. every ``raise`` in the package raises a :class:`ReproError` subclass
+   (a handful of process-control builtins are exempt), so callers can
+   catch library failures uniformly and the HTTP layer can serialise
+   them as typed bodies;
+2. every :class:`ReproError` subclass appears in the protocol's
+   client-side re-raise table (``WIRE_ERROR_TYPES``), so a typed failure
+   survives a wire round-trip as its own class instead of degrading to
+   ``TransportError``/``SolverError``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.model import ProjectModel
+
+__all__ = ["TypedErrorsRule"]
+
+#: Builtins a library module may legitimately raise: contract-by-design
+#: (abstract methods), invariant assertions, and process control.
+ALLOWED_BUILTINS = frozenset({
+    "NotImplementedError", "AssertionError", "KeyboardInterrupt",
+    "SystemExit", "GeneratorExit", "StopIteration", "StopAsyncIteration",
+})
+
+#: Builtin exceptions whose bare raise the rule flags.
+BANNED_BUILTINS = frozenset({
+    "ArithmeticError", "AttributeError", "BaseException", "BlockingIOError",
+    "BrokenPipeError", "BufferError", "ChildProcessError",
+    "ConnectionAbortedError", "ConnectionError", "ConnectionRefusedError",
+    "ConnectionResetError", "EOFError", "Exception", "FileExistsError",
+    "FileNotFoundError", "FloatingPointError", "IOError", "ImportError",
+    "IndexError", "InterruptedError", "IsADirectoryError", "KeyError",
+    "LookupError", "MemoryError", "ModuleNotFoundError", "NameError",
+    "NotADirectoryError", "OSError", "OverflowError", "PermissionError",
+    "ProcessLookupError", "RecursionError", "ReferenceError", "RuntimeError",
+    "SystemError", "TimeoutError", "TypeError", "UnboundLocalError",
+    "UnicodeDecodeError", "UnicodeEncodeError", "UnicodeError", "ValueError",
+    "ZeroDivisionError",
+})
+
+#: Name of the base class and of the protocol's re-raise table.
+BASE_ERROR = "ReproError"
+WIRE_TABLE = "WIRE_ERROR_TYPES"
+
+
+class TypedErrorsRule(Rule):
+    name = "typed-errors"
+    description = ("every raise is a ReproError subclass and every "
+                   "subclass is registered in the wire re-raise table")
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        error_quals = {
+            info.qualname
+            for info in project.subclasses_of(BASE_ERROR, include_base=True)
+        }
+        yield from self._check_raises(project, error_quals)
+        yield from self._check_wire_table(project)
+
+    # ------------------------------------------------------------------ #
+    def _check_raises(self, project: ProjectModel,
+                      error_quals: set[str]) -> Iterator[Finding]:
+        for file in project.files:
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                target = node.exc
+                if isinstance(target, ast.Call):
+                    target = target.func
+                resolved = project.resolve_expr(file, target)
+                if resolved is None:
+                    continue  # dynamic raise (exc var, .with_traceback())
+                simple = resolved.rsplit(".", 1)[-1]
+                if resolved in ALLOWED_BUILTINS:
+                    continue
+                if resolved in BANNED_BUILTINS:
+                    yield self.finding(
+                        file.relpath, node.lineno,
+                        f"raises builtin {simple}; raise a ReproError "
+                        f"subclass (see repro.utils.errors) so the failure "
+                        f"stays typed across the wire")
+                    continue
+                if resolved in error_quals:
+                    continue
+                if resolved in project.classes:
+                    yield self.finding(
+                        file.relpath, node.lineno,
+                        f"raises {simple}, which is not a ReproError "
+                        f"subclass")
+                # unresolved names (locals, stdlib aliases) are skipped
+
+    # ------------------------------------------------------------------ #
+    def _check_wire_table(self, project: ProjectModel) -> Iterator[Finding]:
+        table = project.find_tuple_constant(WIRE_TABLE)
+        if table is None:
+            return  # no protocol table in this tree (fixture projects)
+        table_file, table_line, registered = table
+        names = set(registered)
+        for info in project.subclasses_of(BASE_ERROR, include_base=True):
+            if info.name not in names:
+                yield self.finding(
+                    info.file.relpath, info.node.lineno,
+                    f"{info.name} is a ReproError subclass missing from "
+                    f"{WIRE_TABLE} ({table_file.relpath}:{table_line}); "
+                    f"clients would re-raise it untyped")

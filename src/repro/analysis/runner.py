@@ -1,0 +1,190 @@
+"""Lint driver: run rules, apply suppressions and baseline, report.
+
+Exit codes follow the usual linter convention: 0 — clean (or fully
+baselined), 1 — findings, 2 — the linter itself failed (bad arguments,
+unparseable source); the CLI maps :class:`ReproError` to 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.baseline import (DEFAULT_BASELINE, load_baseline,
+                                     save_baseline, split_baselined)
+from repro.analysis.core import Finding, Rule
+from repro.analysis.model import ProjectModel
+from repro.analysis.rules import ALL_RULES, rules_by_name
+from repro.utils.errors import InvalidParameterError
+
+__all__ = ["LintReport", "run_lint", "render_text", "render_json",
+           "run_cli"]
+
+
+def default_root() -> Path:
+    """The ``src/repro`` package this linter ships inside."""
+    return Path(__file__).resolve().parents[1]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a project tree."""
+
+    root: Path
+    findings: list[Finding] = field(default_factory=list)      #: new
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: set[str] = field(default_factory=set)
+    suppressed: int = 0
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.stale_baseline) else 0
+
+
+def _suppressed(project: ProjectModel, finding: Finding) -> bool:
+    file = project.by_relpath.get(finding.file)
+    if file is None:
+        return False
+    rules = file.suppressions.get(finding.line, set())
+    return finding.rule in rules or "all" in rules
+
+
+def run_lint(
+    root: Path,
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline_path: Path | None = None,
+) -> LintReport:
+    """Run ``rules`` (default: all) over the package rooted at ``root``."""
+    project = ProjectModel(root)
+    active = list(rules) if rules is not None else list(ALL_RULES)
+    raw: list[Finding] = []
+    for rule in active:
+        raw.extend(rule.check(project))
+
+    kept = [f for f in raw if not _suppressed(project, f)]
+    report = LintReport(
+        root=root,
+        suppressed=len(raw) - len(kept),
+        files_checked=len(project.files),
+        rules_run=[rule.name for rule in active],
+    )
+    kept.sort()
+    if baseline_path is not None:
+        accepted = load_baseline(baseline_path)
+        report.findings, report.baselined, report.stale_baseline = \
+            split_baselined(kept, accepted)
+    else:
+        report.findings = kept
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# reporters
+# ---------------------------------------------------------------------- #
+def render_text(report: LintReport, stream: TextIO) -> None:
+    for finding in report.findings:
+        print(finding.render(), file=stream)
+    for key in sorted(report.stale_baseline):
+        print(f"stale baseline entry (fixed? remove it): {key}",
+              file=stream)
+    summary = (f"{len(report.findings)} finding(s) in "
+               f"{report.files_checked} file(s), "
+               f"{len(report.rules_run)} rule(s)")
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    print(summary, file=stream)
+
+
+def render_json(report: LintReport, stream: TextIO) -> None:
+    payload = {
+        "root": str(report.root),
+        "files_checked": report.files_checked,
+        "rules": report.rules_run,
+        "findings": [
+            {"file": f.file, "line": f.line, "rule": f.rule,
+             "severity": f.severity, "message": f.message, "key": f.key}
+            for f in report.findings
+        ],
+        "baselined": [f.key for f in report.baselined],
+        "stale_baseline": sorted(report.stale_baseline),
+        "suppressed": report.suppressed,
+        "exit_code": report.exit_code,
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--root", type=Path, default=None,
+                        help="package root to lint (default: the "
+                             "installed repro package)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: ./{DEFAULT_BASELINE} "
+                             f"when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0")
+    parser.add_argument("--rule", action="append", dest="rule_names",
+                        metavar="RULE",
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and exit")
+
+
+def run_cli(args: argparse.Namespace, stream: TextIO | None = None) -> int:
+    out = stream if stream is not None else sys.stdout
+    registry = rules_by_name()
+    if args.list_rules:
+        for name, rule in sorted(registry.items()):
+            print(f"{name}: {rule.description}", file=out)
+        return 0
+
+    rules: Sequence[Rule] | None = None
+    if args.rule_names:
+        unknown = [n for n in args.rule_names if n not in registry]
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown rule(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(registry))}")
+        rules = [registry[n] for n in args.rule_names]
+
+    root = args.root if args.root is not None else default_root()
+
+    baseline_path: Path | None = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline_path = args.baseline
+        elif Path(DEFAULT_BASELINE).is_file():
+            baseline_path = Path(DEFAULT_BASELINE)
+
+    if args.update_baseline:
+        target = baseline_path if baseline_path is not None \
+            else Path(DEFAULT_BASELINE)
+        report = run_lint(root, rules=rules)
+        save_baseline(target, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {target}",
+              file=out)
+        return 0
+
+    report = run_lint(root, rules=rules, baseline_path=baseline_path)
+    if args.as_json:
+        render_json(report, out)
+    else:
+        render_text(report, out)
+    return report.exit_code

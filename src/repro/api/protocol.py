@@ -47,24 +47,40 @@ from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.utils.errors import (
     AuthError,
+    BackendUnavailableError,
     CircuitOpenError,
     DeadlineExceededError,
+    FailpointSpecError,
+    FingerprintMismatchError,
     InfeasibleProblemError,
     InjectedFaultError,
+    InvalidArgumentTypeError,
     InvalidGraphError,
     InvalidModelError,
     InvalidOptionError,
+    InvalidParameterError,
+    InvalidSolutionError,
     JobStateError,
     MergeError,
+    NotSeriesParallelError,
     OverloadedError,
+    PollTimeoutError,
     ReproError,
     SchemaVersionError,
     ServerShutdownError,
+    ShardError,
+    ShardGapError,
+    ShardOverlapError,
+    ShutdownError,
     SolverError,
     TransientTransportError,
     TransportError,
+    UnknownBackendError,
+    UnknownColumnError,
     UnknownJobError,
+    UnknownOptionError,
     UnknownSolverError,
+    WorkerCrashLoopError,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -759,28 +775,50 @@ def table_from_wire(payload: Any, *, what: str = "result table") -> Table:
 # --------------------------------------------------------------------- #
 #: Errors that survive a wire round-trip as their own class.  Anything
 #: else re-raises as TransportError carrying the original type name.
+#: ``repro lint`` (rule ``typed-errors``) checks this tuple against the
+#: class hierarchy: every :class:`ReproError` subclass in the codebase
+#: must appear here, or it degrades to TransportError/SolverError when a
+#: client re-raises it off the wire.
+WIRE_ERROR_TYPES: tuple = (
+    AuthError,
+    BackendUnavailableError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    FailpointSpecError,
+    FingerprintMismatchError,
+    InfeasibleProblemError,
+    InjectedFaultError,
+    InvalidArgumentTypeError,
+    InvalidGraphError,
+    InvalidModelError,
+    InvalidOptionError,
+    InvalidParameterError,
+    InvalidSolutionError,
+    JobStateError,
+    MergeError,
+    NotSeriesParallelError,
+    OverloadedError,
+    PollTimeoutError,
+    ReproError,
+    SchemaVersionError,
+    ServerShutdownError,
+    ShardError,
+    ShardGapError,
+    ShardOverlapError,
+    ShutdownError,
+    SolverError,
+    TransientTransportError,
+    TransportError,
+    UnknownBackendError,
+    UnknownColumnError,
+    UnknownJobError,
+    UnknownOptionError,
+    UnknownSolverError,
+    WorkerCrashLoopError,
+)
+
 _WIRE_ERRORS: dict[str, type[ReproError]] = {
-    cls.__name__: cls for cls in (
-        AuthError,
-        CircuitOpenError,
-        DeadlineExceededError,
-        InfeasibleProblemError,
-        InjectedFaultError,
-        InvalidGraphError,
-        InvalidModelError,
-        InvalidOptionError,
-        JobStateError,
-        MergeError,
-        OverloadedError,
-        ReproError,
-        SchemaVersionError,
-        ServerShutdownError,
-        SolverError,
-        TransientTransportError,
-        TransportError,
-        UnknownJobError,
-        UnknownSolverError,
-    )
+    cls.__name__: cls for cls in WIRE_ERROR_TYPES
 }
 
 #: Wire errors whose constructor accepts a ``retry_after`` keyword.

@@ -679,6 +679,12 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import run_cli
+
+    return run_cli(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -998,6 +1004,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="with --prune: list what would be deleted "
                                   "without deleting")
     jobs_parser.set_defaults(handler=_cmd_jobs)
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the AST invariant checker over the repro package")
+    from repro.analysis.runner import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(handler=_cmd_lint)
     return parser
 
 

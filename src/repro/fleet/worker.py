@@ -33,7 +33,13 @@ import time
 from typing import Any
 
 from repro.api.client import DiskTransport
-from repro.utils.errors import JobStateError, TransportError, UnknownJobError
+from repro.utils.errors import (
+    InvalidParameterError,
+    JobStateError,
+    TransportError,
+    UnknownJobError,
+    WorkerCrashLoopError,
+)
 
 __all__ = ["FleetWorker", "WorkerCrashLoopError", "DEFAULT_MAX_STRIKES"]
 
@@ -47,10 +53,6 @@ _IDLE_FACTOR = 1.6
 DEFAULT_MAX_STRIKES = 5
 _STRIKE_INITIAL = 0.2
 _STRIKE_MAX = 5.0
-
-
-class WorkerCrashLoopError(TransportError):
-    """The claim loop failed ``max_strikes`` consecutive times."""
 
 
 class FleetWorker:
@@ -76,9 +78,9 @@ class FleetWorker:
                  max_strikes: int = DEFAULT_MAX_STRIKES,
                  rng: "random.Random | None" = None) -> None:
         if drain is not None and drain <= 0:
-            raise ValueError(f"--drain must be > 0 seconds, got {drain}")
+            raise InvalidParameterError(f"--drain must be > 0 seconds, got {drain}")
         if max_strikes < 1:
-            raise ValueError(f"--max-strikes must be >= 1, got {max_strikes}")
+            raise InvalidParameterError(f"--max-strikes must be >= 1, got {max_strikes}")
         self.transport = DiskTransport(
             jobs_dir, cache_dir=cache_dir, workers=workers,
             use_threads=use_threads, stale_after=stale_after,

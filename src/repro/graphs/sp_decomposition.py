@@ -35,11 +35,10 @@ import numpy as np
 
 from repro.graphs.analysis import descendant_bitsets
 from repro.graphs.taskgraph import TaskGraph
-from repro.utils.errors import InvalidGraphError
+from repro.utils.errors import InvalidGraphError, NotSeriesParallelError
 
-
-class NotSeriesParallelError(InvalidGraphError):
-    """Raised when a graph cannot be decomposed into series/parallel blocks."""
+__all__ = ["NotSeriesParallelError", "SPNode", "SPLeaf", "SPSeries",
+           "SPParallel", "is_series_parallel", "sp_decompose"]
 
 
 @dataclass

@@ -62,11 +62,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from repro.utils.errors import InjectedFaultError, ReproError
+from repro.utils.errors import FailpointSpecError, InjectedFaultError
 
 __all__ = [
     "FailPlan",
     "FailpointSpecError",
+    "SITES",
     "active",
     "arm",
     "arm_spec",
@@ -83,9 +84,19 @@ MODES = ("raise", "latency", "torn", "garbage", "flaky")
 #: Modes whose ``fire`` returns an action string for the site to implement.
 _ACTION_MODES = ("torn", "garbage")
 
-
-class FailpointSpecError(ReproError):
-    """A ``REPRO_FAILPOINTS`` spec (or an :func:`arm` argument) is malformed."""
+#: The failpoint site registry: the machine-readable twin of the site
+#: table in the module docstring.  ``repro lint`` (rule
+#: ``failpoint-registry``) checks both directions against the codebase —
+#: every ``fire("<site>")`` literal must name a member, and every member
+#: must be fired somewhere — so an instrumented site can neither be
+#: misspelled nor silently dropped.
+SITES: frozenset[str] = frozenset({
+    "jobstore.write",
+    "http.request",
+    "http.stream",
+    "worker.heartbeat",
+    "batcher.tick",
+})
 
 
 @dataclass

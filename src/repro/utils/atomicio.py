@@ -1,0 +1,47 @@
+"""Atomic file writes: temp file in the target directory + ``os.replace``.
+
+The single blessed way to persist a file in the durable paths (job store,
+caches, shard dumps): write the full content to a same-directory temp file
+and :func:`os.replace` it over the target, so a reader can never observe a
+torn or empty file and a crashed writer leaves the previous version
+intact.  The static analyser (``repro lint``, rule ``atomic-writes``)
+flags bare ``open(..., "w")``/``write_text`` calls in those paths that
+bypass this helper.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def atomic_write_text(path: "str | os.PathLike[str]", text: str, *,
+                      encoding: str = "utf-8") -> Path:
+    """Atomically replace ``path`` with ``text``; returns the target path.
+
+    The temp file lives next to the target (``os.replace`` must not cross
+    filesystems) and is unlinked on failure, so an interrupted write never
+    leaves debris behind or a half-written target visible.
+    """
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text, encoding=encoding)
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return target
+
+
+def atomic_write_bytes(path: "str | os.PathLike[str]", data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the target path."""
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return target

@@ -21,6 +21,10 @@ class InvalidGraphError(ReproError):
     """
 
 
+class NotSeriesParallelError(InvalidGraphError):
+    """Raised when a graph cannot be decomposed into series/parallel blocks."""
+
+
 class InvalidModelError(ReproError):
     """An energy model was constructed with inconsistent parameters.
 
@@ -294,4 +298,59 @@ class ShardOverlapError(MergeError):
     A grid coordinate appears in more than one dump (the same shard was
     uploaded twice, or legs were partitioned inconsistently), or a dump
     contains rows whose coordinates are not part of the declared grid.
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A caller-supplied parameter is out of range or malformed.
+
+    The typed spelling of the library's parameter-validation failures
+    (negative retry counts, empty worker ids, misaligned sequence
+    lengths, ...).  Also a :class:`ValueError`, so callers validating
+    inputs the stdlib way keep working.
+    """
+
+
+class InvalidArgumentTypeError(ReproError, TypeError):
+    """A caller passed an argument of the wrong kind (unknown keyword,
+    wrong container shape).  Also a :class:`TypeError` for stdlib-style
+    handling."""
+
+
+class ShutdownError(ReproError, RuntimeError):
+    """An operation was attempted on a component that is already shut
+    down (a closed :class:`~repro.service.SolverService` or
+    micro-batcher).  Also a :class:`RuntimeError` for stdlib-style
+    handling."""
+
+
+class UnknownColumnError(ReproError, KeyError):
+    """A table column name does not exist.  Also a :class:`KeyError` for
+    stdlib-style handling."""
+
+
+class PollTimeoutError(TransportError, TimeoutError):
+    """A bounded wait for a job elapsed before the job finished.
+
+    Raised by the polling paths (``client.wait``, ``JobHandle.results``)
+    when their ``timeout`` budget runs out; the job itself keeps running.
+    Also a :class:`TimeoutError` for stdlib-style handling.
+    """
+
+
+class FailpointSpecError(ReproError):
+    """A failpoint arming spec could not be parsed.
+
+    Raised by :func:`repro.reliability.failpoints.arm_spec` (and thus by
+    ``REPRO_FAILPOINTS`` parsing) for unknown sites, unknown modes or
+    malformed parameters.
+    """
+
+
+class WorkerCrashLoopError(TransportError):
+    """A fleet worker's claim loop struck out.
+
+    Raised by :class:`repro.fleet.FleetWorker` after ``max_strikes``
+    consecutive claim-loop failures against a broken job store, so a
+    supervisor sees a crash-looping worker instead of a silent drain.
     """
