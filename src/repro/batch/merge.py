@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from repro.utils.atomicio import atomic_write_text
 from repro.utils.errors import (
     FingerprintMismatchError,
     MergeError,
@@ -153,8 +154,10 @@ def write_shard_dump(path: "str | os.PathLike", table: Table) -> Path:
     """Write a sweep table (and its manifest) as a shard-dump JSON file."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(dump_payload(table), indent=2, default=repr)
-                      + "\n", encoding="utf-8")
+    # a concurrently-running merge must never read a half-written shard
+    atomic_write_text(target,
+                      json.dumps(dump_payload(table), indent=2, default=repr)
+                      + "\n")
     return target
 
 
