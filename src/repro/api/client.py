@@ -72,7 +72,9 @@ from repro.reliability.policy import (
     deadline_scope,
 )
 from repro.utils.errors import (
+    InvalidParameterError,
     JobStateError,
+    PollTimeoutError,
     ReproError,
     ServerShutdownError,
     TransientTransportError,
@@ -116,11 +118,11 @@ def backoff_intervals(initial: float = 0.05, *, factor: float = 1.6,
     schedule reproducible in tests.
     """
     if initial <= 0:
-        raise ValueError(f"initial poll interval must be > 0, got {initial}")
+        raise InvalidParameterError(f"initial poll interval must be > 0, got {initial}")
     if factor < 1.0:
-        raise ValueError(f"backoff factor must be >= 1, got {factor}")
+        raise InvalidParameterError(f"backoff factor must be >= 1, got {factor}")
     if not 0.0 <= jitter <= 1.0:
-        raise ValueError(f"jitter must be within [0, 1], got {jitter}")
+        raise InvalidParameterError(f"jitter must be within [0, 1], got {jitter}")
     if jitter and rng is None:
         rng = random.Random()
     interval = initial
@@ -293,7 +295,7 @@ class Transport:
                               if record is None else
                               f"still {record.status} "
                               f"({record.done}/{record.total} done)")
-                    raise TimeoutError(
+                    raise PollTimeoutError(
                         f"job {job_id}: {detail} after {timeout}s")
                 interval = min(interval, remaining)
             time.sleep(interval)
@@ -337,7 +339,7 @@ class Transport:
                 elif record.terminal:  # pragma: no cover - first poll terminal
                     return
             if deadline is not None and time.monotonic() >= deadline:
-                raise TimeoutError(
+                raise PollTimeoutError(
                     f"job {job_id}: event stream timed out after {timeout}s")
             time.sleep(interval)
 
@@ -365,7 +367,7 @@ class SolverClient:
         self.transport = transport
         self.retry_policy = retry_policy
         if deadline is not None and deadline <= 0:
-            raise ValueError(f"deadline must be > 0 seconds, got {deadline}")
+            raise InvalidParameterError(f"deadline must be > 0 seconds, got {deadline}")
         self.deadline = deadline
 
     def _invoke(self, fn: Callable[[], Any], *,
@@ -388,7 +390,7 @@ class SolverClient:
         if request is None:
             request = SweepRequest(**grid)
         elif grid:
-            raise ValueError(
+            raise InvalidParameterError(
                 "pass either a SweepRequest or grid keyword arguments, not both")
         final = request
         return self._invoke(lambda: self.transport.submit(final),
@@ -601,10 +603,10 @@ def _env_seconds(name: str, default: float) -> float:
     try:
         value = float(raw)
     except ValueError:
-        raise ValueError(
+        raise InvalidParameterError(
             f"{name} must be a number of seconds, got {raw!r}") from None
     if value <= 0:
-        raise ValueError(f"{name} must be > 0 seconds, got {raw!r}")
+        raise InvalidParameterError(f"{name} must be > 0 seconds, got {raw!r}")
     return value
 
 
@@ -678,9 +680,9 @@ class DiskTransport(Transport):
                             ("heartbeat_seconds", self.heartbeat_seconds),
                             ("lease_seconds", self.lease_seconds)):
             if value <= 0:
-                raise ValueError(f"{name} must be > 0, got {value}")
+                raise InvalidParameterError(f"{name} must be > 0, got {value}")
         if self.lease_seconds <= self.heartbeat_seconds:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"lease_seconds ({self.lease_seconds}) must exceed "
                 f"heartbeat_seconds ({self.heartbeat_seconds}): a lease "
                 "shorter than the renewal cadence expires under a healthy "

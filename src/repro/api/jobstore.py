@@ -57,6 +57,7 @@ from repro.api.protocol import (
 from repro.reliability import failpoints
 from repro.utils.errors import (
     InjectedFaultError,
+    InvalidParameterError,
     JobStateError,
     TransportError,
     UnknownJobError,
@@ -309,9 +310,9 @@ class JobStore:
         wins and the rest get the typed error.
         """
         if not worker_id:
-            raise ValueError("claim() needs a non-empty worker_id")
+            raise InvalidParameterError("claim() needs a non-empty worker_id")
         if not lease_seconds > 0:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"lease_seconds must be > 0, got {lease_seconds}")
         with self._lock, self._job_mutex(job_id):
             record = self._load_locked(job_id)

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core.problem import MinEnergyProblem
+from repro.utils.errors import InvalidParameterError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache import ResultCache
@@ -276,7 +277,7 @@ def solve_many(problems: Sequence[MinEnergyProblem] | Iterable[MinEnergyProblem]
     merged.update(options or {})
     problem_list = list(problems)
     if seeds is not None and len(seeds) != len(problem_list):
-        raise ValueError(
+        raise InvalidParameterError(
             f"seeds must align with problems: got {len(seeds)} seeds for "
             f"{len(problem_list)} problems"
         )
@@ -333,7 +334,7 @@ def solve_many(problems: Sequence[MinEnergyProblem] | Iterable[MinEnergyProblem]
         return results  # type: ignore[return-value]  # every slot is filled
 
     if chunk < 1:
-        raise ValueError(f"chunk must be >= 1, got {chunk}")
+        raise InvalidParameterError(f"chunk must be >= 1, got {chunk}")
 
     chunks = [pending[i:i + chunk] for i in range(0, len(pending), chunk)]
     pool = ProcessPoolExecutor(max_workers=workers)

@@ -36,7 +36,11 @@ from repro.core.models import ContinuousModel
 from repro.core.power import PowerLaw
 from repro.core.problem import MinEnergyProblem
 from repro.experiments.workloads import WorkloadSpec, make_workload, matching_models
-from repro.utils.errors import InvalidModelError
+from repro.utils.errors import (
+    InvalidArgumentTypeError,
+    InvalidModelError,
+    InvalidParameterError,
+)
 from repro.utils.rng import spawn_rngs
 from repro.utils.tables import Table
 from repro.batch.engine import BatchResult, solve_many
@@ -137,7 +141,7 @@ def build_sweep_problems(*, graph_classes: Sequence[str] = ("chain", "tree", "la
         selected = list(positions)
         out_of_range = [p for p in selected if not 0 <= p < len(grid)]
         if out_of_range:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"positions out of range for a {len(grid)}-instance grid: "
                 f"{out_of_range}"
             )
@@ -176,7 +180,7 @@ def grid_identity(*, method: str | None = None, exact: bool | None = None,
     """
     unknown = set(grid_kwargs) - set(GRID_DEFAULTS)
     if unknown:
-        raise TypeError(f"unknown sweep grid arguments: {sorted(unknown)}")
+        raise InvalidArgumentTypeError(f"unknown sweep grid arguments: {sorted(unknown)}")
     params = {**GRID_DEFAULTS, **grid_kwargs}
     grid = build_sweep_coords(
         graph_classes=params["graph_classes"], sizes=params["sizes"],

@@ -16,6 +16,7 @@ import re
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Iterator
+from repro.utils.errors import InvalidParameterError
 
 _KEY_RE = re.compile(r"^[0-9a-f]{16,128}$")
 
@@ -23,7 +24,7 @@ _KEY_RE = re.compile(r"^[0-9a-f]{16,128}$")
 def _check_key(key: str) -> str:
     """Keys become file names, so only hex digests are accepted."""
     if not isinstance(key, str) or not _KEY_RE.match(key):
-        raise ValueError(f"cache keys must be hex digests, got {key!r}")
+        raise InvalidParameterError(f"cache keys must be hex digests, got {key!r}")
     return key
 
 
@@ -37,7 +38,7 @@ class MemoryLRUStore:
 
     def __init__(self, maxsize: int = 4096) -> None:
         if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+            raise InvalidParameterError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._data: OrderedDict[str, dict[str, Any]] = OrderedDict()
 

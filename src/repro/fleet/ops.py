@@ -20,6 +20,7 @@ from repro.api.jobstore import (
     record_orphaned,
 )
 from repro.api.protocol import TERMINAL_STATUSES
+from repro.utils.errors import InvalidParameterError
 
 __all__ = ["queue_stats", "prune_records", "parse_duration"]
 
@@ -33,13 +34,13 @@ def parse_duration(text: str) -> float:
     raw = str(text).strip().lower()
     match = re.fullmatch(r"(\d+(?:\.\d+)?)([smhdw]?)", raw)
     if not match:
-        raise ValueError(
+        raise InvalidParameterError(
             f"unparsable duration {text!r}; expected e.g. 90, 90s, 15m, "
             "2h, 7d or 1w"
         )
     value = float(match.group(1)) * _DURATION_UNITS.get(match.group(2) or "s")
     if value <= 0:
-        raise ValueError(f"duration must be > 0, got {text!r}")
+        raise InvalidParameterError(f"duration must be > 0, got {text!r}")
     return value
 
 
@@ -116,13 +117,13 @@ def prune_records(store: JobStore, *, older_than: float | None = None,
     chosen = tuple(str(s) for s in statuses)
     illegal = [s for s in chosen if s not in TERMINAL_STATUSES]
     if illegal:
-        raise ValueError(
+        raise InvalidParameterError(
             f"--prune only accepts terminal statuses "
             f"{TERMINAL_STATUSES}, got {illegal}; pending/running records "
             "are the queue, not garbage"
         )
     if older_than is not None and older_than < 0:
-        raise ValueError(f"--older-than must be >= 0, got {older_than}")
+        raise InvalidParameterError(f"--older-than must be >= 0, got {older_than}")
     now = time.time() if now is None else now
     records, _ = store.scan()
     pruned: list[dict[str, Any]] = []

@@ -26,7 +26,7 @@ from repro.api.jobstore import JobStore, new_job_id
 from repro.api.protocol import SweepRequest
 from repro.batch.merge import ShardDump, merge_shard_dumps
 from repro.batch.sweep import grid_identity
-from repro.utils.errors import JobStateError, MergeError
+from repro.utils.errors import InvalidParameterError, JobStateError, MergeError
 
 __all__ = ["submit_sharded", "execute_merge_job", "shard_dump_from_record"]
 
@@ -44,9 +44,9 @@ def submit_sharded(store: JobStore, request: SweepRequest, shards: int,
     caught by the merge, not silently blended.
     """
     if shards < 1:
-        raise ValueError(f"--shards must be >= 1, got {shards}")
+        raise InvalidParameterError(f"--shards must be >= 1, got {shards}")
     if request.shard:
-        raise ValueError(
+        raise InvalidParameterError(
             f"the base request already names shard {request.shard!r}; "
             "submit the unsharded grid and let --shards partition it"
         )

@@ -41,6 +41,7 @@ from typing import Any, Callable, Iterator, TypeVar
 from repro.utils.errors import (
     CircuitOpenError,
     DeadlineExceededError,
+    InvalidParameterError,
     TransientTransportError,
 )
 
@@ -101,7 +102,7 @@ class Deadline:
     @classmethod
     def after(cls, seconds: float) -> "Deadline":
         if seconds <= 0:
-            raise ValueError(f"a deadline must be > 0 seconds, got {seconds}")
+            raise InvalidParameterError(f"a deadline must be > 0 seconds, got {seconds}")
         return cls(time.monotonic() + seconds, budget=seconds)
 
     def remaining(self) -> float:
@@ -192,9 +193,9 @@ class RetryPolicy:
                  jitter: float = 1.0, budget: float | None = None,
                  rng: "random.Random | None" = None) -> None:
         if retries < 0:
-            raise ValueError(f"retries must be >= 0, got {retries}")
+            raise InvalidParameterError(f"retries must be >= 0, got {retries}")
         if budget is not None and budget <= 0:
-            raise ValueError(f"budget must be > 0 seconds, got {budget}")
+            raise InvalidParameterError(f"budget must be > 0 seconds, got {budget}")
         self.retries = retries
         self.initial = initial
         self.factor = factor
@@ -213,7 +214,7 @@ class RetryPolicy:
             try:
                 retries = int(raw)
             except ValueError:
-                raise ValueError(
+                raise InvalidParameterError(
                     f"{RETRIES_ENV} must be an integer, got {raw!r}"
                 ) from None
         return cls(max(0, retries), **kwargs)
@@ -284,10 +285,10 @@ class CircuitBreaker:
     def __init__(self, *, failure_threshold: int = 5,
                  reset_seconds: float = 5.0) -> None:
         if failure_threshold < 1:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"failure_threshold must be >= 1, got {failure_threshold}")
         if reset_seconds <= 0:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"reset_seconds must be > 0, got {reset_seconds}")
         import threading
 

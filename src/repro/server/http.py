@@ -90,6 +90,7 @@ from repro.service.batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_MS
 from repro.utils.errors import (
     AuthError,
     DeadlineExceededError,
+    InvalidParameterError,
     JobStateError,
     OverloadedError,
     ReproError,
@@ -155,10 +156,10 @@ class AdmissionController:
                  queue_timeout: float = DEFAULT_QUEUE_TIMEOUT,
                  retry_after: float = DEFAULT_RETRY_AFTER) -> None:
         if max_inflight < 1:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"max_inflight must be >= 1, got {max_inflight}")
         if max_queue < 0:
-            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+            raise InvalidParameterError(f"max_queue must be >= 0, got {max_queue}")
         self.max_inflight = max_inflight
         self.max_queue = max_queue
         self.queue_timeout = queue_timeout

@@ -28,7 +28,12 @@ from repro.batch.vectorized import InstanceSpec, solve_batch
 from repro.core.problem import MinEnergyProblem
 from repro.reliability import failpoints
 from repro.reliability.policy import Deadline
-from repro.utils.errors import DeadlineExceededError, TransientTransportError
+from repro.utils.errors import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ShutdownError,
+    TransientTransportError,
+)
 
 #: Default coalescing window: how long the first submission of a tick
 #: waits for company before the batch executes.
@@ -54,9 +59,9 @@ class MicroBatcher:
     def __init__(self, *, window_ms: float = DEFAULT_WINDOW_MS,
                  max_batch: int = DEFAULT_MAX_BATCH) -> None:
         if window_ms < 0:
-            raise ValueError(f"window_ms must be >= 0, got {window_ms}")
+            raise InvalidParameterError(f"window_ms must be >= 0, got {window_ms}")
         if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+            raise InvalidParameterError(f"max_batch must be >= 1, got {max_batch}")
         self.window = window_ms / 1000.0
         self.max_batch = max_batch
         self._cond = threading.Condition()
@@ -94,7 +99,7 @@ class MicroBatcher:
         future: "Future[BatchResult]" = Future()
         with self._cond:
             if self._closed:
-                raise RuntimeError("MicroBatcher is shut down")
+                raise ShutdownError("MicroBatcher is shut down")
             if self._thread is None:
                 self._thread = threading.Thread(
                     target=self._loop, name="repro-batcher", daemon=True)

@@ -24,6 +24,7 @@ from enum import Enum
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.batch.engine import BatchResult
+from repro.utils.errors import InvalidParameterError, PollTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.batch.shard import ShardSpec
@@ -78,9 +79,9 @@ class JobHandle:
                  fingerprint: str = "",
                  manifest: dict[str, Any] | None = None) -> None:
         if len(futures) != len(future_indices):
-            raise ValueError("futures and future_indices must align")
+            raise InvalidParameterError("futures and future_indices must align")
         if instance_meta is not None and len(instance_meta) != total:
-            raise ValueError("instance_meta must align with the instance count")
+            raise InvalidParameterError("instance_meta must align with the instance count")
         self.job_id = job_id
         self.name = name or job_id
         self.created_at = time.time()
@@ -171,7 +172,7 @@ class JobHandle:
         # cancelled bucket, not in "still running"
         still_running = [f for f in finished.not_done if not f.cancelled()]
         if still_running and not self._cancelled:
-            raise TimeoutError(
+            raise PollTimeoutError(
                 f"job {self.job_id}: {len(still_running)} of "
                 f"{len(self._futures)} instances still running after "
                 f"{timeout}s"

@@ -35,6 +35,7 @@ from repro.core.problem import MinEnergyProblem
 from repro.service.batcher import DEFAULT_MAX_BATCH, DEFAULT_WINDOW_MS, MicroBatcher
 from repro.service.jobs import JobHandle, JobStatus
 from repro.utils.tables import Table
+from repro.utils.errors import InvalidParameterError, ShutdownError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache import ResultCache
@@ -73,7 +74,7 @@ class SolverService:
                  batch_window_ms: float = DEFAULT_WINDOW_MS,
                  batch_max: int = DEFAULT_MAX_BATCH) -> None:
         if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         self.cache = cache
         self.validate = validate
         self.keep_speeds = keep_speeds
@@ -108,13 +109,13 @@ class SolverService:
         """
         if isinstance(work, Mapping):
             if seeds is not None:
-                raise ValueError(
+                raise InvalidParameterError(
                     "seeds cannot be combined with a sweep-grid mapping: the "
                     "grid derives one seed per cell from its base seed"
                 )
             reserved = {"method", "exact", "options", "name"} & set(work)
             if reserved:
-                raise ValueError(
+                raise InvalidParameterError(
                     f"grid mapping must not contain {sorted(reserved)}; pass "
                     "them as keyword arguments of submit() instead"
                 )
@@ -162,9 +163,9 @@ class SolverService:
                          fingerprint: str = "",
                          manifest: dict[str, Any] | None = None) -> JobHandle:
         if self._closed:
-            raise RuntimeError("SolverService is shut down")
+            raise ShutdownError("SolverService is shut down")
         if seeds is not None and len(seeds) != len(problems):
-            raise ValueError("seeds must align with problems")
+            raise InvalidParameterError("seeds must align with problems")
         opts = dict(options or {})
         job_id = f"job-{next(self._counter)}-{uuid.uuid4().hex[:8]}"
 
@@ -242,7 +243,7 @@ class SolverService:
         """The lazily started micro-batcher behind :meth:`solve`."""
         with self._lock:
             if self._closed:
-                raise RuntimeError("SolverService is shut down")
+                raise ShutdownError("SolverService is shut down")
             if self._batcher is None:
                 self._batcher = MicroBatcher(
                     window_ms=self._batch_window_ms,

@@ -10,6 +10,7 @@ the validators consistent.
 from __future__ import annotations
 
 import math
+from repro.utils.errors import InvalidParameterError
 
 #: Default absolute tolerance used by feasibility and optimality checks.
 DEFAULT_ABS_TOL: float = 1e-9
@@ -64,7 +65,7 @@ def clamp(value: float, lower: float, upper: float) -> float:
         If ``lower > upper``.
     """
     if lower > upper:
-        raise ValueError(f"clamp interval is empty: [{lower}, {upper}]")
+        raise InvalidParameterError(f"clamp interval is empty: [{lower}, {upper}]")
     return max(lower, min(upper, value))
 
 
@@ -88,7 +89,7 @@ def cube_root(x: float) -> float:
         argument indicates a programming error upstream.
     """
     if x < 0:
-        raise ValueError(f"cube_root expects a non-negative argument, got {x}")
+        raise InvalidParameterError(f"cube_root expects a non-negative argument, got {x}")
     if x == 0.0:
         return 0.0
     return math.exp(math.log(x) / 3.0)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 import numpy as np
+from repro.utils.errors import InvalidParameterError
 
 RngLike = int | np.random.Generator | None
 
@@ -37,7 +38,7 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     statistically independent and reproducible from the parent seed.
     """
     if count < 0:
-        raise ValueError("count must be non-negative")
+        raise InvalidParameterError("count must be non-negative")
     if isinstance(seed, np.random.Generator):
         # Derive children from the generator's bit-generator seed sequence.
         seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
@@ -51,7 +52,7 @@ def choice_without_replacement(
 ) -> list:
     """Sample ``size`` distinct items from ``items`` (order preserved in result)."""
     if size > len(items):
-        raise ValueError("cannot sample more items than available")
+        raise InvalidParameterError("cannot sample more items than available")
     idx = rng.choice(len(items), size=size, replace=False)
     return [items[i] for i in sorted(int(i) for i in idx)]
 
@@ -61,9 +62,9 @@ def random_partition(
 ) -> list[int]:
     """Split ``total`` items into ``parts`` non-negative integer bucket sizes."""
     if parts <= 0:
-        raise ValueError("parts must be positive")
+        raise InvalidParameterError("parts must be positive")
     if total < 0:
-        raise ValueError("total must be non-negative")
+        raise InvalidParameterError("total must be non-negative")
     cuts = np.sort(rng.integers(0, total + 1, size=parts - 1))
     sizes = np.diff(np.concatenate(([0], cuts, [total])))
     return [int(s) for s in sizes]

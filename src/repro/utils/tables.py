@@ -10,6 +10,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
+from repro.utils.errors import InvalidParameterError, UnknownColumnError
 
 
 def format_float(value: Any, *, digits: int = 4) -> str:
@@ -50,15 +51,15 @@ class Table:
         (keyed by column name) may be given, not both.
         """
         if values and named:
-            raise ValueError("pass either positional or named cell values, not both")
+            raise InvalidParameterError("pass either positional or named cell values, not both")
         if named:
             missing = [c for c in self.columns if c not in named]
             if missing:
-                raise ValueError(f"missing cells for columns: {missing}")
+                raise InvalidParameterError(f"missing cells for columns: {missing}")
             row = [named[c] for c in self.columns]
         else:
             if len(values) != len(self.columns):
-                raise ValueError(
+                raise InvalidParameterError(
                     f"expected {len(self.columns)} cells, got {len(values)}"
                 )
             row = list(values)
@@ -94,7 +95,7 @@ class Table:
         try:
             idx = list(self.columns).index(name)
         except ValueError as exc:
-            raise KeyError(f"no column named {name!r}") from exc
+            raise UnknownColumnError(f"no column named {name!r}") from exc
         return [row[idx] for row in self.rows]
 
     def __len__(self) -> int:
