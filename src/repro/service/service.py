@@ -361,8 +361,11 @@ class SolverService:
     # ------------------------------------------------------------------ #
     def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
         """Shut the pool down; optionally cancel not-yet-started instances."""
-        self._closed = True
         with self._lock:
+            # submit() checks _closed under the same lock: without this a
+            # racing submit can observe open state and enqueue into a
+            # pool that is already tearing down
+            self._closed = True
             batcher, self._batcher = self._batcher, None
         if batcher is not None:
             batcher.close()
