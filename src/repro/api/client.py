@@ -710,7 +710,8 @@ class DiskTransport(Transport):
     def submit(self, request: SweepRequest, *, start: bool = True) -> JobRecord:
         job_id = new_job_id()  # fixed across write retries: no duplicates
         record = self._store_retry.call(
-            lambda: self.store.create(request, job_id=job_id))
+            lambda: self.store.create(request, job_id=job_id),
+            idempotent=True)  # job_id is fixed, so re-create cannot duplicate
         if start:
             self._start_runner(record["job_id"], request)
         return JobRecord.from_wire(record)
@@ -859,7 +860,8 @@ class DiskTransport(Transport):
         try:
             try:
                 self._store_retry.call(lambda: self.store.claim(
-                    job_id, self.worker_id, self.lease_seconds))
+                    job_id, self.worker_id, self.lease_seconds),
+                    idempotent=True)  # claim is keyed by worker_id: replayable
             except JobStateError:
                 return
             self.run_claimed(job_id, request)
