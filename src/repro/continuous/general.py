@@ -359,9 +359,9 @@ def solve_general_convex(problem: MinEnergyProblem, *, max_iterations: int = 800
     if (accepted is None
             and (result.status != 0 or not is_feasible_point(best_d))
             and n <= 150):
-        from scipy import sparse
-
-        linear = optimize.LinearConstraint(sparse.csr_matrix(a_matrix), 0.0, np.inf)
+        # a_matrix is a dense np.vstack already; sparse assembly is the
+        # modeling layer's job (repro-lint: modeling-only-assembly)
+        linear = optimize.LinearConstraint(a_matrix, 0.0, np.inf)
         polish = optimize.minimize(
             objective, repaired_start(best_d), jac=gradient, bounds=bounds,
             constraints=[linear], method="trust-constr",
